@@ -1,0 +1,81 @@
+// Command aver is the standalone Aver validation tool from the paper:
+// it checks declarative assertions about experiment metrics against a
+// results CSV.
+//
+//	aver -d results.csv -f validations.aver
+//	aver -d results.csv -e "when machine=* expect sublinear(nodes,time)"
+//
+// Exit status is 0 when every assertion holds, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"popper/internal/aver"
+	"popper/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("aver", flag.ContinueOnError)
+	dataPath := fs.String("d", "", "results CSV file (required)")
+	srcPath := fs.String("f", "", "validations file")
+	expr := fs.String("e", "", "inline assertion")
+	pairwise := fs.Bool("pairwise", false, "use the strict pairwise slope estimator")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" {
+		return fmt.Errorf("-d <results.csv> is required")
+	}
+	if (*srcPath == "") == (*expr == "") {
+		return fmt.Errorf("exactly one of -f or -e is required")
+	}
+	data, err := os.ReadFile(*dataPath)
+	if err != nil {
+		return err
+	}
+	tb, err := table.ParseCSV(string(data))
+	if err != nil {
+		return err
+	}
+	src := *expr
+	if *srcPath != "" {
+		raw, err := os.ReadFile(*srcPath)
+		if err != nil {
+			return err
+		}
+		src = string(raw)
+	}
+	ev := aver.NewEvaluator()
+	if *pairwise {
+		ev.Method = aver.SlopePairwise
+	}
+	results, err := ev.CheckAll(src, tb)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, aver.FormatResults(results))
+	if !aver.AllPassed(results) {
+		return fmt.Errorf("%d assertion(s) failed", countFailed(results))
+	}
+	return nil
+}
+
+func countFailed(results []aver.Result) int {
+	n := 0
+	for _, r := range results {
+		if !r.Passed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const resultsCSV = `workload,machine,nodes,time
+compile-git,cloudlab,1,100
+compile-git,cloudlab,2,62
+compile-git,cloudlab,4,39
+compile-git,cloudlab,8,25
+`
+
+func TestAverInlinePass(t *testing.T) {
+	dir := t.TempDir()
+	data := write(t, dir, "results.csv", resultsCSV)
+	err := run([]string{"-d", data, "-e", "when workload=* and machine=* expect sublinear(nodes,time)"}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAverInlineFail(t *testing.T) {
+	dir := t.TempDir()
+	data := write(t, dir, "results.csv", resultsCSV)
+	if err := run([]string{"-d", data, "-e", "expect min(time) > 1000"}, os.Stdout); err == nil {
+		t.Fatal("failing assertion must exit non-zero")
+	}
+}
+
+func TestAverFile(t *testing.T) {
+	dir := t.TempDir()
+	data := write(t, dir, "results.csv", resultsCSV)
+	validations := write(t, dir, "validations.aver",
+		"expect count(*) = 4;\nexpect within(time, 1, 200)\n")
+	if err := run([]string{"-d", data, "-f", validations}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAverPairwiseFlag(t *testing.T) {
+	dir := t.TempDir()
+	// a single superlinear jump that regression smooths over
+	data := write(t, dir, "results.csv", "n,y\n1,1\n2,1.2\n4,3.0\n8,3.3\n")
+	if err := run([]string{"-d", data, "-e", "expect sublinear(n,y)"}, os.Stdout); err != nil {
+		t.Fatalf("regression method should pass: %v", err)
+	}
+	if err := run([]string{"-d", data, "-pairwise", "-e", "expect sublinear(n,y)"}, os.Stdout); err == nil {
+		t.Fatal("pairwise method must catch the jump")
+	}
+}
+
+func TestAverUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	data := write(t, dir, "results.csv", resultsCSV)
+	cases := [][]string{
+		{},                                 // no -d
+		{"-d", data},                       // neither -f nor -e
+		{"-d", data, "-e", "x", "-f", "y"}, // both
+		{"-d", filepath.Join(dir, "nope.csv"), "-e", "expect count(*) > 0"}, // missing data
+		{"-d", data, "-f", filepath.Join(dir, "nope.aver")},                 // missing file
+		{"-d", data, "-e", "not aver at all ["},                             // parse error
+	}
+	for i, args := range cases {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("case %d (%v) must fail", i, args)
+		}
+	}
+	bad := write(t, dir, "bad.csv", "")
+	if err := run([]string{"-d", bad, "-e", "expect count(*) > 0"}, os.Stdout); err == nil {
+		t.Fatal("empty CSV must fail")
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunDefaultsSmall(t *testing.T) {
+	if err := run([]string{"-nodes", "1,2,4", "-sources", "24", "-segment-mb", "64"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLocalFirstPolicy(t *testing.T) {
+	if err := run([]string{"-nodes", "1,2,4", "-sources", "24", "-segment-mb", "64", "-local-first"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-nodes", "abc"},
+		{"-nodes", "0"},
+		{"-nodes", "1,-2"},
+		{"-machine", "pdp-11", "-nodes", "1"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) must fail", args)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Command popper is the Popper-CLI from the paper: it bootstraps and
+// manages repositories that follow the Popper convention.
+//
+//	popper init                      initialize a Popper repository here
+//	popper experiment list           list curated experiment templates
+//	popper add <template> <name>     add a template as experiments/<name>
+//	popper paper list|add <t>        manuscript templates
+//	popper check                     audit Popper compliance
+//	popper lint                      parse every experiment's setup.yml
+//	popper run <name> [-seed N]      execute an experiment end to end
+//	popper ci                        replay the repo's CI script locally
+//	popper machines                  list simulated machine profiles
+//	popper report                    render report.html from the repo
+//	popper build-paper               render paper/paper.tex
+//
+// The CLI operates on the current directory (override with -C <dir>).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"popper/internal/ci"
+	"popper/internal/cluster"
+	"popper/internal/core"
+	"popper/internal/orchestrate"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "popper:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("popper", flag.ContinueOnError)
+	dir := fs.String("C", ".", "repository directory")
+	seed := fs.Int64("seed", 1, "simulation seed for `popper run`")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: popper [-C dir] [-seed n] <command> [args]")
+		fmt.Fprintln(os.Stderr, "commands: init, experiment list, add, paper, check, lint, run, ci, machines, report, build-paper")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no command")
+	}
+	switch rest[0] {
+	case "init":
+		return cmdInit(*dir)
+	case "experiment":
+		if len(rest) == 2 && rest[1] == "list" {
+			fmt.Print(core.FormatTemplateList())
+			return nil
+		}
+		return fmt.Errorf("usage: popper experiment list")
+	case "paper":
+		switch {
+		case len(rest) == 2 && rest[1] == "list":
+			fmt.Print(core.FormatPaperTemplateList())
+			return nil
+		case len(rest) == 3 && rest[1] == "add":
+			return withProject(*dir, func(p *core.Project) error {
+				if err := p.AddPaper(rest[2]); err != nil {
+					return err
+				}
+				fmt.Printf("-- added paper template %q under paper/\n", rest[2])
+				return nil
+			})
+		}
+		return fmt.Errorf("usage: popper paper list | popper paper add <template>")
+	case "add":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: popper add <template> <name>")
+		}
+		return withProject(*dir, func(p *core.Project) error {
+			if err := p.AddExperiment(rest[1], rest[2]); err != nil {
+				return err
+			}
+			fmt.Printf("-- added experiment %q from template %q\n", rest[2], rest[1])
+			return nil
+		})
+	case "check":
+		return withProject(*dir, func(p *core.Project) error {
+			rep := p.Check()
+			fmt.Print(rep.String())
+			if !rep.Compliant() {
+				return fmt.Errorf("repository is not Popper-compliant")
+			}
+			return nil
+		})
+	case "lint":
+		return withProject(*dir, func(p *core.Project) error {
+			for _, name := range p.Experiments() {
+				raw, ok := p.ExperimentFile(name, "setup.yml")
+				if !ok {
+					continue
+				}
+				if _, err := orchestrate.ParsePlaybook(string(raw)); err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+				fmt.Printf("%s: setup.yml ok\n", name)
+			}
+			return nil
+		})
+	case "run":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: popper run <experiment>")
+		}
+		return withProject(*dir, func(p *core.Project) error {
+			res, err := p.RunExperiment(rest[1], &core.Env{Seed: *seed})
+			fmt.Print(res.Record.Log)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("-- experiment %q passed (results in experiments/%s/results.csv)\n", rest[1], rest[1])
+			return nil
+		})
+	case "ci":
+		// run the repository's CI script locally, exactly as the service
+		// would on a commit
+		return withProject(*dir, func(p *core.Project) error {
+			var cfgSrc []byte
+			for _, name := range []string{".popper-ci.yml", core.CIFile} {
+				if content, ok := p.Files[name]; ok {
+					cfgSrc = content
+					break
+				}
+			}
+			if cfgSrc == nil {
+				return fmt.Errorf("no CI configuration (%s)", core.CIFile)
+			}
+			cfg, err := ci.ParseConfig(string(cfgSrc))
+			if err != nil {
+				return err
+			}
+			runner := core.CIRunner(&core.Env{Seed: *seed})
+			matrix := cfg.Matrix
+			if len(matrix) == 0 {
+				matrix = []string{""}
+			}
+			for _, envSpec := range matrix {
+				envMap := map[string]string{}
+				for _, kv := range strings.Fields(envSpec) {
+					if k, v, ok := strings.Cut(kv, "="); ok {
+						envMap[k] = v
+					}
+				}
+				for _, cmd := range cfg.Script {
+					fmt.Printf("$ %s\n", cmd)
+					out, err := runner(cmd, envMap, p.Files)
+					if out != "" {
+						fmt.Print(out)
+						if !strings.HasSuffix(out, "\n") {
+							fmt.Println()
+						}
+					}
+					if err != nil {
+						return fmt.Errorf("CI step %q failed: %w", cmd, err)
+					}
+				}
+			}
+			fmt.Println("-- CI script passed")
+			return nil
+		})
+	case "machines":
+		// the platforms vars.yml's `machine:` may name
+		fmt.Println("-- available machine profiles --------")
+		for _, name := range cluster.ProfileNames() {
+			p, err := cluster.Profile(name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-18s %d cores @ %.1f GHz, %d GiB RAM, %.0f GbE, jitter %.0f%%\n",
+				name, p.Cores, p.ClockHz/1e9, p.RAMBytes>>30, p.NICBWBps*8/1e9, p.JitterSigma*100)
+		}
+		return nil
+	case "report":
+		return withProject(*dir, func(p *core.Project) error {
+			html, err := p.Report()
+			if err != nil {
+				return err
+			}
+			p.Files["report.html"] = []byte(html)
+			fmt.Println("-- report written to report.html")
+			return nil
+		})
+	case "build-paper":
+		return withProject(*dir, func(p *core.Project) error {
+			if err := p.BuildPaper(); err != nil {
+				return err
+			}
+			fmt.Println("-- paper built: paper/paper.pdf")
+			return nil
+		})
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown command %q", rest[0])
+	}
+}
+
+func cmdInit(dir string) error {
+	if core.Initialized(mustLoadDir(dir)) {
+		return fmt.Errorf("%s is already a Popper repository", dir)
+	}
+	p := core.Init()
+	if err := saveDir(dir, p.Files, nil); err != nil {
+		return err
+	}
+	fmt.Println("-- Initialized Popper repo")
+	return nil
+}
+
+// withProject loads the workspace, applies fn, and writes changes back.
+func withProject(dir string, fn func(*core.Project) error) error {
+	files := mustLoadDir(dir)
+	p, err := core.Load(files)
+	if err != nil {
+		return err
+	}
+	before := snapshot(p.Files)
+	ferr := fn(p)
+	if err := saveDir(dir, p.Files, before); err != nil {
+		return err
+	}
+	return ferr
+}
+
+func snapshot(files map[string][]byte) map[string]string {
+	out := make(map[string]string, len(files))
+	for k, v := range files {
+		out[k] = string(v)
+	}
+	return out
+}
+
+// mustLoadDir reads a directory tree into a flat path map (skipping
+// dot-directories like .git).
+func mustLoadDir(dir string) map[string][]byte {
+	files := map[string][]byte{}
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return nil
+		}
+		rel, rerr := filepath.Rel(dir, path)
+		if rerr != nil || rel == "." {
+			return nil
+		}
+		base := filepath.Base(rel)
+		if info.IsDir() {
+			if strings.HasPrefix(base, ".") && base != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasPrefix(base, ".") && base != core.ConfigFile && base != core.CIFile &&
+			base != ".popper-ci.yml" && base != ".gitkeep" {
+			return nil
+		}
+		content, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil
+		}
+		files[filepath.ToSlash(rel)] = content
+		return nil
+	})
+	return files
+}
+
+// saveDir writes new or changed files back to disk.
+func saveDir(dir string, files map[string][]byte, before map[string]string) error {
+	for rel, content := range files {
+		if before != nil {
+			if old, ok := before[rel]; ok && old == string(content) {
+				continue
+			}
+		}
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

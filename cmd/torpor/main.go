@@ -1,0 +1,75 @@
+// Command torpor runs the Torpor cross-platform variability experiment
+// (the paper's Figure torpor-variability) standalone: it measures the
+// stress battery on a base and a target platform and prints the
+// per-stressor speedups and the variability histogram.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"popper/internal/cluster"
+	"popper/internal/torpor"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "torpor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("torpor", flag.ContinueOnError)
+	base := fs.String("base", "xeon-2005", "base machine profile (the old lab machine)")
+	target := fs.String("target", "cloudlab-c220g1", "target machine profile")
+	ops := fs.Int("ops", 200, "bogo-ops per stressor")
+	bucket := fs.Float64("bucket", 0.1, "histogram bucket width")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	analytic := fs.Bool("analytic", false, "derive the profile from machine models (no jitter)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var vp *torpor.VariabilityProfile
+	if *analytic {
+		b, err := cluster.Profile(*base)
+		if err != nil {
+			return err
+		}
+		t, err := cluster.Profile(*target)
+		if err != nil {
+			return err
+		}
+		vp = torpor.Profile(b, t)
+	} else {
+		c := cluster.New(*seed)
+		baseNodes, err := c.Provision(*base, 1)
+		if err != nil {
+			return err
+		}
+		targetNodes, err := c.Provision(*target, 1)
+		if err != nil {
+			return err
+		}
+		vp, err = torpor.MeasureProfile(baseNodes[0], targetNodes[0], *ops)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Print(vp.Table().Format())
+	lo, hi := vp.Range()
+	fmt.Printf("\nvariability range of %s vs %s: [%.2f, %.2f], mean %.2f\n\n",
+		vp.Target, vp.Base, lo, hi, vp.Mean())
+
+	h, err := vp.Histogram(*bucket)
+	if err != nil {
+		return err
+	}
+	fmt.Print(h.ASCII())
+	m := h.Mode()
+	fmt.Printf("mode: %d stressors in (%.2f, %.2f]\n", m.Count, m.Lo, m.Hi)
+	return nil
+}

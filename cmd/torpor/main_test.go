@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunMeasured(t *testing.T) {
+	if err := run([]string{"-ops", "50"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAnalytic(t *testing.T) {
+	if err := run([]string{"-analytic"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOtherTarget(t *testing.T) {
+	if err := run([]string{"-target", "ec2-m4", "-ops", "50", "-bucket", "0.25"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-base", "pdp-11"},
+		{"-target", "pdp-11"},
+		{"-analytic", "-base", "pdp-11"},
+		{"-analytic", "-target", "pdp-11"},
+		{"-bucket", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) must fail", args)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Quickstart walks the full Popper convention end to end, reproducing
+// the reader/reviewer workflow of the paper's Figure review-workflow:
+//
+//  1. initialize a Popper repository and add an experiment from a
+//     curated template (`popper init` / `popper add`, Listing
+//     lst:poppercli);
+//  2. commit it to version control, which triggers the CI service
+//     (tier-1 automated validation);
+//  3. run the experiment end to end — orchestration check, execution on
+//     the simulated cluster, results, figure, Aver validation;
+//  4. iterate: change a parameter, re-run, and inspect the lab-notebook
+//     journal of Figure exp-workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"popper/internal/ci"
+	"popper/internal/core"
+	"popper/internal/pipeline"
+	"popper/internal/vcs"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("== 1. popper init && popper add zlog myexp")
+	proj := core.Init()
+	fmt.Println("-- Initialized Popper repo")
+	fmt.Print(core.FormatTemplateList())
+	if err := proj.AddExperiment("zlog", "myexp"); err != nil {
+		log.Fatal(err)
+	}
+	if err := proj.SetParam("myexp", "appends", "128"); err != nil {
+		log.Fatal(err)
+	}
+	rep := proj.Check()
+	fmt.Print(rep.String())
+
+	fmt.Println("\n== 2. commit -> CI builds the repository")
+	repo := vcs.NewRepository()
+	svc, err := ci.NewService(repo, core.CIRunner(&core.Env{Seed: 1}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	proj.Files[core.CIFile] = []byte(
+		"language: popper\nscript:\n  - popper check\n  - popper lint\n  - ./paper/build.sh\n")
+	commit, err := repo.Commit(proj.Files, "reader", "add zlog experiment")
+	if err != nil {
+		log.Fatal(err)
+	}
+	build, _ := svc.LatestFor(commit.Hash)
+	fmt.Printf("commit %s -> CI build #%d: %s %s\n",
+		commit.Hash.Short(), build.Number, build.Status, svc.Badge())
+
+	fmt.Println("\n== 3. popper run myexp")
+	journal := pipeline.NewJournal()
+	res, err := proj.RunExperiment("myexp", &core.Env{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	journal.Append(res.Record, "initial run")
+	results, _ := proj.ExperimentFile("myexp", "results.csv")
+	fmt.Printf("results.csv:\n%s", results)
+	fig, _ := proj.ExperimentFile("myexp", "figure.txt")
+	fmt.Print(string(fig))
+
+	fmt.Println("\n== 4. iterate: double the appends, re-run, journal records it")
+	if err := proj.SetParam("myexp", "appends", "256"); err != nil {
+		log.Fatal(err)
+	}
+	res2, err := proj.RunExperiment("myexp", &core.Env{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	journal.Append(res2.Record, "changed appends 128 -> 256")
+	// and a faithful re-execution of the original configuration
+	if err := proj.SetParam("myexp", "appends", "128"); err != nil {
+		log.Fatal(err)
+	}
+	res3, err := proj.RunExperiment("myexp", &core.Env{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	journal.Append(res3.Record, "re-run original configuration")
+
+	fmt.Println("lab notebook:")
+	fmt.Print(journal.Format())
+	same, err := journal.Reproduced(1, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("iteration 3 reproduced iteration 1 bit-for-bit: %v\n", same)
+
+	log2, _ := repo.Commit(proj.Files, "reader", "results of the exploration")
+	fmt.Printf("\nfinal commit %s; repository history:\n", log2.Hash.Short())
+	history, _ := repo.FormatLog()
+	fmt.Print(history)
+}

@@ -1,0 +1,92 @@
+// torpor-variability reproduces the paper's Figure torpor-variability:
+// "Variability profile of a set of CPU-bound benchmarks. Each data point
+// in the histogram corresponds to the speedup of a stress-ng
+// microbenchmark that a node in CloudLab has with respect to one of our
+// machines in our lab, a 10 year old Xeon. For example, the
+// architectural improvements of the newer machine cause 7 stressors to
+// have a speedup within the (2.2, 2.3] range over the base machine."
+//
+// Beyond the figure, the example exercises Torpor's two applications:
+// predicting the speedup range of a whole application, and recreating
+// the old platform's performance on the new machine by throttling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"popper/internal/cluster"
+	"popper/internal/torpor"
+)
+
+func main() {
+	log.SetFlags(0)
+	const seed = 42
+
+	c := cluster.New(seed)
+	base, err := c.Provision("xeon-2005", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	targets := []string{"cloudlab-c220g1", "cloudlab-c8220", "ec2-m4"}
+
+	var main *torpor.VariabilityProfile
+	for _, t := range targets {
+		nodes, err := c.Provision(t, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vp, err := torpor.MeasureProfile(base[0], nodes[0], 200)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lo, hi := vp.Range()
+		fmt.Printf("%-16s speedup range [%5.2f, %5.2f]  mean %.2f\n", t, lo, hi, vp.Mean())
+		if main == nil {
+			main = vp
+		}
+	}
+
+	fmt.Println()
+	h, err := main.Histogram(0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(h.ASCII())
+	m := h.Mode()
+	fmt.Printf("mode: %d stressors in (%.2f, %.2f] — the paper reports 7 in (2.2, 2.3]\n\n",
+		m.Count, m.Lo, m.Hi)
+
+	// Application-speedup prediction from the profile.
+	baseProfile := cluster.MustProfile("xeon-2005")
+	targetProfile := cluster.MustProfile("cloudlab-c220g1")
+	analytic := torpor.Profile(baseProfile, targetProfile)
+	apps := map[string]cluster.Work{
+		"integer-heavy solver":  {CPUOps: 2e9, BranchMiss: 1e7},
+		"stream processor":      {MemBytes: 4e9, CPUOps: 2e8},
+		"pointer-chasing graph": {RandAccess: 5e7, CPUOps: 5e8},
+	}
+	fmt.Println("application speedup predictions (xeon-2005 -> cloudlab-c220g1):")
+	for name, app := range apps {
+		est, lo, hi, err := analytic.Predict(baseProfile, targetProfile, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s %.2fx (variability range [%.2f, %.2f])\n", name, est, lo, hi)
+	}
+
+	// Recreate the old machine on the new one with OS-level throttling.
+	fmt.Println("\nrecreating the 2005 Xeon on a CloudLab node:")
+	freshC := cluster.New(seed + 1)
+	modern, _ := freshC.Provision("cloudlab-c220g1", 1)
+	old, _ := freshC.Provision("xeon-2005", 1)
+	load, err := analytic.Recreate(modern[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	work := cluster.Work{CPUOps: 2e9, MemBytes: 2e8, BranchMiss: 5e6}
+	tThrottled := modern[0].Run(work)
+	tOld := old[0].Run(work)
+	fmt.Printf("  applied background load %.2f; throttled=%.3fs vs real old machine=%.3fs (ratio %.2f)\n",
+		load, tThrottled, tOld, tThrottled/tOld)
+}

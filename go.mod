@@ -1,0 +1,3 @@
+module popper
+
+go 1.22

@@ -1,0 +1,526 @@
+package aver
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"popper/internal/table"
+)
+
+// gassyfsTable builds a results table shaped like the paper's GassyFS
+// experiment: compile time vs node count on two machines, scaling
+// sublinearly (speedup below ideal).
+func gassyfsTable(t *testing.T) *table.Table {
+	t.Helper()
+	tb := table.New("workload", "machine", "nodes", "time")
+	add := func(m string, n, tm float64) {
+		tb.MustAppend(table.String("compile-git"), table.String(m), table.Number(n), table.Number(tm))
+	}
+	// t(n) = t1 / n^0.7 : sublinear speedup
+	for _, m := range []string{"cloudlab", "ec2"} {
+		t1 := 100.0
+		if m == "ec2" {
+			t1 = 140
+		}
+		for _, n := range []float64{1, 2, 4, 8, 16} {
+			add(m, n, t1/math.Pow(n, 0.7))
+		}
+	}
+	return tb
+}
+
+func TestPaperAssertion(t *testing.T) {
+	// The exact assertion from Listing lst:aver-assertion.
+	src := `
+  when
+    workload=* and machine=*
+  expect
+    sublinear(nodes,time)
+`
+	a, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.When) != 2 || !a.When[0].Wildcard || a.When[1].Column != "machine" {
+		t.Fatalf("when = %+v", a.When)
+	}
+	res, err := NewEvaluator().Check(a, gassyfsTable(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("paper assertion should pass:\n%s", res.String())
+	}
+	if len(res.Groups) != 2 { // one per (workload,machine) combination
+		t.Fatalf("groups = %d", len(res.Groups))
+	}
+}
+
+func TestSublinearFailsOnLinear(t *testing.T) {
+	tb := table.New("nodes", "time")
+	for _, n := range []float64{1, 2, 4, 8} {
+		tb.MustAppend(table.Number(n), table.Number(100/n)) // perfect linear speedup
+	}
+	res := mustCheck(t, "expect sublinear(nodes,time)", tb)
+	if res.Passed {
+		t.Fatal("perfect linear scaling must not be sublinear")
+	}
+	res = mustCheck(t, "expect linear(nodes,time)", tb)
+	if !res.Passed {
+		t.Fatalf("linear test should pass: %s", res.String())
+	}
+}
+
+func TestSuperlinear(t *testing.T) {
+	tb := table.New("n", "y")
+	for _, n := range []float64{1, 2, 4, 8} {
+		tb.MustAppend(table.Number(n), table.Number(math.Pow(n, 1.5)))
+	}
+	if !mustCheck(t, "expect superlinear(n,y)", tb).Passed {
+		t.Fatal("n^1.5 should be superlinear")
+	}
+	if mustCheck(t, "expect sublinear(n,y)", tb).Passed {
+		t.Fatal("n^1.5 should not be sublinear")
+	}
+}
+
+func TestExplicitTolerance(t *testing.T) {
+	tb := table.New("n", "y")
+	for _, n := range []float64{1, 2, 4, 8} {
+		tb.MustAppend(table.Number(n), table.Number(math.Pow(n, 0.9)))
+	}
+	// slope 0.9: sublinear with default tol 0.05 (0.9 < 0.95)
+	if !mustCheck(t, "expect sublinear(n,y)", tb).Passed {
+		t.Fatal("0.9 should pass default tolerance")
+	}
+	// but not with tol 0.2 (needs < 0.8)
+	if mustCheck(t, "expect sublinear(n,y,0.2)", tb).Passed {
+		t.Fatal("0.9 should fail tol=0.2")
+	}
+}
+
+func TestIncreasingDecreasing(t *testing.T) {
+	tb := table.New("n", "up", "down")
+	for _, n := range []float64{1, 2, 3} {
+		tb.MustAppend(table.Number(n), table.Number(n*2), table.Number(10-n))
+	}
+	if !mustCheck(t, "expect increasing(n,up) and decreasing(n,down)", tb).Passed {
+		t.Fatal("monotonicity tests failed")
+	}
+	if mustCheck(t, "expect increasing(n,down)", tb).Passed {
+		t.Fatal("decreasing series is not increasing")
+	}
+}
+
+func TestConstantAndWithin(t *testing.T) {
+	tb := table.New("t")
+	for _, v := range []float64{99, 100, 101, 100} {
+		tb.MustAppend(table.Number(v))
+	}
+	if !mustCheck(t, "expect constant(t)", tb).Passed {
+		t.Fatal("cv ~0.8% should be constant at default tol")
+	}
+	if !mustCheck(t, "expect within(t, 95, 105)", tb).Passed {
+		t.Fatal("within should pass")
+	}
+	if mustCheck(t, "expect within(t, 100, 105)", tb).Passed {
+		t.Fatal("99 is out of [100,105]")
+	}
+	// high-variance series fails constant
+	tb2 := table.New("t")
+	for _, v := range []float64{10, 100, 1000} {
+		tb2.MustAppend(table.Number(v))
+	}
+	if mustCheck(t, "expect constant(t)", tb2).Passed {
+		t.Fatal("high variance must fail constant")
+	}
+	if !mustCheck(t, "expect constant(t, 2.0)", tb2).Passed {
+		t.Fatal("loose tolerance should pass")
+	}
+}
+
+func TestAggregateComparisons(t *testing.T) {
+	tb := gassyfsTable(t)
+	cases := []struct {
+		src  string
+		pass bool
+	}{
+		{"expect avg(time) < 100", true},
+		{"expect avg(time) > 100", false},
+		{"expect min(time) > 10", true},
+		{"expect max(time) <= 140", true},
+		{"expect count(*) = 10", true},
+		{"expect count(*) != 10", false},
+		{"expect median(time) < avg(time)", true},
+		{"expect stddev(time) > 0", true},
+		{"expect cv(time) < 1", true},
+		{"expect sum(nodes) = 62", true},
+		{"expect mean(time) < 100", true}, // mean == avg alias
+	}
+	for _, c := range cases {
+		res := mustCheck(t, c.src, tb)
+		if res.Passed != c.pass {
+			t.Errorf("%q: passed=%v, want %v (%s)", c.src, res.Passed, c.pass, res.String())
+		}
+	}
+}
+
+func TestRowLevelComparisons(t *testing.T) {
+	tb := gassyfsTable(t)
+	if !mustCheck(t, "expect time > 0", tb).Passed {
+		t.Fatal("all rows positive")
+	}
+	if mustCheck(t, "expect time < 100", tb).Passed {
+		t.Fatal("t(1)=100 and 140 violate < 100")
+	}
+	// column vs aggregate
+	if !mustCheck(t, "expect time <= max(time)", tb).Passed {
+		t.Fatal("tautology failed")
+	}
+}
+
+func TestStringComparison(t *testing.T) {
+	tb := gassyfsTable(t)
+	if !mustCheck(t, `when machine='ec2' expect machine = 'ec2'`, tb).Passed {
+		t.Fatal("string equality on filtered rows")
+	}
+	if mustCheck(t, `expect machine = 'ec2'`, tb).Passed {
+		t.Fatal("mixed machines should fail equality")
+	}
+	if !mustCheck(t, `when machine != ec2 expect machine = cloudlab`, tb).Passed {
+		t.Fatal("bare-word strings should work")
+	}
+}
+
+func TestWhenNumericFilters(t *testing.T) {
+	tb := gassyfsTable(t)
+	// the paper's example: "when the level of parallelism exceeds 4"
+	res := mustCheck(t, "when nodes > 4 expect count(*) = 4", tb)
+	if !res.Passed {
+		t.Fatalf("numeric filter failed: %s", res.String())
+	}
+	res = mustCheck(t, "when nodes >= 4 and machine = 'cloudlab' expect count(*) = 3", tb)
+	if !res.Passed {
+		t.Fatalf("combined filter failed: %s", res.String())
+	}
+}
+
+func TestNoMatchingRows(t *testing.T) {
+	tb := gassyfsTable(t)
+	res := mustCheck(t, "when machine='vax' expect avg(time) > 0", tb)
+	if res.Passed {
+		t.Fatal("empty selection must fail, not vacuously pass")
+	}
+	if !strings.Contains(res.String(), "no rows") {
+		t.Fatalf("detail = %s", res.String())
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	tb := gassyfsTable(t)
+	if !mustCheck(t, "expect avg(time) < 100 and min(time) > 0", tb).Passed {
+		t.Fatal("and failed")
+	}
+	if !mustCheck(t, "expect avg(time) > 1000 or min(time) > 0", tb).Passed {
+		t.Fatal("or failed")
+	}
+	if mustCheck(t, "expect avg(time) > 1000 and min(time) > 0", tb).Passed {
+		t.Fatal("and with false left should fail")
+	}
+	if !mustCheck(t, "expect (avg(time) > 1000 or min(time) > 0) and count(*) = 10", tb).Passed {
+		t.Fatal("parenthesized expression failed")
+	}
+}
+
+func TestMultipleAssertionsFile(t *testing.T) {
+	src := `
+# validations.aver for the gassyfs experiment
+when workload=* and machine=* expect sublinear(nodes,time);
+expect count(*) = 10;
+expect within(time, 1, 200)
+`
+	results, err := NewEvaluator().CheckAll(src, gassyfsTable(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if !AllPassed(results) {
+		t.Fatalf("all should pass:\n%s", FormatResults(results))
+	}
+	report := FormatResults(results)
+	if strings.Count(report, "PASS") != 3 {
+		t.Fatalf("report:\n%s", report)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                  // empty
+		"when workload=*",                   // missing expect
+		"expect",                            // missing expression
+		"when =* expect count(*)=1",         // missing column
+		"when a * expect count(*)=1",        // missing operator
+		"expect frobnicate(a,b)",            // unknown function treated as... compare error
+		"expect sublinear(a)",               // wrong arity
+		"expect within(a, 1)",               // wrong arity
+		"expect avg() > 1",                  // aggregate needs column
+		"expect bogus(x) > 1",               // unknown aggregate
+		"when a<b expect count(*)=1",        // ordering clause needs number
+		"expect a ~ b",                      // bad operator char
+		"expect 'unterminated",              // unterminated string
+		"when a=* or b=* expect count(*)=1", // when uses 'and' only
+	}
+	for _, src := range cases {
+		if _, err := ParseFile(src); err == nil {
+			t.Errorf("ParseFile(%q) should fail", src)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	tb := gassyfsTable(t)
+	ev := NewEvaluator()
+	for _, src := range []string{
+		"when ghost=* expect count(*) = 1",     // unknown when column
+		"expect sublinear(ghost, time)",        // unknown x column
+		"expect sublinear(nodes, ghost)",       // unknown y column
+		"expect avg(ghost) > 0",                // unknown agg column
+		"expect sublinear(workload, time)",     // non-numeric x
+		"expect machine > 3",                   // non-numeric row compare
+		"expect machine < 'abc'",               // string ordering unsupported
+		"expect sublinear(nodes, time, nodes)", // tolerance must be numeric... accepted as default; skip
+	} {
+		a, err := Parse(src)
+		if err != nil {
+			continue // some cases fail at parse; fine
+		}
+		if _, err := ev.Check(a, tb); err == nil && src != "expect sublinear(nodes, time, nodes)" {
+			t.Errorf("Check(%q) should error", src)
+		}
+	}
+}
+
+func TestScalingNeedsTwoPoints(t *testing.T) {
+	tb := table.New("n", "y")
+	tb.MustAppend(table.Number(4), table.Number(10))
+	tb.MustAppend(table.Number(4), table.Number(11))
+	a, _ := Parse("expect sublinear(n,y)")
+	if _, err := NewEvaluator().Check(a, tb); err == nil {
+		t.Fatal("single distinct x must error")
+	}
+}
+
+func TestScalingRequiresPositive(t *testing.T) {
+	tb := table.New("n", "y")
+	tb.MustAppend(table.Number(1), table.Number(-5))
+	tb.MustAppend(table.Number(2), table.Number(5))
+	a, _ := Parse("expect sublinear(n,y)")
+	if _, err := NewEvaluator().Check(a, tb); err == nil {
+		t.Fatal("negative y must error for log-log fit")
+	}
+}
+
+func TestPairwiseMethodStricter(t *testing.T) {
+	// Series that is sublinear on average but has one superlinear jump.
+	tb := table.New("n", "y")
+	tb.MustAppend(table.Number(1), table.Number(1))
+	tb.MustAppend(table.Number(2), table.Number(1.2)) // slope 0.26
+	tb.MustAppend(table.Number(4), table.Number(3.0)) // slope 1.32 (jump)
+	tb.MustAppend(table.Number(8), table.Number(3.3)) // slope 0.14
+	a, _ := Parse("expect sublinear(n,y)")
+
+	reg := NewEvaluator()
+	res, err := reg.Check(a, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("regression method should pass: %s", res.String())
+	}
+
+	pw := &Evaluator{Method: SlopePairwise, DefaultTol: 0.05}
+	res, err = pw.Check(a, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatal("pairwise method must catch the superlinear jump")
+	}
+}
+
+func TestGroupingIsolation(t *testing.T) {
+	// One machine scales sublinearly, the other linearly: the grouped
+	// assertion must fail overall but identify only the bad group.
+	tb := table.New("machine", "nodes", "time")
+	for _, n := range []float64{1, 2, 4, 8} {
+		tb.MustAppend(table.String("good"), table.Number(n), table.Number(100/math.Pow(n, 0.6)))
+		tb.MustAppend(table.String("bad"), table.Number(n), table.Number(100/n))
+	}
+	res := mustCheck(t, "when machine=* expect sublinear(nodes,time)", tb)
+	if res.Passed {
+		t.Fatal("should fail overall")
+	}
+	var goodPassed, badPassed bool
+	for _, g := range res.Groups {
+		switch g.Keys["machine"] {
+		case "good":
+			goodPassed = g.Passed
+		case "bad":
+			badPassed = g.Passed
+		}
+	}
+	if !goodPassed || badPassed {
+		t.Fatalf("group isolation broken: good=%v bad=%v", goodPassed, badPassed)
+	}
+	if !strings.Contains(res.String(), "machine=bad") {
+		t.Fatalf("report should name failing group:\n%s", res.String())
+	}
+}
+
+func TestCommentsInSource(t *testing.T) {
+	src := `
+# This validates the scalability claim from Section 5.2
+when workload=*   # every workload
+expect sublinear(nodes, time)  # must scale sublinearly
+`
+	a, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.When[0].Column != "workload" {
+		t.Fatalf("when = %+v", a.When)
+	}
+}
+
+func mustCheck(t *testing.T, src string, tb *table.Table) Result {
+	t.Helper()
+	a, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	res, err := NewEvaluator().Check(a, tb)
+	if err != nil {
+		t.Fatalf("Check(%q): %v", src, err)
+	}
+	return res
+}
+
+// Property: for y = x^k, sublinear passes iff |k| < 1 - tol (regression
+// method, exact power law).
+func TestQuickPowerLawClassification(t *testing.T) {
+	f := func(kRaw int8) bool {
+		k := float64(kRaw) / 64.0 // k in (-2, 2)
+		tb := table.New("x", "y")
+		for _, x := range []float64{1, 2, 4, 8, 16} {
+			tb.MustAppend(table.Number(x), table.Number(math.Pow(x, k)))
+		}
+		a, _ := Parse("expect sublinear(x,y)")
+		res, err := NewEvaluator().Check(a, tb)
+		if err != nil {
+			// k such that y==0? impossible for powers; treat as failure
+			return false
+		}
+		want := math.Abs(k) < 0.95
+		return res.Passed == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: within(y, min, max) always passes when bounds enclose data.
+func TestQuickWithinEnclosing(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e250 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		tb := table.New("y")
+		lo, hi := clean[0], clean[0]
+		for _, v := range clean {
+			tb.MustAppend(table.Number(v))
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		a, err := Parse("expect within(y, -1e300, 1e300)")
+		if err != nil {
+			return false
+		}
+		res, err := NewEvaluator().Check(a, tb)
+		return err == nil && res.Passed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArithmeticTerms(t *testing.T) {
+	// The paper's example: "the runtime of our algorithm is 10x better
+	// than the baseline".
+	tb := table.New("algo_time", "baseline_time")
+	tb.MustAppend(table.Number(10), table.Number(120))
+	tb.MustAppend(table.Number(11), table.Number(130))
+
+	cases := []struct {
+		src  string
+		pass bool
+	}{
+		{"expect avg(baseline_time) > 10 * avg(algo_time)", true},
+		{"expect avg(baseline_time) > 15 * avg(algo_time)", false},
+		{"expect baseline_time > 10 * algo_time", true}, // row level
+		{"expect avg(baseline_time) / avg(algo_time) > 10", true},
+		{"expect 2 * 3 * avg(algo_time) > 60", true}, // chained factors
+		{"expect sum(baseline_time) / count(*) > 100", true},
+	}
+	for _, c := range cases {
+		res := mustCheck(t, c.src, tb)
+		if res.Passed != c.pass {
+			t.Errorf("%q: passed=%v, want %v (%s)", c.src, res.Passed, c.pass, res.String())
+		}
+	}
+}
+
+func TestArithmeticErrors(t *testing.T) {
+	tb := table.New("x")
+	tb.MustAppend(table.Number(1))
+	// strings in arithmetic rejected at parse time
+	if _, err := Parse("expect 'a' * 2 > 1"); err == nil {
+		t.Fatal("string arithmetic must fail to parse")
+	}
+	// division by zero surfaces at evaluation
+	a, err := Parse("expect avg(x) / 0 > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEvaluator().Check(a, tb); err == nil {
+		t.Fatal("division by zero must error")
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	tb := table.New("nodes", "time")
+	for _, n := range []float64{1, 2, 4, 8} {
+		tb.MustAppend(table.Number(n), table.Number(100/math.Pow(n, 0.7)))
+	}
+	a, err := Parse("WHEN nodes > 0 EXPECT SUBLINEAR(nodes, time) AND count(*) = 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewEvaluator().Check(a, tb)
+	if err != nil || !res.Passed {
+		t.Fatalf("uppercase keywords: %v, %v", err, res.String())
+	}
+}

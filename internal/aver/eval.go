@@ -1,0 +1,715 @@
+package aver
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"popper/internal/table"
+)
+
+// SlopeMethod selects how scaling tests estimate the growth exponent.
+type SlopeMethod int
+
+// Slope estimation methods (the DESIGN.md ablation compares them).
+const (
+	// SlopeRegression fits least squares on (ln x, ln y) over the group
+	// means — robust to noise, the default.
+	SlopeRegression SlopeMethod = iota
+	// SlopePairwise requires every consecutive pair of x values to
+	// satisfy the bound individually — stricter, noise-sensitive.
+	SlopePairwise
+)
+
+// Evaluator checks assertions against result tables.
+type Evaluator struct {
+	// Method selects the slope estimator for scaling tests.
+	Method SlopeMethod
+	// DefaultTol is the tolerance used when an assertion does not pass
+	// one explicitly (scaling tests and constant()).
+	DefaultTol float64
+}
+
+// NewEvaluator returns an evaluator with the default configuration.
+func NewEvaluator() *Evaluator {
+	return &Evaluator{Method: SlopeRegression, DefaultTol: 0.05}
+}
+
+// GroupResult is the outcome of an assertion on one `when` group.
+type GroupResult struct {
+	Keys   map[string]string // wildcard column -> value
+	Passed bool
+	Detail string
+}
+
+// Result is the outcome of one assertion over a table.
+type Result struct {
+	Assertion *Assertion
+	Passed    bool
+	Groups    []GroupResult
+}
+
+// String renders a validation report line.
+func (r Result) String() string {
+	status := "PASS"
+	if !r.Passed {
+		status = "FAIL"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  %s", status, r.Assertion.Source)
+	for _, g := range r.Groups {
+		if !g.Passed {
+			fmt.Fprintf(&sb, "\n      group %v: %s", formatKeys(g.Keys), g.Detail)
+		}
+	}
+	return sb.String()
+}
+
+func formatKeys(keys map[string]string) string {
+	if len(keys) == 0 {
+		return "(all rows)"
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = k + "=" + keys[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+// Check evaluates an assertion against a results table.
+func (e *Evaluator) Check(a *Assertion, t *table.Table) (Result, error) {
+	res := Result{Assertion: a, Passed: true}
+	filtered, wildcards, err := applyWhen(a.When, t)
+	if err != nil {
+		return res, err
+	}
+	groups, err := splitGroups(filtered, wildcards)
+	if err != nil {
+		return res, err
+	}
+	if len(groups) == 0 {
+		return Result{Assertion: a, Passed: false, Groups: []GroupResult{{
+			Keys: map[string]string{}, Passed: false,
+			Detail: "no rows matched the when clause",
+		}}}, nil
+	}
+	for _, g := range groups {
+		passed, detail, err := e.evalExpr(a.Expect, g.rows)
+		if err != nil {
+			return res, err
+		}
+		gr := GroupResult{Keys: g.keys, Passed: passed, Detail: detail}
+		if !passed {
+			res.Passed = false
+		}
+		res.Groups = append(res.Groups, gr)
+	}
+	return res, nil
+}
+
+// CheckAll evaluates every assertion in a validations file.
+func (e *Evaluator) CheckAll(src string, t *table.Table) ([]Result, error) {
+	asserts, err := ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(asserts))
+	for _, a := range asserts {
+		r, err := e.Check(a, t)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// AllPassed reports whether every result passed.
+func AllPassed(results []Result) bool {
+	for _, r := range results {
+		if !r.Passed {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatResults renders a full validation report.
+func FormatResults(results []Result) string {
+	var sb strings.Builder
+	for _, r := range results {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// applyWhen filters rows by non-wildcard clauses and collects wildcard
+// column names.
+func applyWhen(clauses []Clause, t *table.Table) (*table.Table, []string, error) {
+	cur := t
+	var wildcards []string
+	for _, cl := range clauses {
+		if !cur.HasColumn(cl.Column) {
+			return nil, nil, fmt.Errorf("aver: when clause references unknown column %q", cl.Column)
+		}
+		if cl.Wildcard {
+			wildcards = append(wildcards, cl.Column)
+			continue
+		}
+		cl := cl
+		cur = cur.Filter(func(row int) bool {
+			v := cur.MustCell(row, cl.Column)
+			return clauseMatches(cl, v)
+		})
+	}
+	return cur, wildcards, nil
+}
+
+func clauseMatches(cl Clause, v table.Value) bool {
+	if cl.IsNum {
+		if !v.IsNum {
+			return false
+		}
+		return compareFloats(v.Num, cl.Op, cl.Num)
+	}
+	switch cl.Op {
+	case "=":
+		return v.Text() == cl.Str
+	case "!=":
+		return v.Text() != cl.Str
+	}
+	return false
+}
+
+func compareFloats(a float64, op string, b float64) bool {
+	switch op {
+	case "=":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case ">":
+		return a > b
+	case "<=":
+		return a <= b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+type group struct {
+	keys map[string]string
+	rows *table.Table
+}
+
+func splitGroups(t *table.Table, wildcards []string) ([]group, error) {
+	if t.Len() == 0 {
+		return nil, nil
+	}
+	if len(wildcards) == 0 {
+		return []group{{keys: map[string]string{}, rows: t}}, nil
+	}
+	type bucket struct {
+		keys map[string]string
+		idx  []int
+	}
+	var order []string
+	buckets := make(map[string]*bucket)
+	for r := 0; r < t.Len(); r++ {
+		var kb strings.Builder
+		keys := make(map[string]string, len(wildcards))
+		for _, w := range wildcards {
+			v := t.MustCell(r, w).Text()
+			keys[w] = v
+			kb.WriteString(v)
+			kb.WriteByte(0)
+		}
+		b, ok := buckets[kb.String()]
+		if !ok {
+			b = &bucket{keys: keys}
+			buckets[kb.String()] = b
+			order = append(order, kb.String())
+		}
+		b.idx = append(b.idx, r)
+	}
+	out := make([]group, 0, len(order))
+	for _, k := range order {
+		b := buckets[k]
+		member := make(map[int]bool, len(b.idx))
+		for _, i := range b.idx {
+			member[i] = true
+		}
+		out = append(out, group{keys: b.keys, rows: t.Filter(func(r int) bool { return member[r] })})
+	}
+	return out, nil
+}
+
+func (e *Evaluator) evalExpr(expr Expr, t *table.Table) (bool, string, error) {
+	switch ex := expr.(type) {
+	case LogicalExpr:
+		lp, ld, err := e.evalExpr(ex.Left, t)
+		if err != nil {
+			return false, "", err
+		}
+		if ex.Op == "and" {
+			if !lp {
+				return false, ld, nil
+			}
+			return e.evalExpr(ex.Right, t)
+		}
+		// or
+		if lp {
+			return true, ld, nil
+		}
+		rp, rd, err := e.evalExpr(ex.Right, t)
+		if err != nil {
+			return false, "", err
+		}
+		if rp {
+			return true, rd, nil
+		}
+		return false, ld + "; " + rd, nil
+	case CallExpr:
+		return e.evalCall(ex, t)
+	case CompareExpr:
+		return e.evalCompare(ex, t)
+	}
+	return false, "", fmt.Errorf("aver: unknown expression %T", expr)
+}
+
+func (e *Evaluator) tol(args []Operand, base int) float64 {
+	if len(args) > base {
+		if args[base].Kind == OpNumber {
+			return args[base].Num
+		}
+	}
+	return e.DefaultTol
+}
+
+func (e *Evaluator) evalCall(c CallExpr, t *table.Table) (bool, string, error) {
+	colOf := func(i int) (string, error) {
+		if c.Args[i].Kind != OpColumn {
+			return "", fmt.Errorf("aver: %s: argument %d must be a column name", c.Func, i+1)
+		}
+		col := c.Args[i].Col
+		if !t.HasColumn(col) {
+			return "", fmt.Errorf("aver: %s: unknown column %q", c.Func, col)
+		}
+		return col, nil
+	}
+	switch c.Func {
+	case "sublinear", "linear", "superlinear":
+		xcol, err := colOf(0)
+		if err != nil {
+			return false, "", err
+		}
+		ycol, err := colOf(1)
+		if err != nil {
+			return false, "", err
+		}
+		slope, err := e.scalingSlope(t, xcol, ycol)
+		if err != nil {
+			return false, "", err
+		}
+		tol := e.tol(c.Args, 2)
+		mag := math.Abs(slope)
+		var ok bool
+		switch c.Func {
+		case "sublinear":
+			ok = mag < 1-tol
+		case "linear":
+			ok = math.Abs(mag-1) <= tol
+		case "superlinear":
+			ok = mag > 1+tol
+		}
+		return ok, fmt.Sprintf("%s(%s,%s): slope=%.3f tol=%.3g", c.Func, xcol, ycol, slope, tol), nil
+	case "increasing", "decreasing":
+		xcol, err := colOf(0)
+		if err != nil {
+			return false, "", err
+		}
+		ycol, err := colOf(1)
+		if err != nil {
+			return false, "", err
+		}
+		xs, ys, err := meansByX(t, xcol, ycol)
+		if err != nil {
+			return false, "", err
+		}
+		if len(xs) < 2 {
+			return false, fmt.Sprintf("%s(%s,%s): need at least 2 distinct %s values", c.Func, xcol, ycol, xcol), nil
+		}
+		ok := true
+		for i := 1; i < len(ys); i++ {
+			if c.Func == "increasing" && ys[i] <= ys[i-1] {
+				ok = false
+			}
+			if c.Func == "decreasing" && ys[i] >= ys[i-1] {
+				ok = false
+			}
+		}
+		return ok, fmt.Sprintf("%s(%s,%s) over %d points", c.Func, xcol, ycol, len(xs)), nil
+	case "constant":
+		ycol, err := colOf(0)
+		if err != nil {
+			return false, "", err
+		}
+		ys, err := numericColumn(t, ycol)
+		if err != nil {
+			return false, "", err
+		}
+		tol := e.tol(c.Args, 1)
+		cv := table.CoeffVar(ys)
+		if math.IsNaN(cv) {
+			return false, fmt.Sprintf("constant(%s): undefined CV (zero mean or empty)", ycol), nil
+		}
+		return cv <= tol, fmt.Sprintf("constant(%s): cv=%.4f tol=%.3g", ycol, cv, tol), nil
+	case "within":
+		ycol, err := colOf(0)
+		if err != nil {
+			return false, "", err
+		}
+		if c.Args[1].Kind != OpNumber || c.Args[2].Kind != OpNumber {
+			return false, "", fmt.Errorf("aver: within bounds must be numbers")
+		}
+		lo, hi := c.Args[1].Num, c.Args[2].Num
+		ys, err := numericColumn(t, ycol)
+		if err != nil {
+			return false, "", err
+		}
+		for _, y := range ys {
+			if y < lo || y > hi {
+				return false, fmt.Sprintf("within(%s,%g,%g): value %g out of range", ycol, lo, hi, y), nil
+			}
+		}
+		return true, fmt.Sprintf("within(%s,%g,%g): %d values", ycol, lo, hi, len(ys)), nil
+	}
+	return false, "", fmt.Errorf("aver: unknown test function %q", c.Func)
+}
+
+// scalingSlope estimates d(ln y)/d(ln x) per the evaluator's method.
+func (e *Evaluator) scalingSlope(t *table.Table, xcol, ycol string) (float64, error) {
+	xs, ys, err := meansByX(t, xcol, ycol)
+	if err != nil {
+		return 0, err
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("aver: scaling test needs at least 2 distinct %s values, have %d", xcol, len(xs))
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, fmt.Errorf("aver: scaling test requires positive %s and %s values", xcol, ycol)
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	switch e.Method {
+	case SlopePairwise:
+		// Worst-case (largest magnitude) pairwise slope: the strictest
+		// reading of "sublinear everywhere".
+		worst := 0.0
+		for i := 1; i < len(lx); i++ {
+			s := (ly[i] - ly[i-1]) / (lx[i] - lx[i-1])
+			if math.Abs(s) > math.Abs(worst) {
+				worst = s
+			}
+		}
+		return worst, nil
+	default:
+		mx, my := table.Mean(lx), table.Mean(ly)
+		num, den := 0.0, 0.0
+		for i := range lx {
+			num += (lx[i] - mx) * (ly[i] - my)
+			den += (lx[i] - mx) * (lx[i] - mx)
+		}
+		if den == 0 {
+			return 0, fmt.Errorf("aver: all %s values identical", xcol)
+		}
+		return num / den, nil
+	}
+}
+
+// meansByX aggregates mean y per distinct numeric x, sorted by x.
+func meansByX(t *table.Table, xcol, ycol string) ([]float64, []float64, error) {
+	xs, err := numericColumn(t, xcol)
+	if err != nil {
+		return nil, nil, err
+	}
+	ys, err := numericColumn(t, ycol)
+	if err != nil {
+		return nil, nil, err
+	}
+	sums := make(map[float64]float64)
+	counts := make(map[float64]int)
+	for i := range xs {
+		sums[xs[i]] += ys[i]
+		counts[xs[i]]++
+	}
+	ux := make([]float64, 0, len(sums))
+	for x := range sums {
+		ux = append(ux, x)
+	}
+	sort.Float64s(ux)
+	uy := make([]float64, len(ux))
+	for i, x := range ux {
+		uy[i] = sums[x] / float64(counts[x])
+	}
+	return ux, uy, nil
+}
+
+func numericColumn(t *table.Table, col string) ([]float64, error) {
+	if !t.HasColumn(col) {
+		return nil, fmt.Errorf("aver: unknown column %q", col)
+	}
+	vs, err := t.Floats(col)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range vs {
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("aver: column %q row %d is not numeric", col, i)
+		}
+	}
+	return vs, nil
+}
+
+func (e *Evaluator) evalCompare(c CompareExpr, t *table.Table) (bool, string, error) {
+	// A bare word that names no column is a string literal
+	// (machine = cloudlab); only plain single-operand terms qualify.
+	if len(c.Left.Factors) == 0 && len(c.Right.Factors) == 0 {
+		l, r := c.Left.First, c.Right.First
+		if l.Kind == OpColumn && !t.HasColumn(l.Col) && r.Kind == OpColumn && t.HasColumn(r.Col) {
+			c.Left = termOf(Operand{Kind: OpString, Str: l.Col})
+		}
+		if r.Kind == OpColumn && !t.HasColumn(r.Col) && l.Kind == OpColumn && t.HasColumn(l.Col) {
+			c.Right = termOf(Operand{Kind: OpString, Str: r.Col})
+		}
+		// String comparisons are row-level equality tests.
+		if c.Left.First.Kind == OpString || c.Right.First.Kind == OpString {
+			return e.evalStringCompare(c, t)
+		}
+	}
+	rowLevel := termHasColumn(c.Left) || termHasColumn(c.Right)
+	if !rowLevel {
+		lv, err := e.termScalar(c.Left, t)
+		if err != nil {
+			return false, "", err
+		}
+		rv, err := e.termScalar(c.Right, t)
+		if err != nil {
+			return false, "", err
+		}
+		ok := compareFloats(lv, c.Op, rv)
+		return ok, fmt.Sprintf("%s %s %s: %.4g %s %.4g",
+			describeTerm(c.Left), c.Op, describeTerm(c.Right), lv, c.Op, rv), nil
+	}
+	// Row-level: every row must satisfy.
+	if t.Len() == 0 {
+		return false, "no rows", nil
+	}
+	for r := 0; r < t.Len(); r++ {
+		lv, err := e.termRow(c.Left, t, r)
+		if err != nil {
+			return false, "", err
+		}
+		rv, err := e.termRow(c.Right, t, r)
+		if err != nil {
+			return false, "", err
+		}
+		if !compareFloats(lv, c.Op, rv) {
+			return false, fmt.Sprintf("row %d: %.4g %s %.4g is false", r, lv, c.Op, rv), nil
+		}
+	}
+	return true, fmt.Sprintf("%s %s %s holds for all %d rows",
+		describeTerm(c.Left), c.Op, describeTerm(c.Right), t.Len()), nil
+}
+
+func termHasColumn(t Term) bool {
+	if t.First.Kind == OpColumn {
+		return true
+	}
+	for _, f := range t.Factors {
+		if f.Operand.Kind == OpColumn {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Evaluator) termScalar(term Term, t *table.Table) (float64, error) {
+	v, err := e.operandScalar(term.First, t)
+	if err != nil {
+		return 0, err
+	}
+	return e.applyFactors(v, term.Factors, t, -1)
+}
+
+func (e *Evaluator) termRow(term Term, t *table.Table, row int) (float64, error) {
+	v, err := e.operandRow(term.First, t, row)
+	if err != nil {
+		return 0, err
+	}
+	return e.applyFactors(v, term.Factors, t, row)
+}
+
+func (e *Evaluator) applyFactors(v float64, factors []Factor, t *table.Table, row int) (float64, error) {
+	for _, f := range factors {
+		var fv float64
+		var err error
+		if row >= 0 {
+			fv, err = e.operandRow(f.Operand, t, row)
+		} else {
+			fv, err = e.operandScalar(f.Operand, t)
+		}
+		if err != nil {
+			return 0, err
+		}
+		switch f.Op {
+		case '*':
+			v *= fv
+		case '/':
+			if fv == 0 {
+				return 0, fmt.Errorf("aver: division by zero in term")
+			}
+			v /= fv
+		}
+	}
+	return v, nil
+}
+
+func describeTerm(t Term) string {
+	s := describe(t.First)
+	for _, f := range t.Factors {
+		s += " " + string(f.Op) + " " + describe(f.Operand)
+	}
+	return s
+}
+
+func (e *Evaluator) evalStringCompare(c CompareExpr, t *table.Table) (bool, string, error) {
+	if c.Op != "=" && c.Op != "!=" {
+		return false, "", fmt.Errorf("aver: string comparison supports only = and !=")
+	}
+	col, lit := c.Left.First, c.Right.First
+	if col.Kind == OpString {
+		col, lit = lit, col
+	}
+	if col.Kind != OpColumn {
+		return false, "", fmt.Errorf("aver: string comparison needs a column operand")
+	}
+	if !t.HasColumn(col.Col) {
+		return false, "", fmt.Errorf("aver: unknown column %q", col.Col)
+	}
+	if t.Len() == 0 {
+		return false, "no rows", nil
+	}
+	for r := 0; r < t.Len(); r++ {
+		got := t.MustCell(r, col.Col).Text()
+		ok := got == lit.Str
+		if c.Op == "!=" {
+			ok = !ok
+		}
+		if !ok {
+			return false, fmt.Sprintf("row %d: %s=%q fails %s %q", r, col.Col, got, c.Op, lit.Str), nil
+		}
+	}
+	return true, fmt.Sprintf("%s %s %q for all rows", col.Col, c.Op, lit.Str), nil
+}
+
+func (e *Evaluator) operandScalar(o Operand, t *table.Table) (float64, error) {
+	switch o.Kind {
+	case OpNumber:
+		return o.Num, nil
+	case OpAgg:
+		return e.aggregate(o, t)
+	}
+	return 0, fmt.Errorf("aver: operand %s is not scalar", describe(o))
+}
+
+func (e *Evaluator) operandRow(o Operand, t *table.Table, row int) (float64, error) {
+	switch o.Kind {
+	case OpNumber:
+		return o.Num, nil
+	case OpAgg:
+		return e.aggregate(o, t)
+	case OpColumn:
+		if !t.HasColumn(o.Col) {
+			return 0, fmt.Errorf("aver: unknown column %q", o.Col)
+		}
+		v := t.MustCell(row, o.Col)
+		if !v.IsNum {
+			return 0, fmt.Errorf("aver: column %q row %d is not numeric", o.Col, row)
+		}
+		return v.Num, nil
+	}
+	return 0, fmt.Errorf("aver: bad operand")
+}
+
+func (e *Evaluator) aggregate(o Operand, t *table.Table) (float64, error) {
+	if o.Agg == "count" {
+		return float64(t.Len()), nil
+	}
+	ys, err := numericColumn(t, o.Col)
+	if err != nil {
+		return 0, err
+	}
+	if len(ys) == 0 {
+		return 0, fmt.Errorf("aver: %s(%s) over empty group", o.Agg, o.Col)
+	}
+	switch o.Agg {
+	case "avg":
+		return table.Mean(ys), nil
+	case "sum":
+		return table.Sum(ys), nil
+	case "min":
+		m := ys[0]
+		for _, y := range ys[1:] {
+			if y < m {
+				m = y
+			}
+		}
+		return m, nil
+	case "max":
+		m := ys[0]
+		for _, y := range ys[1:] {
+			if y > m {
+				m = y
+			}
+		}
+		return m, nil
+	case "median":
+		return table.Median(ys), nil
+	case "stddev":
+		return table.StdDev(ys), nil
+	case "cv":
+		return table.CoeffVar(ys), nil
+	}
+	return 0, fmt.Errorf("aver: unknown aggregate %q", o.Agg)
+}
+
+func describe(o Operand) string {
+	switch o.Kind {
+	case OpNumber:
+		return fmt.Sprintf("%g", o.Num)
+	case OpString:
+		return fmt.Sprintf("%q", o.Str)
+	case OpColumn:
+		return o.Col
+	case OpAgg:
+		if o.Agg == "count" && o.Col == "" {
+			return "count(*)"
+		}
+		return o.Agg + "(" + o.Col + ")"
+	}
+	return "?"
+}

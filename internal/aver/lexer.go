@@ -1,0 +1,154 @@
+// Package aver implements the Aver language from the paper: a declarative
+// notation for expressing and checking statements about experiment
+// metrics ("corroborate statements about the runtime metrics gathered of
+// an experiment").
+//
+// An assertion has the form
+//
+//	when
+//	  workload=* and machine=*
+//	expect
+//	  sublinear(nodes, time)
+//
+// The `when` clause selects and groups rows of a results table: `col=value`
+// filters, `col=*` groups (the expectation must hold independently in
+// every group), and numeric comparisons such as `threads>4` filter rows.
+// The `expect` clause is a boolean combination of scaling tests
+// (sublinear, linear, superlinear, constant, increasing, decreasing),
+// range tests (within) and comparisons over aggregates (avg, min, max,
+// count, median, stddev, cv) or raw columns.
+//
+// A validations file (validations.aver) holds one or more assertions
+// separated by semicolons; '#' starts a comment.
+package aver
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokStar
+	tokLParen
+	tokRParen
+	tokComma
+	tokSemi
+	tokSlash
+	tokOp // = != < > <= >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes Aver source. Keywords (when, expect, and, or) are
+// returned as identifiers and classified by the parser.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '#': // comment to end of line
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == ';':
+			toks = append(toks, token{tokSemi, ";", i})
+			i++
+		case c == '/':
+			toks = append(toks, token{tokSlash, "/", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("aver: offset %d: unexpected '!'", i)
+			}
+		case c == '<' || c == '>':
+			op := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op, i})
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < len(src) && src[j] != quote {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("aver: offset %d: unterminated string", i)
+			}
+			toks = append(toks, token{tokString, src[i+1 : j], i})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i + 1
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' || src[j] == 'e' ||
+				src[j] == 'E' || (src[j] == '-' || src[j] == '+') && (src[j-1] == 'e' || src[j-1] == 'E')) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("aver: offset %d: unexpected character %q", i, string(c))
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.'
+}
+
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

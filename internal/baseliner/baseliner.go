@@ -1,0 +1,173 @@
+// Package baseliner implements the baseline-performance gate the paper
+// describes under automated validation: "if the baseline performance
+// cannot be reproduced, there is no point in executing the experiment".
+//
+// A Fingerprint is the stress-battery throughput profile of a platform
+// (plus the orchestration facts gathered from it). Popper repositories
+// store the fingerprint taken when an experiment's results were recorded;
+// before re-execution the gate re-profiles the machine and refuses to run
+// when the profiles diverge beyond tolerance — distinguishing "the code
+// regressed" from "the platform changed".
+package baseliner
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"popper/internal/cluster"
+	"popper/internal/stress"
+	"popper/internal/table"
+)
+
+// Fingerprint is a platform's baseline performance profile.
+type Fingerprint struct {
+	Machine string            `json:"machine"`
+	Facts   map[string]string `json:"facts"`
+	// Throughput maps stressor name to bogo-ops per virtual second.
+	Throughput map[string]float64 `json:"throughput"`
+}
+
+// Collect profiles a node with `ops` bogo-ops per stressor.
+func Collect(node *cluster.Node, ops int) *Fingerprint {
+	fp := &Fingerprint{
+		Machine:    node.Profile().Name,
+		Facts:      node.Facts(),
+		Throughput: make(map[string]float64),
+	}
+	for _, s := range stress.RunBattery(node, ops) {
+		fp.Throughput[s.Stressor] = s.Throughput
+	}
+	return fp
+}
+
+// Encode serializes a fingerprint for storage in a Popper repository.
+func (fp *Fingerprint) Encode() []byte {
+	b, _ := json.MarshalIndent(fp, "", "  ")
+	return append(b, '\n')
+}
+
+// Decode parses a stored fingerprint.
+func Decode(b []byte) (*Fingerprint, error) {
+	var fp Fingerprint
+	if err := json.Unmarshal(b, &fp); err != nil {
+		return nil, fmt.Errorf("baseliner: decoding fingerprint: %w", err)
+	}
+	if fp.Machine == "" || len(fp.Throughput) == 0 {
+		return nil, fmt.Errorf("baseliner: fingerprint missing machine or throughputs")
+	}
+	return &fp, nil
+}
+
+// Table exports the fingerprint as a results table.
+func (fp *Fingerprint) Table() *table.Table {
+	t := table.New("machine", "stressor", "throughput")
+	names := make([]string, 0, len(fp.Throughput))
+	for n := range fp.Throughput {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t.MustAppend(table.String(fp.Machine), table.String(n), table.Number(fp.Throughput[n]))
+	}
+	return t
+}
+
+// Deviation is one stressor's relative difference between fingerprints.
+type Deviation struct {
+	Stressor string
+	Recorded float64
+	Current  float64
+	// Ratio is Current/Recorded; 1.0 means identical.
+	Ratio float64
+}
+
+// GateResult is the outcome of a baseline comparison.
+type GateResult struct {
+	Passed     bool
+	Tolerance  float64
+	Deviations []Deviation // all stressors, sorted by |log ratio| descending
+}
+
+// Failures returns the deviations outside tolerance.
+func (g GateResult) Failures() []Deviation {
+	var out []Deviation
+	for _, d := range g.Deviations {
+		if !withinTol(d.Ratio, g.Tolerance) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// String renders a gate report.
+func (g GateResult) String() string {
+	var sb strings.Builder
+	status := "PASS"
+	if !g.Passed {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&sb, "baseline gate: %s (tolerance ±%.0f%%)\n", status, g.Tolerance*100)
+	for _, d := range g.Failures() {
+		fmt.Fprintf(&sb, "  %-14s recorded=%.4g current=%.4g ratio=%.3f\n",
+			d.Stressor, d.Recorded, d.Current, d.Ratio)
+	}
+	return sb.String()
+}
+
+func withinTol(ratio, tol float64) bool {
+	return ratio >= 1-tol && ratio <= 1+tol
+}
+
+// Compare checks a current fingerprint against the recorded baseline.
+// Every stressor must agree within the relative tolerance, and the two
+// fingerprints must cover the same stressor set.
+func Compare(recorded, current *Fingerprint, tol float64) (GateResult, error) {
+	if tol <= 0 || tol >= 1 {
+		return GateResult{}, fmt.Errorf("baseliner: tolerance %g out of (0,1)", tol)
+	}
+	if len(recorded.Throughput) == 0 || len(current.Throughput) == 0 {
+		return GateResult{}, fmt.Errorf("baseliner: empty fingerprint")
+	}
+	res := GateResult{Passed: true, Tolerance: tol}
+	for name, rec := range recorded.Throughput {
+		cur, ok := current.Throughput[name]
+		if !ok {
+			return GateResult{}, fmt.Errorf("baseliner: current fingerprint missing stressor %q", name)
+		}
+		if rec <= 0 {
+			return GateResult{}, fmt.Errorf("baseliner: recorded throughput for %q is not positive", name)
+		}
+		d := Deviation{Stressor: name, Recorded: rec, Current: cur, Ratio: cur / rec}
+		res.Deviations = append(res.Deviations, d)
+		if !withinTol(d.Ratio, tol) {
+			res.Passed = false
+		}
+	}
+	for name := range current.Throughput {
+		if _, ok := recorded.Throughput[name]; !ok {
+			return GateResult{}, fmt.Errorf("baseliner: recorded fingerprint missing stressor %q", name)
+		}
+	}
+	sort.Slice(res.Deviations, func(i, j int) bool {
+		return math.Abs(math.Log(res.Deviations[i].Ratio)) > math.Abs(math.Log(res.Deviations[j].Ratio))
+	})
+	return res, nil
+}
+
+// Gate re-profiles a node and compares against the recorded baseline;
+// it returns an error when the platform diverges — the caller must not
+// run the experiment in that case.
+func Gate(recorded *Fingerprint, node *cluster.Node, ops int, tol float64) (GateResult, error) {
+	current := Collect(node, ops)
+	res, err := Compare(recorded, current, tol)
+	if err != nil {
+		return res, err
+	}
+	if !res.Passed {
+		return res, fmt.Errorf("baseliner: platform diverges from recorded baseline:\n%s", res.String())
+	}
+	return res, nil
+}

@@ -1,0 +1,167 @@
+package baseliner
+
+import (
+	"strings"
+	"testing"
+
+	"popper/internal/cluster"
+	"popper/internal/stress"
+)
+
+func node(t *testing.T, profile string, seed int64) *cluster.Node {
+	t.Helper()
+	c := cluster.New(seed)
+	ns, err := c.Provision(profile, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ns[0]
+}
+
+func TestCollect(t *testing.T) {
+	fp := Collect(node(t, "cloudlab-c220g1", 1), 100)
+	if fp.Machine != "cloudlab-c220g1" {
+		t.Fatalf("machine = %q", fp.Machine)
+	}
+	if len(fp.Throughput) != len(stress.All()) {
+		t.Fatalf("stressors = %d", len(fp.Throughput))
+	}
+	if fp.Facts["cores"] != "16" {
+		t.Fatalf("facts = %v", fp.Facts)
+	}
+	for name, v := range fp.Throughput {
+		if v <= 0 {
+			t.Errorf("%s throughput = %v", name, v)
+		}
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	fp := Collect(node(t, "xeon-2005", 2), 50)
+	back, err := Decode(fp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Machine != fp.Machine || len(back.Throughput) != len(fp.Throughput) {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if _, err := Decode([]byte("junk")); err == nil {
+		t.Fatal("junk must fail")
+	}
+	if _, err := Decode([]byte("{}")); err == nil {
+		t.Fatal("empty fingerprint must fail")
+	}
+}
+
+func TestTableExport(t *testing.T) {
+	fp := Collect(node(t, "xeon-2005", 3), 50)
+	tb := fp.Table()
+	if tb.Len() != len(stress.All()) {
+		t.Fatalf("rows = %d", tb.Len())
+	}
+	if !tb.HasColumn("throughput") {
+		t.Fatal("missing column")
+	}
+}
+
+func TestGatePassesOnSamePlatform(t *testing.T) {
+	recorded := Collect(node(t, "cloudlab-c220g1", 4), 200)
+	fresh := node(t, "cloudlab-c220g1", 99) // same profile, different jitter
+	res, err := Gate(recorded, fresh, 200, 0.10)
+	if err != nil {
+		t.Fatalf("gate should pass on identical platform: %v", err)
+	}
+	if !res.Passed || len(res.Failures()) != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if !strings.Contains(res.String(), "PASS") {
+		t.Fatal("report should say PASS")
+	}
+}
+
+func TestGateFailsAcrossPlatforms(t *testing.T) {
+	// The paper's HDD-vs-network example: an experiment recorded on an
+	// old machine must refuse to run unvalidated on a new one.
+	recorded := Collect(node(t, "xeon-2005", 5), 200)
+	fresh := node(t, "cloudlab-c220g1", 6)
+	res, err := Gate(recorded, fresh, 200, 0.10)
+	if err == nil {
+		t.Fatal("gate must fail across platforms")
+	}
+	if res.Passed {
+		t.Fatal("result should be failed")
+	}
+	fails := res.Failures()
+	if len(fails) != len(stress.All()) {
+		t.Fatalf("every stressor should deviate, got %d", len(fails))
+	}
+	// worst deviation first
+	if len(fails) >= 2 {
+		a := logAbs(fails[0].Ratio)
+		b := logAbs(fails[1].Ratio)
+		if a < b {
+			t.Fatal("deviations not sorted by severity")
+		}
+	}
+	if !strings.Contains(res.String(), "FAIL") {
+		t.Fatal("report should say FAIL")
+	}
+}
+
+func logAbs(r float64) float64 {
+	if r < 1 {
+		r = 1 / r
+	}
+	return r
+}
+
+func TestGateDetectsNoisyNeighbour(t *testing.T) {
+	recorded := Collect(node(t, "probe-opteron", 7), 200)
+	loaded := node(t, "probe-opteron", 8)
+	loaded.SetBackgroundLoad(0.5)
+	if _, err := Gate(recorded, loaded, 200, 0.10); err == nil {
+		t.Fatal("gate must detect a loaded machine")
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	a := Collect(node(t, "xeon-2005", 9), 50)
+	b := Collect(node(t, "xeon-2005", 10), 50)
+	if _, err := Compare(a, b, 0); err == nil {
+		t.Fatal("zero tolerance must fail")
+	}
+	if _, err := Compare(a, b, 1.5); err == nil {
+		t.Fatal("tolerance >= 1 must fail")
+	}
+	// stressor set mismatch
+	c := &Fingerprint{Machine: "x", Throughput: map[string]float64{"cpu": 1}}
+	if _, err := Compare(a, c, 0.1); err == nil {
+		t.Fatal("missing stressors must fail")
+	}
+	if _, err := Compare(c, a, 0.1); err == nil {
+		t.Fatal("extra stressors must fail")
+	}
+	empty := &Fingerprint{Machine: "x", Throughput: map[string]float64{}}
+	if _, err := Compare(empty, empty, 0.1); err == nil {
+		t.Fatal("empty fingerprints must fail")
+	}
+	bad := &Fingerprint{Machine: "x", Throughput: map[string]float64{"cpu": 0}}
+	bad2 := &Fingerprint{Machine: "x", Throughput: map[string]float64{"cpu": 1}}
+	if _, err := Compare(bad, bad2, 0.1); err == nil {
+		t.Fatal("non-positive recorded throughput must fail")
+	}
+}
+
+func TestCompareToleranceBoundary(t *testing.T) {
+	a := &Fingerprint{Machine: "m", Throughput: map[string]float64{"cpu": 100}}
+	within := &Fingerprint{Machine: "m", Throughput: map[string]float64{"cpu": 109}}
+	outside := &Fingerprint{Machine: "m", Throughput: map[string]float64{"cpu": 112}}
+	res, err := Compare(a, within, 0.10)
+	if err != nil || !res.Passed {
+		t.Fatalf("9%% deviation should pass ±10%%: %+v, %v", res, err)
+	}
+	res, err = Compare(a, outside, 0.10)
+	if err != nil || res.Passed {
+		t.Fatalf("12%% deviation should fail ±10%%: %+v, %v", res, err)
+	}
+}

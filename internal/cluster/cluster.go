@@ -1,0 +1,363 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Cluster is a pool of simulated machines, provisioned by profile name
+// the way CloudLab or PRObE lease bare-metal nodes.
+type Cluster struct {
+	mu    sync.Mutex
+	seed  int64
+	next  int
+	nodes map[string]*Node
+}
+
+// New creates an empty cluster. All stochastic behaviour (jitter, noise)
+// derives from seed, so a cluster is reproducible bit-for-bit.
+func New(seed int64) *Cluster {
+	return &Cluster{seed: seed, nodes: make(map[string]*Node)}
+}
+
+// Provision leases n fresh nodes of the named builtin profile.
+func (c *Cluster) Provision(profile string, n int) ([]*Node, error) {
+	p, err := Profile(profile)
+	if err != nil {
+		return nil, err
+	}
+	return c.ProvisionProfile(p, n)
+}
+
+// ProvisionProfile leases n fresh nodes with an explicit profile.
+func (c *Cluster) ProvisionProfile(p *MachineProfile, n int) ([]*Node, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: cannot provision %d nodes", n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Node, n)
+	for i := range out {
+		id := fmt.Sprintf("%s-%d", p.Name, c.next)
+		c.next++
+		node := &Node{
+			id:      id,
+			profile: p,
+			rng:     rand.New(rand.NewSource(c.seed ^ int64(c.next)*0x5851f42d4c957f2d)),
+		}
+		c.nodes[id] = node
+		out[i] = node
+	}
+	return out, nil
+}
+
+// Release returns nodes to the provider; using a released node panics.
+func (c *Cluster) Release(nodes ...*Node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range nodes {
+		n.released = true
+		delete(c.nodes, n.id)
+	}
+}
+
+// Nodes lists currently leased nodes sorted by id.
+func (c *Cluster) Nodes() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Node is one simulated machine with a logical clock.
+type Node struct {
+	mu        sync.Mutex
+	id        string
+	profile   *MachineProfile
+	clock     float64 // virtual seconds since provisioning
+	bgLoad    float64 // background ("noisy neighbour") load in [0,1)
+	rng       *rand.Rand
+	released  bool
+	usedBytes int64 // allocated simulated RAM
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() string { return n.id }
+
+// Profile returns the node's machine profile.
+func (n *Node) Profile() *MachineProfile { return n.profile }
+
+// Now returns the node's logical clock in virtual seconds.
+func (n *Node) Now() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.clock
+}
+
+// AdvanceTo moves the clock forward to at least t (never backwards).
+func (n *Node) AdvanceTo(t float64) {
+	n.mu.Lock()
+	if t > n.clock {
+		n.clock = t
+	}
+	n.mu.Unlock()
+}
+
+// Advance moves the clock forward by d seconds (d must be >= 0).
+func (n *Node) Advance(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("cluster: negative advance %g on %s", d, n.id))
+	}
+	n.mu.Lock()
+	n.clock += d
+	n.mu.Unlock()
+}
+
+// SetBackgroundLoad models noisy neighbours: a fraction of the machine's
+// resources consumed by other tenants. load must be in [0, 0.95].
+func (n *Node) SetBackgroundLoad(load float64) error {
+	if load < 0 || load > 0.95 {
+		return fmt.Errorf("cluster: background load %g out of range [0,0.95]", load)
+	}
+	n.mu.Lock()
+	n.bgLoad = load
+	n.mu.Unlock()
+	return nil
+}
+
+// BackgroundLoad reports the current noisy-neighbour load.
+func (n *Node) BackgroundLoad() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.bgLoad
+}
+
+// jitterFactor draws a multiplicative slowdown >= 1 from the node's RNG.
+// Half-normal: most runs are near nominal, occasional runs are slower —
+// the shape real systems show.
+func (n *Node) jitterFactor() float64 {
+	sigma := n.profile.JitterSigma
+	if sigma == 0 {
+		return 1
+	}
+	return 1 + math.Abs(n.rng.NormFloat64())*sigma
+}
+
+// Run executes work on the node: the duration is computed from the
+// profile, inflated by background load and jitter, the clock advances,
+// and the elapsed virtual seconds are returned.
+func (n *Node) Run(w Work) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.released {
+		panic(fmt.Sprintf("cluster: node %s used after release", n.id))
+	}
+	d := n.profile.Duration(w)
+	if n.bgLoad > 0 {
+		d /= 1 - n.bgLoad
+	}
+	sigma := n.profile.JitterSigma
+	if sigma > 0 {
+		d *= 1 + math.Abs(n.rng.NormFloat64())*sigma
+	}
+	n.clock += d
+	return d
+}
+
+// RunParallel executes work that parallelizes over up to `threads` cores
+// following Amdahl with the given serial fraction. Returns elapsed time.
+func (n *Node) RunParallel(w Work, threads int, serialFrac float64) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > n.profile.Cores {
+		threads = n.profile.Cores
+	}
+	if serialFrac < 0 {
+		serialFrac = 0
+	}
+	if serialFrac > 1 {
+		serialFrac = 1
+	}
+	speedup := 1 / (serialFrac + (1-serialFrac)/float64(threads))
+	serial := n.profile.Duration(w)
+	d := serial / speedup
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.released {
+		panic(fmt.Sprintf("cluster: node %s used after release", n.id))
+	}
+	if n.bgLoad > 0 {
+		d /= 1 - n.bgLoad
+	}
+	if sigma := n.profile.JitterSigma; sigma > 0 {
+		d *= 1 + math.Abs(n.rng.NormFloat64())*sigma
+	}
+	n.clock += d
+	return d
+}
+
+// Alloc reserves simulated RAM on the node (for GassyFS segments).
+func (n *Node) Alloc(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("cluster: negative allocation")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.usedBytes+bytes > n.profile.RAMBytes {
+		return fmt.Errorf("cluster: node %s out of memory: used %d + %d > %d",
+			n.id, n.usedBytes, bytes, n.profile.RAMBytes)
+	}
+	n.usedBytes += bytes
+	return nil
+}
+
+// Free releases previously allocated simulated RAM.
+func (n *Node) Free(bytes int64) {
+	n.mu.Lock()
+	n.usedBytes -= bytes
+	if n.usedBytes < 0 {
+		n.usedBytes = 0
+	}
+	n.mu.Unlock()
+}
+
+// UsedBytes reports currently allocated simulated RAM.
+func (n *Node) UsedBytes() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.usedBytes
+}
+
+// Facts returns the "facts" an orchestration tool would gather from the
+// machine (the paper's baseline-sanitization input).
+func (n *Node) Facts() map[string]string {
+	p := n.profile
+	return map[string]string{
+		"node_id":     n.id,
+		"machine":     p.Name,
+		"year":        fmt.Sprint(p.Year),
+		"cores":       fmt.Sprint(p.Cores),
+		"clock_ghz":   fmt.Sprintf("%.2f", p.ClockHz/1e9),
+		"mem_gb":      fmt.Sprint(p.RAMBytes >> 30),
+		"mem_bw_gbps": fmt.Sprintf("%.1f", p.MemBWBps/1e9),
+		"nic_gbps":    fmt.Sprintf("%.1f", p.NICBWBps*8/1e9),
+	}
+}
+
+// Network models the interconnect between nodes: a latency + bandwidth
+// (alpha-beta) cost model with optional per-transfer congestion.
+type Network struct {
+	mu sync.Mutex
+	// CongestionFactor inflates transfer time by (1 + cf*(active-1))
+	// where active counts concurrent transfers; 0 disables congestion.
+	CongestionFactor float64
+	active           int
+}
+
+// NewNetwork creates a network with the given congestion factor.
+func NewNetwork(congestion float64) *Network {
+	return &Network{CongestionFactor: congestion}
+}
+
+// TransferTime returns the virtual seconds needed to move `bytes` from
+// src to dst without advancing any clock.
+func (net *Network) TransferTime(src, dst *Node, bytes int64) float64 {
+	if src == dst {
+		// Loopback: memory copy at the node's memory bandwidth.
+		return float64(bytes) / src.profile.MemBWBps
+	}
+	lat := src.profile.NICLatS + dst.profile.NICLatS
+	bw := math.Min(src.profile.NICBWBps, dst.profile.NICBWBps)
+	t := lat + float64(bytes)/bw
+	net.mu.Lock()
+	if net.CongestionFactor > 0 && net.active > 0 {
+		t *= 1 + net.CongestionFactor*float64(net.active)
+	}
+	net.mu.Unlock()
+	return t
+}
+
+// Send moves bytes from src to dst: src blocks for the transfer, and
+// dst's clock is advanced to the arrival time (message-passing send).
+// Returns the arrival time on dst's clock.
+func (net *Network) Send(src, dst *Node, bytes int64) float64 {
+	net.mu.Lock()
+	net.active++
+	net.mu.Unlock()
+	t := net.TransferTime(src, dst, bytes)
+	net.mu.Lock()
+	net.active--
+	net.mu.Unlock()
+	src.Advance(t)
+	arrival := src.Now()
+	dst.AdvanceTo(arrival)
+	return arrival
+}
+
+// RDMARead models a one-sided get: the caller blocks for a round trip
+// plus payload; the target's clock is untouched (one-sided semantics).
+func (net *Network) RDMARead(caller, target *Node, bytes int64) float64 {
+	rtt := 2 * (caller.profile.NICLatS + target.profile.NICLatS)
+	bw := math.Min(caller.profile.NICBWBps, target.profile.NICBWBps)
+	t := rtt + float64(bytes)/bw
+	if caller == target {
+		t = float64(bytes) / caller.profile.MemBWBps
+	}
+	caller.Advance(t)
+	return t
+}
+
+// RDMAWrite models a one-sided put (same cost shape as a get).
+func (net *Network) RDMAWrite(caller, target *Node, bytes int64) float64 {
+	return net.RDMARead(caller, target, bytes)
+}
+
+// Barrier synchronizes the nodes: all clocks advance to the maximum plus
+// a log2(n) latency term, the standard tree-barrier cost.
+func (net *Network) Barrier(nodes []*Node) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	maxT := nodes[0].Now()
+	maxLat := 0.0
+	for _, n := range nodes {
+		if t := n.Now(); t > maxT {
+			maxT = t
+		}
+		if l := n.profile.NICLatS; l > maxLat {
+			maxLat = l
+		}
+	}
+	rounds := math.Ceil(math.Log2(float64(len(nodes))))
+	if rounds < 1 {
+		rounds = 1
+	}
+	end := maxT + 2*maxLat*rounds
+	for _, n := range nodes {
+		n.AdvanceTo(end)
+	}
+	return end
+}
+
+// MaxClock returns the maximum logical clock across nodes — the makespan
+// of a distributed computation.
+func MaxClock(nodes []*Node) float64 {
+	m := 0.0
+	for _, n := range nodes {
+		if t := n.Now(); t > m {
+			m = t
+		}
+	}
+	return m
+}

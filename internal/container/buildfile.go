@@ -1,0 +1,173 @@
+package container
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Buildfile is the Dockerfile subset understood by the builder:
+//
+//	FROM <ref> | FROM scratch
+//	COPY <context-path> <image-path>
+//	RUN <command> [args...]
+//	ENV <key> <value>
+//	WORKDIR <path>
+//	LABEL <key> <value>
+//	CMD <command> [args...]
+//
+// Comments start with '#'. Each RUN executes a registered engine command
+// against the image filesystem built so far; its delta becomes a new
+// layer, exactly like Docker's layer-per-instruction model.
+type Buildfile struct {
+	Instructions []Instruction
+}
+
+// Instruction is one parsed Buildfile line.
+type Instruction struct {
+	Op   string
+	Args []string
+	Line int
+}
+
+// ParseBuildfile parses Buildfile text.
+func ParseBuildfile(src string) (*Buildfile, error) {
+	var bf Buildfile
+	for i, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		op := strings.ToUpper(fields[0])
+		args := fields[1:]
+		switch op {
+		case "FROM":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("container: line %d: FROM wants 1 arg", i+1)
+			}
+		case "COPY":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("container: line %d: COPY wants 2 args", i+1)
+			}
+		case "ENV", "LABEL":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("container: line %d: %s wants 2 args", i+1, op)
+			}
+		case "WORKDIR":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("container: line %d: WORKDIR wants 1 arg", i+1)
+			}
+		case "RUN", "CMD":
+			if len(args) == 0 {
+				return nil, fmt.Errorf("container: line %d: %s wants a command", i+1, op)
+			}
+		default:
+			return nil, fmt.Errorf("container: line %d: unknown instruction %q", i+1, fields[0])
+		}
+		bf.Instructions = append(bf.Instructions, Instruction{Op: op, Args: args, Line: i + 1})
+	}
+	if len(bf.Instructions) == 0 || bf.Instructions[0].Op != "FROM" {
+		return nil, fmt.Errorf("container: Buildfile must start with FROM")
+	}
+	return &bf, nil
+}
+
+// Build executes a Buildfile against a build context (path -> content)
+// and produces a tagged image. Every COPY and RUN instruction creates one
+// layer.
+func (e *Engine) Build(src string, context map[string][]byte, name, tag string) (*Image, error) {
+	bf, err := ParseBuildfile(src)
+	if err != nil {
+		return nil, err
+	}
+	var img *Image
+	for _, ins := range bf.Instructions {
+		switch ins.Op {
+		case "FROM":
+			if img != nil {
+				return nil, fmt.Errorf("container: line %d: multiple FROM not supported", ins.Line)
+			}
+			if ins.Args[0] == "scratch" {
+				img = &Image{Name: name, Tag: tag,
+					Env: map[string]string{}, Labels: map[string]string{}}
+			} else {
+				base, err := e.registry.Pull(ins.Args[0])
+				if err != nil {
+					return nil, fmt.Errorf("container: line %d: %w", ins.Line, err)
+				}
+				img = base
+				img.Name, img.Tag = name, tag
+			}
+		case "COPY":
+			srcPath, dst := ins.Args[0], strings.TrimPrefix(ins.Args[1], "/")
+			layer := NewLayer()
+			matched := false
+			if srcPath == "." { // whole build context
+				for p, content := range context {
+					layer.Files[strings.TrimSuffix(dst, "/")+"/"+p] = content
+					matched = true
+				}
+			} else if content, ok := context[srcPath]; ok {
+				layer.Files[dst] = content
+				matched = true
+			} else {
+				// directory copy: srcPath/ prefix
+				prefix := strings.TrimSuffix(srcPath, "/") + "/"
+				for p, content := range context {
+					if strings.HasPrefix(p, prefix) {
+						layer.Files[strings.TrimSuffix(dst, "/")+"/"+strings.TrimPrefix(p, prefix)] = content
+						matched = true
+					}
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("container: line %d: COPY %s: not in build context", ins.Line, srcPath)
+			}
+			img.Layers = append(img.Layers, layer)
+		case "ENV":
+			img.Env[ins.Args[0]] = ins.Args[1]
+		case "LABEL":
+			img.Labels[ins.Args[0]] = ins.Args[1]
+		case "WORKDIR":
+			img.Workdir = ins.Args[0]
+		case "CMD":
+			img.Cmd = append([]string(nil), ins.Args...)
+		case "RUN":
+			fn, ok := e.commands[ins.Args[0]]
+			if !ok {
+				return nil, fmt.Errorf("container: line %d: RUN %s: command not found", ins.Line, ins.Args[0])
+			}
+			before := img.RootFS()
+			fs := img.RootFS()
+			ctx := &ExecContext{FS: fs, Env: img.Env, Args: ins.Args[1:], Dir: img.Workdir}
+			if err := fn(ctx); err != nil {
+				return nil, fmt.Errorf("container: line %d: RUN %s: %w", ins.Line, ins.Args[0], err)
+			}
+			delta := NewLayer()
+			for p, c := range fs {
+				if old, ok := before[p]; !ok || string(old) != string(c) {
+					delta.Files[p] = c
+				}
+			}
+			for p := range before {
+				if _, ok := fs[p]; !ok {
+					delta.Files[p] = nil
+				}
+			}
+			img.Layers = append(img.Layers, delta)
+		}
+	}
+	return img, nil
+}
+
+// BuildAndPush builds an image and pushes it to the engine's registry.
+func (e *Engine) BuildAndPush(src string, context map[string][]byte, name, tag string) (*Image, error) {
+	img, err := e.Build(src, context, name, tag)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.registry.Push(img); err != nil {
+		return nil, err
+	}
+	return img, nil
+}

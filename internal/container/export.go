@@ -1,0 +1,116 @@
+package container
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Image serialization (docker save / docker load): an image becomes a
+// single artifact that can be published to the dataset store and pulled
+// by a reader — the convention's "reference a packaged experiment by an
+// immutable identifier" story for binaries.
+
+type exportLayer struct {
+	// Files maps path to base64 content; Whiteouts lists deleted paths.
+	Files     map[string]string `json:"files"`
+	Whiteouts []string          `json:"whiteouts,omitempty"`
+}
+
+type exportImage struct {
+	Name    string            `json:"name"`
+	Tag     string            `json:"tag"`
+	Env     map[string]string `json:"env,omitempty"`
+	Cmd     []string          `json:"cmd,omitempty"`
+	Workdir string            `json:"workdir,omitempty"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Layers  []exportLayer     `json:"layers"`
+	// ID pins the content so imports detect corruption.
+	ID string `json:"id"`
+}
+
+// Export serializes the image as a gzipped JSON archive.
+func (img *Image) Export() ([]byte, error) {
+	out := exportImage{
+		Name: img.Name, Tag: img.Tag, Env: img.Env, Cmd: img.Cmd,
+		Workdir: img.Workdir, Labels: img.Labels, ID: img.ID(),
+	}
+	for _, l := range img.Layers {
+		el := exportLayer{Files: map[string]string{}}
+		for p, c := range l.Files {
+			if c == nil {
+				el.Whiteouts = append(el.Whiteouts, p)
+				continue
+			}
+			el.Files[p] = base64.StdEncoding.EncodeToString(c)
+		}
+		out.Layers = append(out.Layers, el)
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := json.NewEncoder(zw).Encode(out); err != nil {
+		return nil, fmt.Errorf("container: exporting %s: %w", img.Ref(), err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Import deserializes an exported image and verifies its content ID.
+func Import(archive []byte) (*Image, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(archive))
+	if err != nil {
+		return nil, fmt.Errorf("container: import: %w", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("container: import: %w", err)
+	}
+	var in exportImage
+	if err := json.Unmarshal(raw, &in); err != nil {
+		return nil, fmt.Errorf("container: import: %w", err)
+	}
+	if in.Name == "" || in.Tag == "" {
+		return nil, fmt.Errorf("container: import: archive has no image reference")
+	}
+	img := &Image{
+		Name: in.Name, Tag: in.Tag, Env: in.Env, Cmd: in.Cmd,
+		Workdir: in.Workdir, Labels: in.Labels,
+	}
+	if img.Env == nil {
+		img.Env = map[string]string{}
+	}
+	if img.Labels == nil {
+		img.Labels = map[string]string{}
+	}
+	for _, el := range in.Layers {
+		l := NewLayer()
+		for p, enc := range el.Files {
+			content, err := base64.StdEncoding.DecodeString(enc)
+			if err != nil {
+				return nil, fmt.Errorf("container: import: layer file %s: %w", p, err)
+			}
+			l.Files[p] = content
+		}
+		for _, p := range el.Whiteouts {
+			l.Files[p] = nil
+		}
+		img.Layers = append(img.Layers, l)
+	}
+	if got := img.ID(); got != in.ID {
+		return nil, fmt.Errorf("container: import: content ID mismatch (archive %s, computed %s)",
+			short(in.ID), short(got))
+	}
+	return img, nil
+}
+
+func short(s string) string {
+	if len(s) > 12 {
+		return s[:12]
+	}
+	return s
+}

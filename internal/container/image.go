@@ -1,0 +1,201 @@
+// Package container implements the packaging substrate of the Popper
+// convention: a Docker-like engine with layered, content-addressed images,
+// a registry, a Buildfile (Dockerfile-subset) builder and a container
+// runtime.
+//
+// The paper's discussion section stresses two properties this package
+// preserves: images are *immutable infrastructure* (changes made inside a
+// running container vanish unless explicitly committed to a new image),
+// and image layering ("chaining") has a real cost that communities must
+// balance against orchestration-side installation. Both behaviours are
+// observable here: the runtime unions layers copy-on-write, and the
+// ablation benchmarks compare chained against flattened images.
+//
+// Processes cannot be executed in this offline reproduction, so "RUN"
+// commands resolve to registered Go handlers (the engine's "binaries"),
+// which receive the container filesystem, environment and arguments —
+// the same contract a shell would have.
+package container
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Layer is one filesystem delta: path -> content. A nil content is a
+// whiteout (the path is deleted by this layer).
+type Layer struct {
+	Files map[string][]byte
+}
+
+// NewLayer creates an empty layer.
+func NewLayer() Layer { return Layer{Files: make(map[string][]byte)} }
+
+// ID returns the content hash of the layer.
+func (l Layer) ID() string {
+	paths := make([]string, 0, len(l.Files))
+	for p := range l.Files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	h := sha256.New()
+	for _, p := range paths {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+		if l.Files[p] == nil {
+			h.Write([]byte("\x00whiteout\x00"))
+		} else {
+			h.Write(l.Files[p])
+		}
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Image is an ordered stack of layers plus run metadata.
+type Image struct {
+	Name    string // repository name, e.g. "gassyfs"
+	Tag     string // e.g. "v1"
+	Layers  []Layer
+	Env     map[string]string
+	Cmd     []string // default command
+	Workdir string
+	Labels  map[string]string
+}
+
+// ID returns the content-addressed image identifier.
+func (img *Image) ID() string {
+	h := sha256.New()
+	for _, l := range img.Layers {
+		h.Write([]byte(l.ID()))
+	}
+	envKeys := make([]string, 0, len(img.Env))
+	for k := range img.Env {
+		envKeys = append(envKeys, k)
+	}
+	sort.Strings(envKeys)
+	for _, k := range envKeys {
+		fmt.Fprintf(h, "env %s=%s\n", k, img.Env[k])
+	}
+	fmt.Fprintf(h, "cmd %s\n", strings.Join(img.Cmd, " "))
+	fmt.Fprintf(h, "workdir %s\n", img.Workdir)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Ref returns the "name:tag" reference.
+func (img *Image) Ref() string { return img.Name + ":" + img.Tag }
+
+// clone deep-copies the image (layers share file buffers, which are
+// treated as immutable).
+func (img *Image) clone() *Image {
+	cp := &Image{
+		Name: img.Name, Tag: img.Tag, Workdir: img.Workdir,
+		Layers: append([]Layer(nil), img.Layers...),
+		Env:    make(map[string]string, len(img.Env)),
+		Labels: make(map[string]string, len(img.Labels)),
+		Cmd:    append([]string(nil), img.Cmd...),
+	}
+	for k, v := range img.Env {
+		cp.Env[k] = v
+	}
+	for k, v := range img.Labels {
+		cp.Labels[k] = v
+	}
+	return cp
+}
+
+// Flatten collapses all layers into a single layer — the "flat image"
+// alternative to chaining that the discussion section weighs.
+func (img *Image) Flatten() *Image {
+	merged := NewLayer()
+	for _, l := range img.Layers {
+		for p, c := range l.Files {
+			if c == nil {
+				delete(merged.Files, p)
+			} else {
+				merged.Files[p] = c
+			}
+		}
+	}
+	out := img.clone()
+	out.Layers = []Layer{merged}
+	return out
+}
+
+// RootFS computes the effective filesystem of the image.
+func (img *Image) RootFS() map[string][]byte {
+	fs := make(map[string][]byte)
+	for _, l := range img.Layers {
+		for p, c := range l.Files {
+			if c == nil {
+				delete(fs, p)
+			} else {
+				fs[p] = c
+			}
+		}
+	}
+	return fs
+}
+
+// Size returns the total bytes stored across layers (including shadowed
+// files — the cost of chaining).
+func (img *Image) Size() int64 {
+	var n int64
+	for _, l := range img.Layers {
+		for _, c := range l.Files {
+			n += int64(len(c))
+		}
+	}
+	return n
+}
+
+// Registry stores images by "name:tag" reference; pushes of the same
+// reference with different content are rejected, keeping references
+// immutable as the convention requires.
+type Registry struct {
+	images map[string]*Image
+}
+
+// NewRegistry creates an empty image registry.
+func NewRegistry() *Registry { return &Registry{images: make(map[string]*Image)} }
+
+// Push uploads an image. Re-pushing identical content is idempotent.
+func (r *Registry) Push(img *Image) error {
+	if img.Name == "" || img.Tag == "" {
+		return fmt.Errorf("container: image needs name and tag")
+	}
+	ref := img.Ref()
+	if existing, ok := r.images[ref]; ok {
+		if existing.ID() == img.ID() {
+			return nil
+		}
+		return fmt.Errorf("container: %s already pushed with different content", ref)
+	}
+	r.images[ref] = img.clone()
+	return nil
+}
+
+// Pull retrieves an image by reference ("name" defaults to tag "latest").
+func (r *Registry) Pull(ref string) (*Image, error) {
+	if !strings.Contains(ref, ":") {
+		ref += ":latest"
+	}
+	img, ok := r.images[ref]
+	if !ok {
+		return nil, fmt.Errorf("container: image %q not in registry", ref)
+	}
+	return img.clone(), nil
+}
+
+// List returns all references, sorted.
+func (r *Registry) List() []string {
+	out := make([]string, 0, len(r.images))
+	for ref := range r.images {
+		out = append(out, ref)
+	}
+	sort.Strings(out)
+	return out
+}

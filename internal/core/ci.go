@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"popper/internal/ci"
+	"popper/internal/orchestrate"
+)
+
+// CIRunner returns a ci.Runner that understands the commands a Popper
+// repository's .travis.yml uses:
+//
+//	popper check                  — repository compliance audit
+//	popper lint                   — parse/lint every setup.yml
+//	popper run <experiment>       — full experiment execution
+//	./experiments/<name>/run.sh   — same as `popper run <name>`
+//	./paper/build.sh              — render the manuscript
+//
+// This is the glue of the paper's tier-1 automated validation: every
+// commit re-checks that the paper builds, the orchestration files parse,
+// and (when requested) the experiments still run and validate.
+func CIRunner(env *Env) ci.Runner {
+	return func(cmd string, cienv map[string]string, files map[string][]byte) (string, error) {
+		proj, err := Load(files)
+		if err != nil {
+			return "", err
+		}
+		fields := strings.Fields(cmd)
+		if len(fields) == 0 {
+			return "", fmt.Errorf("core: empty CI command")
+		}
+		switch {
+		case cmd == "popper check":
+			rep := proj.Check()
+			if !rep.Compliant() {
+				return rep.String(), fmt.Errorf("core: repository is not Popper-compliant")
+			}
+			return rep.String(), nil
+		case cmd == "popper lint":
+			var out strings.Builder
+			for _, name := range proj.Experiments() {
+				raw, ok := proj.ExperimentFile(name, "setup.yml")
+				if !ok {
+					continue
+				}
+				if _, err := orchestrate.ParsePlaybook(string(raw)); err != nil {
+					return out.String(), fmt.Errorf("core: %s: %w", name, err)
+				}
+				fmt.Fprintf(&out, "%s: setup.yml ok\n", name)
+			}
+			return out.String(), nil
+		case fields[0] == "popper" && len(fields) == 3 && fields[1] == "run":
+			return runForCI(proj, fields[2], env, cienv)
+		case strings.HasPrefix(cmd, "./experiments/") && strings.HasSuffix(cmd, "/run.sh"):
+			name := strings.TrimSuffix(strings.TrimPrefix(cmd, "./experiments/"), "/run.sh")
+			return runForCI(proj, name, env, cienv)
+		case cmd == "./paper/build.sh" || cmd == "popper-build-paper":
+			if err := proj.BuildPaper(); err != nil {
+				return "", err
+			}
+			// propagate the built artifact back into the checkout view
+			files[PaperDir+"/paper.pdf"] = proj.Files[PaperDir+"/paper.pdf"]
+			return "paper built", nil
+		default:
+			return "", fmt.Errorf("core: unknown CI command %q", cmd)
+		}
+	}
+}
+
+func runForCI(proj *Project, name string, env *Env, cienv map[string]string) (string, error) {
+	// matrix entries can override experiment parameters (NODES=4 ...)
+	for k, v := range cienv {
+		key := strings.ToLower(k)
+		if _, err := proj.Params(name); err == nil {
+			if err := proj.SetParam(name, key, v); err != nil {
+				return "", err
+			}
+		}
+	}
+	res, err := proj.RunExperiment(name, env)
+	if err != nil {
+		return res.Record.Log, err
+	}
+	return res.Record.Log, nil
+}

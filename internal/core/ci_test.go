@@ -1,0 +1,161 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"popper/internal/ci"
+	"popper/internal/vcs"
+)
+
+// TestCIIntegration wires a Popper repository into the VCS and CI
+// services and exercises the paper's tier-1 validation loop: every
+// commit re-checks compliance, lints orchestration, builds the paper
+// and (on request) re-runs an experiment.
+func TestCIIntegration(t *testing.T) {
+	proj := Init()
+	if err := proj.AddExperiment("torpor", "myexp"); err != nil {
+		t.Fatal(err)
+	}
+	proj.SetParam("myexp", "ops", "20")
+	proj.Files[CIFile] = []byte(`
+language: popper
+script:
+  - popper check
+  - popper lint
+  - ./paper/build.sh
+  - ./experiments/myexp/run.sh
+`)
+
+	repo := vcs.NewRepository()
+	svc, err := ci.NewService(repo, CIRunner(&Env{Seed: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Commit(proj.Files, "ivo", "popperize torpor"); err != nil {
+		t.Fatal(err)
+	}
+	b, ok := svc.Latest()
+	if !ok {
+		t.Fatal("no build")
+	}
+	if b.Status != ci.StatusPassed {
+		t.Fatalf("build = %s\n%s", b.Status, b.Log)
+	}
+	if len(b.Steps) != 4 {
+		t.Fatalf("steps = %d", len(b.Steps))
+	}
+	if !strings.Contains(b.Log, "Popperized") {
+		t.Fatalf("log missing compliance report:\n%s", b.Log)
+	}
+}
+
+func TestCICatchesBrokenOrchestration(t *testing.T) {
+	proj := Init()
+	proj.AddExperiment("gassyfs", "e")
+	// a commit breaks setup.yml
+	proj.Files[ExperimentDir+"/e/setup.yml"] = []byte("- name: broken\n  hosts: all")
+	proj.Files[CIFile] = []byte("script:\n  - popper lint\n")
+
+	repo := vcs.NewRepository()
+	svc, _ := ci.NewService(repo, CIRunner(&Env{Seed: 1}))
+	repo.Commit(proj.Files, "x", "break the playbook")
+	b, _ := svc.Latest()
+	if b.Status != ci.StatusFailed {
+		t.Fatalf("lint should fail the build: %s\n%s", b.Status, b.Log)
+	}
+}
+
+func TestCICatchesNonCompliance(t *testing.T) {
+	proj := Init()
+	proj.AddExperiment("gassyfs", "e")
+	delete(proj.Files, ExperimentDir+"/e/validations.aver")
+	proj.Files[CIFile] = []byte("script:\n  - popper check\n")
+
+	repo := vcs.NewRepository()
+	svc, _ := ci.NewService(repo, CIRunner(&Env{Seed: 1}))
+	repo.Commit(proj.Files, "x", "drop validations")
+	b, _ := svc.Latest()
+	if b.Status != ci.StatusFailed {
+		t.Fatalf("check should fail: %s", b.Status)
+	}
+	if !strings.Contains(b.Log, "NOT compliant") {
+		t.Fatalf("log:\n%s", b.Log)
+	}
+}
+
+func TestCICatchesBrokenPaper(t *testing.T) {
+	proj := Init()
+	proj.Files["paper/paper.tex"] = []byte("no longer latex")
+	proj.Files[CIFile] = []byte("script:\n  - ./paper/build.sh\n")
+
+	repo := vcs.NewRepository()
+	svc, _ := ci.NewService(repo, CIRunner(&Env{Seed: 1}))
+	repo.Commit(proj.Files, "x", "break the paper")
+	b, _ := svc.Latest()
+	if b.Status != ci.StatusFailed {
+		t.Fatalf("paper build should fail: %s", b.Status)
+	}
+}
+
+func TestCIMatrixOverridesParams(t *testing.T) {
+	proj := Init()
+	proj.AddExperiment("zlog", "log")
+	proj.SetParam("log", "appends", "64")
+	proj.Files[CIFile] = []byte(`
+script:
+  - ./experiments/log/run.sh
+env:
+  matrix:
+    - BATCHES=1,8
+`)
+	repo := vcs.NewRepository()
+	svc, _ := ci.NewService(repo, CIRunner(&Env{Seed: 1}))
+	repo.Commit(proj.Files, "x", "run matrix")
+	b, _ := svc.Latest()
+	if b.Status != ci.StatusPassed {
+		t.Fatalf("matrix run failed: %s\n%s", b.Status, b.Log)
+	}
+}
+
+func TestCIUnknownCommand(t *testing.T) {
+	proj := Init()
+	proj.Files[CIFile] = []byte("script:\n  - make moonshot\n")
+	repo := vcs.NewRepository()
+	svc, _ := ci.NewService(repo, CIRunner(&Env{Seed: 1}))
+	repo.Commit(proj.Files, "x", "bad script")
+	b, _ := svc.Latest()
+	if b.Status != ci.StatusFailed {
+		t.Fatalf("unknown command should fail: %s", b.Status)
+	}
+}
+
+// TestPerformanceRegressionLoop demonstrates the paper's automated
+// performance-regression workflow: a code change that destroys the
+// scalability property is caught by the Aver assertion on the next CI
+// build.
+func TestPerformanceRegressionLoop(t *testing.T) {
+	proj := Init()
+	proj.AddExperiment("gassyfs", "scaling")
+	proj.SetParam("scaling", "nodes", "1,2,4")
+	proj.SetParam("scaling", "sources", "24")
+	proj.SetParam("scaling", "segment_mb", "64")
+	proj.Files[CIFile] = []byte("script:\n  - ./experiments/scaling/run.sh\n")
+
+	repo := vcs.NewRepository()
+	svc, _ := ci.NewService(repo, CIRunner(&Env{Seed: 1}))
+	repo.Commit(proj.Files, "x", "good experiment")
+	b, _ := svc.Latest()
+	if b.Status != ci.StatusPassed {
+		t.Fatalf("baseline build failed:\n%s", b.Log)
+	}
+
+	// A "regression": someone pins the experiment to a single node,
+	// silently breaking the scalability claim.
+	proj.SetParam("scaling", "nodes", "4,4")
+	repo.Commit(proj.Files, "x", "accidental regression")
+	b, _ = svc.Latest()
+	if b.Status != ci.StatusFailed {
+		t.Fatalf("regression must fail CI: %s\n%s", b.Status, b.Log)
+	}
+}

@@ -1,0 +1,362 @@
+// Package core implements the Popper convention — the paper's primary
+// contribution. It defines the repository layout (paper/ +
+// experiments/<name>/ with datasets/, run.sh, setup.yml, vars.yml,
+// validations.aver, results.csv, figure), the compliance check
+// ("Popperized" = all artifacts available in one repository), the
+// template registry behind `popper experiment list` / `popper add`, the
+// experiment lifecycle runner, and the CI binding.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"popper/internal/dataset"
+	"popper/internal/yamlite"
+)
+
+// Standard paths of the convention (Listing lst:dir of the paper).
+const (
+	ConfigFile    = ".popper.yml"
+	CIFile        = ".travis.yml"
+	PaperDir      = "paper"
+	ExperimentDir = "experiments"
+)
+
+// Project is a Popper repository workspace: a flat path→content map that
+// the caller typically keeps under version control (internal/vcs).
+type Project struct {
+	Files map[string][]byte
+}
+
+// Init creates a fresh Popper repository — `popper init`.
+func Init() *Project {
+	p := &Project{Files: map[string][]byte{}}
+	cfg := map[string]any{
+		"version":  "1",
+		"metadata": map[string]any{"convention": "popper"},
+	}
+	p.Files[ConfigFile] = []byte(yamlite.Encode(cfg))
+	p.Files["README.md"] = []byte("# A Popperized exploration\n\n" +
+		"This repository follows the Popper convention: every experiment under\n" +
+		"`experiments/` carries its code, orchestration, parameters, data\n" +
+		"references, validation criteria and results.\n")
+	p.Files[CIFile] = []byte("language: popper\nscript:\n  - popper check\n")
+	p.Files[PaperDir+"/build.sh"] = []byte("#!/bin/sh\n# renders paper/paper.tex into paper.pdf\npopper-build-paper\n")
+	p.Files[PaperDir+"/paper.tex"] = []byte("\\documentclass{article}\n\\begin{document}\nTitle goes here.\n\\end{document}\n")
+	p.Files[ExperimentDir+"/.gitkeep"] = []byte{}
+	return p
+}
+
+// Load wraps an existing workspace, verifying it was initialized.
+func Load(files map[string][]byte) (*Project, error) {
+	if files == nil {
+		return nil, fmt.Errorf("core: nil workspace")
+	}
+	if _, ok := files[ConfigFile]; !ok {
+		return nil, fmt.Errorf("core: not a Popper repository (no %s); run `popper init`", ConfigFile)
+	}
+	return &Project{Files: files}, nil
+}
+
+// Initialized reports whether the workspace carries a Popper config.
+func Initialized(files map[string][]byte) bool {
+	_, ok := files[ConfigFile]
+	return ok
+}
+
+// Experiments lists the experiment names present in the repository.
+func (p *Project) Experiments() []string {
+	seen := map[string]bool{}
+	prefix := ExperimentDir + "/"
+	for path := range p.Files {
+		if !strings.HasPrefix(path, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(path, prefix)
+		name, _, ok := strings.Cut(rest, "/")
+		if ok && name != "" {
+			seen[name] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// expPath joins a path under one experiment's directory.
+func expPath(name, rest string) string {
+	return ExperimentDir + "/" + name + "/" + rest
+}
+
+// ExperimentFile reads a file from an experiment directory.
+func (p *Project) ExperimentFile(name, rest string) ([]byte, bool) {
+	b, ok := p.Files[expPath(name, rest)]
+	return b, ok
+}
+
+// Params loads an experiment's vars.yml as flat string parameters.
+// Nested values are flattened with dotted keys; lists are joined with
+// commas.
+func (p *Project) Params(name string) (map[string]string, error) {
+	raw, ok := p.ExperimentFile(name, "vars.yml")
+	if !ok {
+		return nil, fmt.Errorf("core: experiment %q has no vars.yml", name)
+	}
+	doc, err := yamlite.DecodeMap(string(raw))
+	if err != nil {
+		return nil, fmt.Errorf("core: %s vars.yml: %w", name, err)
+	}
+	out := make(map[string]string)
+	flatten("", doc, out)
+	return out, nil
+}
+
+func flatten(prefix string, v any, out map[string]string) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, child := range t {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flatten(key, child, out)
+		}
+	case []any:
+		parts := make([]string, len(t))
+		for i, e := range t {
+			parts[i] = scalarText(e)
+		}
+		out[prefix] = strings.Join(parts, ",")
+	default:
+		out[prefix] = scalarText(v)
+	}
+}
+
+func scalarText(v any) string {
+	switch t := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return t
+	case bool:
+		if t {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprint(t)
+	}
+}
+
+// SetParam updates one key of an experiment's vars.yml (re-encoded
+// deterministically). Only top-level scalar keys are supported.
+func (p *Project) SetParam(name, key, value string) error {
+	raw, ok := p.ExperimentFile(name, "vars.yml")
+	if !ok {
+		return fmt.Errorf("core: experiment %q has no vars.yml", name)
+	}
+	doc, err := yamlite.DecodeMap(string(raw))
+	if err != nil {
+		return err
+	}
+	doc[key] = value
+	p.Files[expPath(name, "vars.yml")] = []byte(yamlite.Encode(doc))
+	return nil
+}
+
+// DatasetRefs lists the dataset references of an experiment
+// (datasets/*.ref files holding dataset.Ref JSON).
+func (p *Project) DatasetRefs(name string) ([]dataset.Ref, error) {
+	prefix := expPath(name, "datasets/")
+	var refs []dataset.Ref
+	var paths []string
+	for path := range p.Files {
+		if strings.HasPrefix(path, prefix) && strings.HasSuffix(path, ".ref") {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		ref, err := dataset.DecodeRef(p.Files[path])
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", path, err)
+		}
+		refs = append(refs, ref)
+	}
+	return refs, nil
+}
+
+// AddDatasetRef commits a dataset reference into an experiment.
+func (p *Project) AddDatasetRef(name string, ref dataset.Ref) {
+	p.Files[expPath(name, "datasets/"+ref.Name+".ref")] = dataset.EncodeRef(ref)
+}
+
+// ComplianceElement is one artifact the convention requires.
+type ComplianceElement struct {
+	Name    string
+	Path    string
+	Present bool
+}
+
+// ExperimentReport is the compliance state of one experiment.
+type ExperimentReport struct {
+	Name     string
+	Elements []ComplianceElement
+}
+
+// Compliant reports whether every required element is present.
+func (r ExperimentReport) Compliant() bool {
+	for _, e := range r.Elements {
+		if !e.Present {
+			return false
+		}
+	}
+	return true
+}
+
+// Missing lists the absent elements.
+func (r ExperimentReport) Missing() []string {
+	var out []string
+	for _, e := range r.Elements {
+		if !e.Present {
+			out = append(out, e.Name)
+		}
+	}
+	return out
+}
+
+// ComplianceReport covers the whole repository.
+type ComplianceReport struct {
+	HasPaper    bool
+	HasCI       bool
+	Experiments []ExperimentReport
+}
+
+// Compliant reports whole-repository compliance: paper, CI wiring and
+// every experiment complete.
+func (r ComplianceReport) Compliant() bool {
+	if !r.HasPaper || !r.HasCI {
+		return false
+	}
+	for _, e := range r.Experiments {
+		if !e.Compliant() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the `popper check` output.
+func (r ComplianceReport) String() string {
+	var sb strings.Builder
+	mark := func(ok bool) string {
+		if ok {
+			return "ok "
+		}
+		return "MISSING"
+	}
+	fmt.Fprintf(&sb, "paper/          %s\n", mark(r.HasPaper))
+	fmt.Fprintf(&sb, "ci config       %s\n", mark(r.HasCI))
+	for _, e := range r.Experiments {
+		status := "Popperized"
+		if !e.Compliant() {
+			status = "NOT compliant: missing " + strings.Join(e.Missing(), ", ")
+		}
+		fmt.Fprintf(&sb, "experiments/%-18s %s\n", e.Name, status)
+	}
+	return sb.String()
+}
+
+// requiredElements is what the paper's self-containment section demands
+// of every experiment: code, orchestration, parametrization, data
+// references, validation criteria (results arrive after the first run).
+func requiredElements(p *Project, name string) []ComplianceElement {
+	present := func(rest string) bool {
+		_, ok := p.ExperimentFile(name, rest)
+		return ok
+	}
+	hasDataset := false
+	prefix := expPath(name, "datasets/")
+	for path := range p.Files {
+		if strings.HasPrefix(path, prefix) {
+			hasDataset = true
+			break
+		}
+	}
+	return []ComplianceElement{
+		{Name: "experiment code", Path: "run.sh", Present: present("run.sh")},
+		{Name: "orchestration", Path: "setup.yml", Present: present("setup.yml")},
+		{Name: "parametrization", Path: "vars.yml", Present: present("vars.yml")},
+		{Name: "validation criteria", Path: "validations.aver", Present: present("validations.aver")},
+		{Name: "data references", Path: "datasets/", Present: hasDataset},
+	}
+}
+
+// Check audits the repository against the convention — `popper check`.
+func (p *Project) Check() ComplianceReport {
+	rep := ComplianceReport{}
+	_, rep.HasPaper = p.Files[PaperDir+"/build.sh"]
+	if _, ok := p.Files[PaperDir+"/paper.tex"]; !ok {
+		// any manuscript *source* counts (paper/paper.md, .adoc, ...);
+		// a built paper.pdf does not.
+		found := false
+		for path := range p.Files {
+			if strings.HasPrefix(path, PaperDir+"/paper.") && !strings.HasSuffix(path, ".pdf") {
+				found = true
+				break
+			}
+		}
+		rep.HasPaper = rep.HasPaper && found
+	}
+	for _, ciName := range []string{".popper-ci.yml", CIFile} {
+		if _, ok := p.Files[ciName]; ok {
+			rep.HasCI = true
+			break
+		}
+	}
+	for _, name := range p.Experiments() {
+		rep.Experiments = append(rep.Experiments, ExperimentReport{
+			Name:     name,
+			Elements: requiredElements(p, name),
+		})
+	}
+	return rep
+}
+
+// BuildPaper renders the manuscript (the `paper/build.sh` contract):
+// it fails when sources are missing and otherwise produces a
+// deterministic "PDF" artifact that embeds the figure list, so CI can
+// verify "the paper is always in a state that can be built".
+func (p *Project) BuildPaper() error {
+	tex, ok := p.Files[PaperDir+"/paper.tex"]
+	if !ok {
+		return fmt.Errorf("core: paper/paper.tex missing")
+	}
+	if !strings.Contains(string(tex), "\\documentclass") {
+		return fmt.Errorf("core: paper/paper.tex is not a LaTeX document")
+	}
+	if !strings.Contains(string(tex), "\\begin{document}") || !strings.Contains(string(tex), "\\end{document}") {
+		return fmt.Errorf("core: paper/paper.tex has unbalanced document environment")
+	}
+	var figures []string
+	for path := range p.Files {
+		if strings.HasPrefix(path, ExperimentDir+"/") &&
+			(strings.HasSuffix(path, "figure.svg") || strings.HasSuffix(path, "figure.txt")) {
+			figures = append(figures, path)
+		}
+	}
+	sort.Strings(figures)
+	var sb strings.Builder
+	sb.WriteString("%PDF-popper\n")
+	fmt.Fprintf(&sb, "source-bytes: %d\n", len(tex))
+	for _, f := range figures {
+		fmt.Fprintf(&sb, "figure: %s\n", f)
+	}
+	p.Files[PaperDir+"/paper.pdf"] = []byte(sb.String())
+	return nil
+}

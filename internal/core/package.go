@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"popper/internal/container"
+)
+
+// PackageExperiment builds a container image carrying one experiment's
+// convention files — the single-node deploy path of the paper's reader
+// workflow ("for single-node experiments, they can be deployed locally
+// too (Docker)"). The image is self-describing: labels record the
+// experiment and its template, and the default command prints the
+// parametrization.
+func PackageExperiment(p *Project, name string, eng *container.Engine, tag string) (*container.Image, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("core: nil container engine")
+	}
+	params, err := p.Params(name)
+	if err != nil {
+		return nil, err
+	}
+	context := workspaceView(p, name)
+	if len(context) == 0 {
+		return nil, fmt.Errorf("core: experiment %q has no files", name)
+	}
+	buildfile := strings.Join([]string{
+		"FROM scratch",
+		"COPY . /experiment",
+		"LABEL popper.experiment " + name,
+		"LABEL popper.template " + params["template"],
+		"WORKDIR /experiment",
+		"CMD cat /experiment/vars.yml",
+	}, "\n")
+	img, err := eng.BuildAndPush(buildfile, context, "popper-"+name, tag)
+	if err != nil {
+		return nil, fmt.Errorf("core: packaging %s: %w", name, err)
+	}
+	return img, nil
+}
+
+// UnpackExperiment installs a packaged experiment image into a project
+// (the receiving side of the reader workflow). The experiment name comes
+// from the image label.
+func UnpackExperiment(p *Project, img *container.Image) (string, error) {
+	name := img.Labels["popper.experiment"]
+	if name == "" {
+		return "", fmt.Errorf("core: image %s carries no popper.experiment label", img.Ref())
+	}
+	for _, existing := range p.Experiments() {
+		if existing == name {
+			return "", fmt.Errorf("core: experiment %q already exists", name)
+		}
+	}
+	prefix := "experiment/"
+	found := false
+	for path, content := range img.RootFS() {
+		if strings.HasPrefix(path, prefix) {
+			p.Files[expPath(name, strings.TrimPrefix(path, prefix))] = content
+			found = true
+		}
+	}
+	if !found {
+		return "", fmt.Errorf("core: image %s has no /experiment tree", img.Ref())
+	}
+	return name, nil
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+
+	"popper/internal/aver"
+	"popper/internal/table"
+)
+
+// Report renders the repository as one self-contained HTML page: the
+// compliance audit, and per experiment its parameters, results table,
+// figure (inline SVG when present) and the re-evaluated Aver verdicts.
+// This is the "post-mortem reading" surface of the paper's reader
+// workflow — everything regenerates from committed artifacts, no live
+// services required.
+func (p *Project) Report() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	sb.WriteString("<title>Popper repository report</title>\n<style>\n")
+	sb.WriteString(`body{font-family:sans-serif;max-width:60em;margin:2em auto;padding:0 1em}
+table{border-collapse:collapse;margin:0.7em 0}
+td,th{border:1px solid #bbb;padding:0.25em 0.6em;font-size:90%}
+.pass{color:#0a6b22}.fail{color:#a61b1b}
+pre{background:#f4f4f4;padding:0.6em;overflow-x:auto}
+h2{border-bottom:1px solid #ddd;padding-bottom:0.2em}
+`)
+	sb.WriteString("</style></head><body>\n")
+	sb.WriteString("<h1>Popper repository report</h1>\n")
+
+	// compliance
+	rep := p.Check()
+	status := `<span class="pass">compliant</span>`
+	if !rep.Compliant() {
+		status = `<span class="fail">NOT compliant</span>`
+	}
+	fmt.Fprintf(&sb, "<p>Repository status: %s</p>\n<pre>%s</pre>\n",
+		status, html.EscapeString(rep.String()))
+
+	for _, name := range p.Experiments() {
+		fmt.Fprintf(&sb, "<h2>experiments/%s</h2>\n", html.EscapeString(name))
+		if err := p.reportExperiment(&sb, name); err != nil {
+			return "", err
+		}
+	}
+	sb.WriteString("</body></html>\n")
+	return sb.String(), nil
+}
+
+func (p *Project) reportExperiment(sb *strings.Builder, name string) error {
+	// parameters
+	params, err := p.Params(name)
+	if err == nil {
+		keys := make([]string, 0, len(params))
+		for k := range params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("<h3>Parameters</h3>\n<table><tr><th>key</th><th>value</th></tr>\n")
+		for _, k := range keys {
+			fmt.Fprintf(sb, "<tr><td>%s</td><td>%s</td></tr>\n",
+				html.EscapeString(k), html.EscapeString(params[k]))
+		}
+		sb.WriteString("</table>\n")
+	}
+
+	// results + validation
+	rawResults, hasResults := p.ExperimentFile(name, "results.csv")
+	if !hasResults {
+		sb.WriteString("<p><em>No results yet — run the experiment.</em></p>\n")
+		return nil
+	}
+	tb, err := table.ParseCSV(string(rawResults))
+	if err != nil {
+		return fmt.Errorf("core: %s results.csv: %w", name, err)
+	}
+	sb.WriteString("<h3>Results</h3>\n")
+	htmlTable(sb, tb)
+
+	if rawAver, ok := p.ExperimentFile(name, "validations.aver"); ok {
+		sb.WriteString("<h3>Validation</h3>\n<ul>\n")
+		results, err := aver.NewEvaluator().CheckAll(string(rawAver), tb)
+		if err != nil {
+			fmt.Fprintf(sb, "<li class=\"fail\">validation error: %s</li>\n", html.EscapeString(err.Error()))
+		} else {
+			for _, r := range results {
+				class, mark := "pass", "PASS"
+				if !r.Passed {
+					class, mark = "fail", "FAIL"
+				}
+				fmt.Fprintf(sb, "<li class=%q>%s — <code>%s</code></li>\n",
+					class, mark, html.EscapeString(r.Assertion.Source))
+			}
+		}
+		sb.WriteString("</ul>\n")
+	}
+
+	// figure: inline SVG preferred, ASCII fallback
+	if svg, ok := p.ExperimentFile(name, "figure.svg"); ok {
+		sb.WriteString("<h3>Figure</h3>\n")
+		sb.Write(svg) // produced by internal/plot; trusted generated content
+	} else if txt, ok := p.ExperimentFile(name, "figure.txt"); ok {
+		fmt.Fprintf(sb, "<h3>Figure</h3>\n<pre>%s</pre>\n", html.EscapeString(string(txt)))
+	}
+	return nil
+}
+
+func htmlTable(sb *strings.Builder, tb *table.Table) {
+	cols := tb.Columns()
+	sb.WriteString("<table><tr>")
+	for _, c := range cols {
+		fmt.Fprintf(sb, "<th>%s</th>", html.EscapeString(c))
+	}
+	sb.WriteString("</tr>\n")
+	const maxRows = 50
+	n := tb.Len()
+	shown := n
+	if shown > maxRows {
+		shown = maxRows
+	}
+	for r := 0; r < shown; r++ {
+		sb.WriteString("<tr>")
+		for _, c := range cols {
+			fmt.Fprintf(sb, "<td>%s</td>", html.EscapeString(tb.MustCell(r, c).Text()))
+		}
+		sb.WriteString("</tr>\n")
+	}
+	sb.WriteString("</table>\n")
+	if n > shown {
+		fmt.Fprintf(sb, "<p><em>%d of %d rows shown.</em></p>\n", shown, n)
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"popper/internal/aver"
+	"popper/internal/dataset"
+	"popper/internal/metrics"
+	"popper/internal/orchestrate"
+	"popper/internal/pipeline"
+	"popper/internal/table"
+)
+
+// Env is the execution environment experiments run against: the
+// simulation seed and the (optional) dataset store experiments resolve
+// their data references from.
+type Env struct {
+	Seed  int64
+	Store *dataset.Store
+}
+
+// ExecState is what an experiment's executable binding sees.
+type ExecState struct {
+	Ctx     *pipeline.Context
+	Env     *Env
+	Project *Project
+	Name    string // experiment name
+	// Results must be set by the executor; the post-run stage writes it
+	// to results.csv.
+	Results *table.Table
+	// FigureASCII/FigureSVG, when set, are written to figure.txt /
+	// figure.svg by the post-run stage.
+	FigureASCII string
+	FigureSVG   string
+}
+
+// Executor is the executable binding of a template.
+type Executor func(*ExecState) error
+
+// Param returns an experiment parameter with a default.
+func (x *ExecState) Param(key, def string) string { return x.Ctx.Param(key, def) }
+
+// IntParam parses an integer parameter.
+func (x *ExecState) IntParam(key string, def int) (int, error) {
+	s := x.Param(key, "")
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("core: parameter %s=%q is not an integer", key, s)
+	}
+	return v, nil
+}
+
+// FloatParam parses a float parameter.
+func (x *ExecState) FloatParam(key string, def float64) (float64, error) {
+	s := x.Param(key, "")
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("core: parameter %s=%q is not a number", key, s)
+	}
+	return v, nil
+}
+
+// IntsParam parses a comma-separated integer list parameter.
+func (x *ExecState) IntsParam(key string, def []int) ([]int, error) {
+	s := x.Param(key, "")
+	if s == "" {
+		return def, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("core: parameter %s has non-integer element %q", key, part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return def, nil
+	}
+	return out, nil
+}
+
+// StringsParam parses a comma-separated string list parameter.
+func (x *ExecState) StringsParam(key string, def []string) []string {
+	s := x.Param(key, "")
+	if s == "" {
+		return def
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	if len(out) == 0 {
+		return def
+	}
+	return out
+}
+
+// Seed combines the environment seed with the experiment's seed param.
+func (x *ExecState) Seed() int64 {
+	s, err := x.IntParam("seed", 1)
+	if err != nil {
+		s = 1
+	}
+	return x.Env.Seed*1000003 + int64(s)
+}
+
+// RunResult is the outcome of RunExperiment.
+type RunResult struct {
+	Record     pipeline.Record
+	Validation []aver.Result
+}
+
+// Passed reports whether the pipeline and all validations succeeded.
+func (r RunResult) Passed() bool {
+	return !r.Record.Failed() && aver.AllPassed(r.Validation)
+}
+
+// RunExperiment executes one experiment end to end through the staged
+// pipeline: setup (orchestration check + dataset installation), run (the
+// template's executable binding), post-run (write results.csv and
+// figures), validate (Aver over results.csv).
+func (p *Project) RunExperiment(name string, env *Env) (RunResult, error) {
+	if env == nil {
+		env = &Env{Seed: 1}
+	}
+	tmpl, err := p.TemplateOf(name)
+	if err != nil {
+		return RunResult{}, err
+	}
+	params, err := p.Params(name)
+	if err != nil {
+		return RunResult{}, err
+	}
+	ctx := &pipeline.Context{
+		Params:    params,
+		Workspace: p.Files,
+		Metrics:   metrics.NewRegistry(metrics.Labels{"experiment": name}, nil),
+	}
+	state := &ExecState{Ctx: ctx, Env: env, Project: p, Name: name}
+	var validation []aver.Result
+
+	pl := pipeline.New(name)
+	pl.AddStage("setup", func(c *pipeline.Context) error {
+		// Orchestration integrity: the playbook must parse and lint
+		// against a minimal inventory (syntax tier of CI).
+		if raw, ok := p.ExperimentFile(name, "setup.yml"); ok {
+			pb, err := orchestrate.ParsePlaybook(string(raw))
+			if err != nil {
+				return err
+			}
+			inv := orchestrate.NewInventory()
+			if err := inv.Add(orchestrate.NewHost("localhost", nil)); err != nil {
+				return err
+			}
+			if err := orchestrate.NewRunner(inv).Check(pb); err != nil {
+				return err
+			}
+			c.Logf("setup.yml: %d plays ok", len(pb.Plays))
+		}
+		// Dataset references: resolve and install from the store.
+		refs, err := p.DatasetRefs(name)
+		if err != nil {
+			return err
+		}
+		if len(refs) > 0 && env.Store == nil {
+			return fmt.Errorf("core: experiment %s references datasets but no store is configured", name)
+		}
+		for _, ref := range refs {
+			mgr := dataset.NewManager(env.Store)
+			ws := map[string][]byte{}
+			pinned, err := mgr.Install(ref, ws)
+			if err != nil {
+				return err
+			}
+			for rel, content := range ws {
+				p.Files[expPath(name, rel)] = content
+			}
+			if err := mgr.Verify(ref.Name, workspaceView(p, name)); err != nil {
+				return err
+			}
+			c.Logf("installed dataset %s", pinned)
+		}
+		return nil
+	})
+	pl.AddStage("run", func(c *pipeline.Context) error {
+		return tmpl.run(state)
+	})
+	pl.AddStage("post-run", func(c *pipeline.Context) error {
+		if state.Results == nil || state.Results.Len() == 0 {
+			return fmt.Errorf("core: experiment %s produced no results", name)
+		}
+		p.Files[expPath(name, "results.csv")] = []byte(state.Results.CSV())
+		if state.FigureASCII != "" {
+			p.Files[expPath(name, "figure.txt")] = []byte(state.FigureASCII)
+		}
+		if state.FigureSVG != "" {
+			p.Files[expPath(name, "figure.svg")] = []byte(state.FigureSVG)
+		}
+		c.Logf("results: %d rows", state.Results.Len())
+		return nil
+	})
+	pl.AddStage("validate", func(c *pipeline.Context) error {
+		raw, ok := p.ExperimentFile(name, "validations.aver")
+		if !ok {
+			c.Logf("no validations.aver; skipping result validation")
+			return nil
+		}
+		results, err := aver.NewEvaluator().CheckAll(string(raw), state.Results)
+		if err != nil {
+			return err
+		}
+		validation = results
+		c.Logf("%s", aver.FormatResults(results))
+		if !aver.AllPassed(results) {
+			return fmt.Errorf("core: experiment %s failed result validation:\n%s",
+				name, aver.FormatResults(results))
+		}
+		return nil
+	})
+
+	rec := pl.Run(ctx)
+	return RunResult{Record: rec, Validation: validation}, rec.Err
+}
+
+// workspaceView exposes one experiment's files with experiment-relative
+// paths (for dataset verification).
+func workspaceView(p *Project, name string) map[string][]byte {
+	prefix := ExperimentDir + "/" + name + "/"
+	out := make(map[string][]byte)
+	for path, content := range p.Files {
+		if strings.HasPrefix(path, prefix) {
+			out[strings.TrimPrefix(path, prefix)] = content
+		}
+	}
+	return out
+}

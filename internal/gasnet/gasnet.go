@@ -1,0 +1,246 @@
+// Package gasnet implements the partitioned-global-address-space (PGAS)
+// communication substrate GassyFS is built on in the paper ("GassyFS
+// builds a distributed in-memory file system on top of the GASNet
+// library").
+//
+// A World binds a set of cluster nodes into ranks. Each rank attaches a
+// memory segment (accounted against the node's simulated RAM and backed
+// by real bytes), and any rank can Put/Get into any segment with
+// one-sided RDMA semantics: the caller pays latency plus payload time on
+// its logical clock, the target is undisturbed. Barriers synchronize all
+// ranks. Remote access cost versus local access cost is exactly what
+// makes the GassyFS scalability experiment (Figure gassyfs-git) behave
+// sublinearly, so the fidelity of this layer is what the reproduction of
+// that figure rests on.
+package gasnet
+
+import (
+	"fmt"
+	"sync"
+
+	"popper/internal/cluster"
+	"popper/internal/metrics"
+)
+
+// Addr is a global address: a rank plus an offset into its segment.
+type Addr struct {
+	Rank   int
+	Offset int64
+}
+
+// segment is one rank's registered memory. The backing buffer grows
+// lazily toward the registered size: simulated segments are often huge
+// (gigabytes of aggregate memory) while experiments touch only a small
+// prefix, and eagerly zeroing the full registration would dominate host
+// time without changing any simulated behaviour. Reads beyond the
+// high-water mark observe zeros, exactly as freshly registered memory
+// would.
+type segment struct {
+	mu   sync.Mutex
+	size int64 // registered size (bounds checking, RAM accounting)
+	data []byte
+}
+
+// caller holds s.mu.
+func (s *segment) ensure(n int64) {
+	if int64(len(s.data)) >= n {
+		return
+	}
+	newLen := int64(cap(s.data)) * 2
+	if newLen < n {
+		newLen = n
+	}
+	if newLen > s.size {
+		newLen = s.size
+	}
+	grown := make([]byte, newLen)
+	copy(grown, s.data)
+	s.data = grown
+}
+
+// World is a GASNet job: ranks pinned to cluster nodes sharing a network.
+// Concurrent Put/Get from multiple goroutines (multi-client filesystems)
+// are safe: segment attachment is guarded by mu, and each segment
+// serializes access to its bytes.
+type World struct {
+	mu       sync.RWMutex // guards segment attachment
+	nodes    []*cluster.Node
+	net      *cluster.Network
+	segments []*segment
+	reg      *metrics.Registry
+}
+
+// New creates a world over the given nodes. The metrics registry is
+// optional (nil disables instrumentation).
+func New(nodes []*cluster.Node, net *cluster.Network, reg *metrics.Registry) (*World, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("gasnet: world needs at least one node")
+	}
+	if net == nil {
+		return nil, fmt.Errorf("gasnet: world needs a network")
+	}
+	return &World{
+		nodes:    nodes,
+		net:      net,
+		segments: make([]*segment, len(nodes)),
+		reg:      reg,
+	}, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.nodes) }
+
+// Node returns the cluster node behind a rank.
+func (w *World) Node(rank int) (*cluster.Node, error) {
+	if rank < 0 || rank >= len(w.nodes) {
+		return nil, fmt.Errorf("gasnet: rank %d out of range [0,%d)", rank, len(w.nodes))
+	}
+	return w.nodes[rank], nil
+}
+
+// AttachSegment registers `size` bytes of RDMA-addressable memory on the
+// rank's node. Each rank may attach once.
+func (w *World) AttachSegment(rank int, size int64) error {
+	node, err := w.Node(rank)
+	if err != nil {
+		return err
+	}
+	if size <= 0 {
+		return fmt.Errorf("gasnet: segment size must be positive")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.segments[rank] != nil {
+		return fmt.Errorf("gasnet: rank %d already has a segment", rank)
+	}
+	if err := node.Alloc(size); err != nil {
+		return fmt.Errorf("gasnet: attaching segment: %w", err)
+	}
+	w.segments[rank] = &segment{size: size}
+	return nil
+}
+
+// AttachAll attaches equal segments on every rank.
+func (w *World) AttachAll(size int64) error {
+	for r := range w.nodes {
+		if err := w.AttachSegment(r, size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SegmentSize returns the attached segment size of a rank (0 if none).
+func (w *World) SegmentSize(rank int) int64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if rank < 0 || rank >= len(w.segments) || w.segments[rank] == nil {
+		return 0
+	}
+	return w.segments[rank].size
+}
+
+// TotalMemory returns the aggregate attached memory across ranks —
+// GassyFS's headline feature ("aggregates memory of multiple nodes").
+func (w *World) TotalMemory() int64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var total int64
+	for _, s := range w.segments {
+		if s != nil {
+			total += s.size
+		}
+	}
+	return total
+}
+
+// checkAccess validates the access and returns the target segment.
+func (w *World) checkAccess(caller int, target Addr, n int64) (*segment, error) {
+	if caller < 0 || caller >= len(w.nodes) {
+		return nil, fmt.Errorf("gasnet: caller rank %d out of range", caller)
+	}
+	if target.Rank < 0 || target.Rank >= len(w.nodes) {
+		return nil, fmt.Errorf("gasnet: target rank %d out of range", target.Rank)
+	}
+	w.mu.RLock()
+	seg := w.segments[target.Rank]
+	w.mu.RUnlock()
+	if seg == nil {
+		return nil, fmt.Errorf("gasnet: rank %d has no segment", target.Rank)
+	}
+	if target.Offset < 0 || n < 0 || target.Offset+n > seg.size {
+		return nil, fmt.Errorf("gasnet: access [%d, %d) outside segment of rank %d (size %d)",
+			target.Offset, target.Offset+n, target.Rank, seg.size)
+	}
+	return seg, nil
+}
+
+// Put writes data into the target segment with one-sided semantics; the
+// caller's clock advances by the transfer cost.
+func (w *World) Put(caller int, target Addr, data []byte) error {
+	seg, err := w.checkAccess(caller, target, int64(len(data)))
+	if err != nil {
+		return err
+	}
+	elapsed := w.net.RDMAWrite(w.nodes[caller], w.nodes[target.Rank], int64(len(data)))
+	seg.mu.Lock()
+	seg.ensure(target.Offset + int64(len(data)))
+	copy(seg.data[target.Offset:], data)
+	seg.mu.Unlock()
+	w.observe(caller, target.Rank, "put", len(data), elapsed)
+	return nil
+}
+
+// Get reads n bytes from the target segment into a fresh buffer; the
+// caller's clock advances by the transfer cost.
+func (w *World) Get(caller int, target Addr, n int64) ([]byte, error) {
+	seg, err := w.checkAccess(caller, target, n)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := w.net.RDMARead(w.nodes[caller], w.nodes[target.Rank], n)
+	out := make([]byte, n)
+	seg.mu.Lock()
+	if target.Offset < int64(len(seg.data)) {
+		end := target.Offset + n
+		if end > int64(len(seg.data)) {
+			end = int64(len(seg.data))
+		}
+		copy(out, seg.data[target.Offset:end])
+	}
+	seg.mu.Unlock()
+	w.observe(caller, target.Rank, "get", int(n), elapsed)
+	return out, nil
+}
+
+func (w *World) observe(caller, target int, op string, bytes int, elapsed float64) {
+	if w.reg == nil {
+		return
+	}
+	kind := "local"
+	if caller != target {
+		kind = "remote"
+	}
+	w.reg.Add("gasnet_"+op+"_ops_"+kind, 1)
+	w.reg.Add("gasnet_"+op+"_bytes_"+kind, float64(bytes))
+	w.reg.Observe("gasnet_"+op+"_seconds", elapsed)
+}
+
+// Barrier synchronizes every rank's clock.
+func (w *World) Barrier() float64 {
+	return w.net.Barrier(w.nodes)
+}
+
+// MaxClock returns the latest logical clock across ranks (the makespan).
+func (w *World) MaxClock() float64 {
+	return cluster.MaxClock(w.nodes)
+}
+
+// Compute runs work on a rank's node and returns the elapsed time.
+func (w *World) Compute(rank int, work cluster.Work) (float64, error) {
+	node, err := w.Node(rank)
+	if err != nil {
+		return 0, err
+	}
+	return node.Run(work), nil
+}

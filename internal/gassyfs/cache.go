@@ -1,0 +1,111 @@
+package gassyfs
+
+import (
+	"container/list"
+
+	"popper/internal/gasnet"
+)
+
+// Client-side block caching (the role of FUSE's page cache in the
+// paper's deployment). A cache is private to one client; it is updated
+// write-through by the client's own writes and flushed wholesale
+// whenever any block in the filesystem is freed (an epoch bump), which
+// rules out reading a reused block's stale bytes. Writes by *other*
+// clients do not invalidate it — close-to-open coherence, like the
+// original prototype, so enable caching only for single-writer or
+// read-mostly workloads.
+
+// blockCache is an LRU of block contents keyed by global address.
+type blockCache struct {
+	capacity int
+	epoch    uint64
+	lru      *list.List // of *cacheEntry, front = most recent
+	byAddr   map[gasnet.Addr]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type cacheEntry struct {
+	addr gasnet.Addr
+	data []byte
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{
+		capacity: capacity,
+		lru:      list.New(),
+		byAddr:   make(map[gasnet.Addr]*list.Element),
+	}
+}
+
+// sync flushes the cache when the filesystem epoch moved.
+func (c *blockCache) sync(epoch uint64) {
+	if c.epoch != epoch {
+		c.lru.Init()
+		c.byAddr = make(map[gasnet.Addr]*list.Element)
+		c.epoch = epoch
+	}
+}
+
+// get returns a cached block copy.
+func (c *blockCache) get(addr gasnet.Addr) ([]byte, bool) {
+	el, ok := c.byAddr[addr]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	data := el.Value.(*cacheEntry).data
+	return append([]byte(nil), data...), true
+}
+
+// put stores a block copy, evicting the least recently used.
+func (c *blockCache) put(addr gasnet.Addr, data []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.byAddr[addr]; ok {
+		el.Value.(*cacheEntry).data = append([]byte(nil), data...)
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.byAddr, oldest.Value.(*cacheEntry).addr)
+	}
+	c.byAddr[addr] = c.lru.PushFront(&cacheEntry{
+		addr: addr, data: append([]byte(nil), data...),
+	})
+}
+
+// patch applies a local write to a cached block (write-through).
+func (c *blockCache) patch(addr gasnet.Addr, off int64, data []byte) {
+	el, ok := c.byAddr[addr]
+	if !ok {
+		return
+	}
+	buf := el.Value.(*cacheEntry).data
+	if off < 0 || off+int64(len(data)) > int64(len(buf)) {
+		// partial coverage beyond the cached copy: drop the entry
+		c.lru.Remove(el)
+		delete(c.byAddr, addr)
+		return
+	}
+	copy(buf[off:], data)
+}
+
+// CacheStats reports a client's cache effectiveness.
+type CacheStats struct {
+	Hits, Misses int64
+	Blocks       int
+}
+
+// CacheStats returns hit/miss counters (zero when caching is disabled).
+func (c *Client) CacheStats() CacheStats {
+	if c.cache == nil {
+		return CacheStats{}
+	}
+	return CacheStats{Hits: c.cache.hits, Misses: c.cache.misses, Blocks: c.cache.lru.Len()}
+}

@@ -1,0 +1,89 @@
+package gassyfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"popper/internal/cluster"
+)
+
+// Checkpoint captures the entire filesystem into stable storage — the
+// paper's durability story for GassyFS ("support for checkpointing ...
+// to persistent storage"). The checkpointing client reads every file
+// (paying RDMA costs) and then streams the archive to its node's disk.
+type Checkpoint struct {
+	Files map[string][]byte // file path -> contents
+	Dirs  []string          // directory paths, sorted
+}
+
+// Checkpoint dumps the filesystem through the given client.
+func (c *Client) Checkpoint() (*Checkpoint, error) {
+	ck := &Checkpoint{Files: make(map[string][]byte)}
+	err := c.Walk("/", func(st Stat) error {
+		if st.IsDir {
+			if st.Path != "/" {
+				ck.Dirs = append(ck.Dirs, st.Path)
+			}
+			return nil
+		}
+		data, err := c.ReadFile(st.Path)
+		if err != nil {
+			return err
+		}
+		ck.Files[st.Path] = data
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(ck.Dirs)
+	// Stream the archive to local disk.
+	node, _ := c.fs.world.Node(c.rank)
+	var total int64
+	for _, d := range ck.Files {
+		total += int64(len(d))
+	}
+	node.Run(cluster.Work{DiskBytes: float64(total), DiskOps: float64(len(ck.Files))})
+	if c.fs.reg != nil {
+		c.fs.reg.Add("gassyfs_checkpoint_bytes", float64(total))
+	}
+	return ck, nil
+}
+
+// Restore loads a checkpoint into an empty filesystem through the client.
+func (c *Client) Restore(ck *Checkpoint) error {
+	if ck == nil {
+		return fmt.Errorf("gassyfs: nil checkpoint")
+	}
+	// Read the archive from disk first.
+	node, _ := c.fs.world.Node(c.rank)
+	var total int64
+	for _, d := range ck.Files {
+		total += int64(len(d))
+	}
+	node.Run(cluster.Work{DiskBytes: float64(total), DiskOps: float64(len(ck.Files))})
+
+	for _, d := range ck.Dirs {
+		if err := c.MkdirAll(d); err != nil {
+			return err
+		}
+	}
+	paths := make([]string, 0, len(ck.Files))
+	for p := range ck.Files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		dir := p[:strings.LastIndex(p, "/")]
+		if dir != "" {
+			if err := c.MkdirAll(dir); err != nil {
+				return err
+			}
+		}
+		if err := c.WriteFile(p, ck.Files[p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,772 @@
+// Package gassyfs reproduces GassyFS, the system of the paper's
+// scalability use case: "a new prototype filesystem system that stores
+// files in distributed remote memory and provides support for multiple
+// clients".
+//
+// The filesystem aggregates the memory segments of a GASNet world
+// (internal/gasnet) into one block store. File data is striped over
+// segments according to an allocation policy; clients on any rank mount
+// the filesystem FUSE-style and pay one-sided RDMA costs for every block
+// they touch on another rank — the communication overhead that makes the
+// compile-Git workload scale sublinearly in Figure gassyfs-git. Like the
+// paper's prototype, the store is volatile: durability comes from
+// explicit checkpoint/restore to stable storage.
+package gassyfs
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"popper/internal/cluster"
+	"popper/internal/gasnet"
+	"popper/internal/metrics"
+)
+
+// AllocPolicy selects where new blocks are placed.
+type AllocPolicy int
+
+// Allocation policies (the DESIGN.md ablation compares them).
+const (
+	// AllocRoundRobin stripes blocks across all segments evenly.
+	AllocRoundRobin AllocPolicy = iota
+	// AllocLocalFirst fills the writer's own segment before spilling to
+	// other ranks round-robin.
+	AllocLocalFirst
+)
+
+// Options configure a mount.
+type Options struct {
+	// BlockSize in bytes; default 64 KiB.
+	BlockSize int64
+	// Policy for block placement; default AllocRoundRobin.
+	Policy AllocPolicy
+	// MetadataRank hosts the (centralized) metadata service; clients on
+	// other ranks pay a round trip per metadata operation. Default 0.
+	MetadataRank int
+	// CacheBlocks enables a per-client LRU block cache of this many
+	// blocks (0 disables). See cache.go for the coherence contract:
+	// caches are write-through for the owning client and flushed when
+	// any block is freed, but writes by other clients are not observed
+	// until then (close-to-open semantics).
+	CacheBlocks int
+	// Registry receives operation metrics (optional).
+	Registry *metrics.Registry
+}
+
+// FS is a mounted GassyFS instance.
+type FS struct {
+	mu     sync.Mutex
+	world  *gasnet.World
+	opts   Options
+	inodes map[string]*inode
+	// per-rank block allocator
+	nextOff  []int64
+	freeList [][]int64
+	// epoch increments whenever a block is freed, flushing client caches
+	// before a reused block could serve stale bytes.
+	epoch uint64
+	reg   *metrics.Registry
+}
+
+type inode struct {
+	isDir  bool
+	size   int64
+	blocks []gasnet.Addr
+}
+
+// Mount creates a filesystem over the world's attached segments.
+func Mount(world *gasnet.World, opts Options) (*FS, error) {
+	if opts.BlockSize == 0 {
+		opts.BlockSize = 64 << 10
+	}
+	if opts.BlockSize < 512 {
+		return nil, fmt.Errorf("gassyfs: block size %d too small", opts.BlockSize)
+	}
+	if opts.MetadataRank < 0 || opts.MetadataRank >= world.Size() {
+		return nil, fmt.Errorf("gassyfs: metadata rank %d out of range", opts.MetadataRank)
+	}
+	for r := 0; r < world.Size(); r++ {
+		if world.SegmentSize(r) < opts.BlockSize {
+			return nil, fmt.Errorf("gassyfs: rank %d segment (%d bytes) smaller than a block",
+				r, world.SegmentSize(r))
+		}
+	}
+	fs := &FS{
+		world:    world,
+		opts:     opts,
+		inodes:   map[string]*inode{"/": {isDir: true}},
+		nextOff:  make([]int64, world.Size()),
+		freeList: make([][]int64, world.Size()),
+		reg:      opts.Registry,
+	}
+	return fs, nil
+}
+
+// World returns the underlying GASNet world.
+func (fs *FS) World() *gasnet.World { return fs.world }
+
+// BlockSize returns the mount's block size.
+func (fs *FS) BlockSize() int64 { return fs.opts.BlockSize }
+
+// Client returns a handle bound to a rank; all costs of its operations
+// land on that rank's node clock.
+func (fs *FS) Client(rank int) (*Client, error) {
+	if _, err := fs.world.Node(rank); err != nil {
+		return nil, err
+	}
+	cl := &Client{fs: fs, rank: rank}
+	if fs.opts.CacheBlocks > 0 {
+		cl.cache = newBlockCache(fs.opts.CacheBlocks)
+	}
+	return cl, nil
+}
+
+// clean canonicalizes a path; returns an error for escapes and empties.
+func clean(p string) (string, error) {
+	if p == "" {
+		return "", fmt.Errorf("gassyfs: empty path")
+	}
+	for _, seg := range strings.Split(p, "/") {
+		if seg == ".." {
+			return "", fmt.Errorf("gassyfs: invalid path %q", p)
+		}
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	c := path.Clean(p)
+	if c == "." || strings.HasPrefix(c, "..") {
+		return "", fmt.Errorf("gassyfs: invalid path %q", p)
+	}
+	return c, nil
+}
+
+// allocBlock reserves one block for a writer on `rank` per the policy.
+// Caller holds fs.mu.
+func (fs *FS) allocBlock(rank int) (gasnet.Addr, error) {
+	order := make([]int, 0, fs.world.Size())
+	n := fs.world.Size()
+	switch fs.opts.Policy {
+	case AllocLocalFirst:
+		order = append(order, rank)
+		for i := 1; i < n; i++ {
+			order = append(order, (rank+i)%n)
+		}
+	default: // round-robin: start from the globally least-loaded rank
+		start := 0
+		var best int64 = 1<<62 - 1
+		for r := 0; r < n; r++ {
+			used := fs.nextOff[r] - int64(len(fs.freeList[r]))*fs.opts.BlockSize
+			if used < best {
+				best, start = used, r
+			}
+		}
+		for i := 0; i < n; i++ {
+			order = append(order, (start+i)%n)
+		}
+	}
+	for _, r := range order {
+		if k := len(fs.freeList[r]); k > 0 {
+			off := fs.freeList[r][k-1]
+			fs.freeList[r] = fs.freeList[r][:k-1]
+			return gasnet.Addr{Rank: r, Offset: off}, nil
+		}
+		if fs.nextOff[r]+fs.opts.BlockSize <= fs.world.SegmentSize(r) {
+			off := fs.nextOff[r]
+			fs.nextOff[r] += fs.opts.BlockSize
+			return gasnet.Addr{Rank: r, Offset: off}, nil
+		}
+	}
+	return gasnet.Addr{}, fmt.Errorf("gassyfs: out of space (%d bytes aggregated)", fs.world.TotalMemory())
+}
+
+func (fs *FS) freeBlock(a gasnet.Addr) {
+	fs.freeList[a.Rank] = append(fs.freeList[a.Rank], a.Offset)
+	fs.epoch++
+}
+
+// Fsck verifies the filesystem's structural invariants:
+//
+//  1. every inode's block count covers its size (ceil(size/bs) blocks);
+//  2. no block is referenced by two inodes or doubly freed;
+//  3. every referenced or free block lies inside its rank's segment and
+//     on a block boundary;
+//  4. every non-root inode has an existing directory as parent.
+//
+// It is the correctness oracle for the property tests and a debugging
+// aid for downstream users.
+func (fs *FS) Fsck() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	bs := fs.opts.BlockSize
+	seen := make(map[gasnet.Addr]string)
+	checkAddr := func(owner string, a gasnet.Addr) error {
+		if a.Rank < 0 || a.Rank >= fs.world.Size() {
+			return fmt.Errorf("gassyfs: fsck: %s references rank %d out of range", owner, a.Rank)
+		}
+		if a.Offset < 0 || a.Offset%bs != 0 || a.Offset+bs > fs.world.SegmentSize(a.Rank) {
+			return fmt.Errorf("gassyfs: fsck: %s references misaligned/out-of-segment block %+v", owner, a)
+		}
+		if a.Offset >= fs.nextOff[a.Rank] {
+			return fmt.Errorf("gassyfs: fsck: %s references never-allocated block %+v", owner, a)
+		}
+		if prev, dup := seen[a]; dup {
+			return fmt.Errorf("gassyfs: fsck: block %+v owned by both %s and %s", a, prev, owner)
+		}
+		seen[a] = owner
+		return nil
+	}
+	for path, ino := range fs.inodes {
+		if ino.isDir {
+			if len(ino.blocks) != 0 || ino.size != 0 {
+				return fmt.Errorf("gassyfs: fsck: directory %s has data", path)
+			}
+		} else {
+			need := int((ino.size + bs - 1) / bs)
+			if len(ino.blocks) < need {
+				return fmt.Errorf("gassyfs: fsck: %s has %d blocks for %d bytes (need %d)",
+					path, len(ino.blocks), ino.size, need)
+			}
+			for _, b := range ino.blocks {
+				if err := checkAddr(path, b); err != nil {
+					return err
+				}
+			}
+		}
+		if path != "/" {
+			parent := path[:strings.LastIndex(path, "/")]
+			if parent == "" {
+				parent = "/"
+			}
+			pi, ok := fs.inodes[parent]
+			if !ok || !pi.isDir {
+				return fmt.Errorf("gassyfs: fsck: %s has no parent directory", path)
+			}
+		}
+	}
+	for r, frees := range fs.freeList {
+		for _, off := range frees {
+			if err := checkAddr(fmt.Sprintf("freelist[%d]", r), gasnet.Addr{Rank: r, Offset: off}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// UsedBlocks reports allocated (non-free) blocks per rank — the data-
+// placement observable the ablation benchmark asserts on.
+func (fs *FS) UsedBlocks() []int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]int, fs.world.Size())
+	for r := range out {
+		out[r] = int(fs.nextOff[r]/fs.opts.BlockSize) - len(fs.freeList[r])
+	}
+	return out
+}
+
+// Client is a per-rank mount handle.
+type Client struct {
+	fs    *FS
+	rank  int
+	cache *blockCache // nil when caching is disabled
+}
+
+// syncCache flushes the cache when the filesystem epoch has moved.
+func (c *Client) syncCache() {
+	if c.cache == nil {
+		return
+	}
+	c.fs.mu.Lock()
+	epoch := c.fs.epoch
+	c.fs.mu.Unlock()
+	c.cache.sync(epoch)
+}
+
+// Rank returns the client's rank.
+func (c *Client) Rank() int { return c.rank }
+
+// FS returns the filesystem this client is mounted on.
+func (c *Client) FS() *FS { return c.fs }
+
+// metaCost charges one metadata round trip when the client is not
+// colocated with the metadata service.
+func (c *Client) metaCost() {
+	fs := c.fs
+	node, _ := fs.world.Node(c.rank)
+	// Local metadata: a map lookup's worth of work.
+	node.Run(cluster.Work{CPUOps: 2000})
+	if c.rank != fs.opts.MetadataRank {
+		mdNode, _ := fs.world.Node(fs.opts.MetadataRank)
+		lat := node.Profile().NICLatS + mdNode.Profile().NICLatS
+		node.Advance(2 * lat)
+	}
+	if fs.reg != nil {
+		fs.reg.Add("gassyfs_meta_ops", 1)
+	}
+}
+
+// Mkdir creates a directory; the parent must exist.
+func (c *Client) Mkdir(p string) error {
+	cp, err := clean(p)
+	if err != nil {
+		return err
+	}
+	c.metaCost()
+	fs := c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, exists := fs.inodes[cp]; exists {
+		return fmt.Errorf("gassyfs: %s already exists", cp)
+	}
+	parent := path.Dir(cp)
+	pi, ok := fs.inodes[parent]
+	if !ok || !pi.isDir {
+		return fmt.Errorf("gassyfs: parent %s is not a directory", parent)
+	}
+	fs.inodes[cp] = &inode{isDir: true}
+	return nil
+}
+
+// MkdirAll creates a directory and any missing parents.
+func (c *Client) MkdirAll(p string) error {
+	cp, err := clean(p)
+	if err != nil {
+		return err
+	}
+	segs := strings.Split(strings.TrimPrefix(cp, "/"), "/")
+	cur := ""
+	for _, s := range segs {
+		if s == "" {
+			continue
+		}
+		cur += "/" + s
+		c.fs.mu.Lock()
+		node, exists := c.fs.inodes[cur]
+		c.fs.mu.Unlock()
+		if exists {
+			if !node.isDir {
+				return fmt.Errorf("gassyfs: %s exists and is a file", cur)
+			}
+			continue
+		}
+		if err := c.Mkdir(cur); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Create makes an empty file; the parent directory must exist; an
+// existing file is truncated.
+func (c *Client) Create(p string) error {
+	cp, err := clean(p)
+	if err != nil {
+		return err
+	}
+	c.metaCost()
+	fs := c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if existing, ok := fs.inodes[cp]; ok {
+		if existing.isDir {
+			return fmt.Errorf("gassyfs: %s is a directory", cp)
+		}
+		for _, b := range existing.blocks {
+			fs.freeBlock(b)
+		}
+		existing.blocks = nil
+		existing.size = 0
+		return nil
+	}
+	parent := path.Dir(cp)
+	pi, ok := fs.inodes[parent]
+	if !ok || !pi.isDir {
+		return fmt.Errorf("gassyfs: parent %s is not a directory", parent)
+	}
+	fs.inodes[cp] = &inode{}
+	return nil
+}
+
+// Stat describes a file or directory.
+type Stat struct {
+	Path   string
+	IsDir  bool
+	Size   int64
+	Blocks int
+}
+
+// Stat returns metadata for a path.
+func (c *Client) Stat(p string) (Stat, error) {
+	cp, err := clean(p)
+	if err != nil {
+		return Stat{}, err
+	}
+	c.metaCost()
+	fs := c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, ok := fs.inodes[cp]
+	if !ok {
+		return Stat{}, fmt.Errorf("gassyfs: %s: no such file or directory", cp)
+	}
+	return Stat{Path: cp, IsDir: ino.isDir, Size: ino.size, Blocks: len(ino.blocks)}, nil
+}
+
+// Readdir lists the immediate children of a directory, sorted.
+func (c *Client) Readdir(p string) ([]Stat, error) {
+	cp, err := clean(p)
+	if err != nil {
+		return nil, err
+	}
+	c.metaCost()
+	fs := c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, ok := fs.inodes[cp]
+	if !ok || !dir.isDir {
+		return nil, fmt.Errorf("gassyfs: %s is not a directory", cp)
+	}
+	prefix := cp
+	if prefix != "/" {
+		prefix += "/"
+	}
+	var out []Stat
+	for ip, ino := range fs.inodes {
+		if ip == cp || !strings.HasPrefix(ip, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(ip, prefix)
+		if strings.Contains(rest, "/") {
+			continue
+		}
+		out = append(out, Stat{Path: ip, IsDir: ino.isDir, Size: ino.size, Blocks: len(ino.blocks)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// WriteAt writes data at a byte offset, extending the file as needed.
+func (c *Client) WriteAt(p string, off int64, data []byte) error {
+	cp, err := clean(p)
+	if err != nil {
+		return err
+	}
+	if off < 0 {
+		return fmt.Errorf("gassyfs: negative offset")
+	}
+	c.metaCost()
+	fs := c.fs
+	fs.mu.Lock()
+	ino, ok := fs.inodes[cp]
+	if !ok {
+		fs.mu.Unlock()
+		return fmt.Errorf("gassyfs: %s: no such file", cp)
+	}
+	if ino.isDir {
+		fs.mu.Unlock()
+		return fmt.Errorf("gassyfs: %s is a directory", cp)
+	}
+	bs := fs.opts.BlockSize
+	end := off + int64(len(data))
+	// grow the block list to cover [0, end)
+	needed := int((end + bs - 1) / bs)
+	for len(ino.blocks) < needed {
+		addr, err := fs.allocBlock(c.rank)
+		if err != nil {
+			fs.mu.Unlock()
+			return err
+		}
+		ino.blocks = append(ino.blocks, addr)
+	}
+	if end > ino.size {
+		ino.size = end
+	}
+	blocks := append([]gasnet.Addr(nil), ino.blocks...)
+	fs.mu.Unlock()
+
+	// Write block by block (RDMA puts outside the lock; the world layer
+	// does its own bounds checking).
+	c.syncCache()
+	pos := off
+	remaining := data
+	for len(remaining) > 0 {
+		bi := pos / bs
+		inBlock := pos % bs
+		n := bs - inBlock
+		if int64(len(remaining)) < n {
+			n = int64(len(remaining))
+		}
+		b := blocks[bi]
+		if err := fs.world.Put(c.rank, gasnet.Addr{Rank: b.Rank, Offset: b.Offset + inBlock}, remaining[:n]); err != nil {
+			return err
+		}
+		if c.cache != nil {
+			c.cache.patch(b, inBlock, remaining[:n])
+		}
+		pos += n
+		remaining = remaining[n:]
+	}
+	if fs.reg != nil {
+		fs.reg.Add("gassyfs_write_ops", 1)
+		fs.reg.Add("gassyfs_write_bytes", float64(len(data)))
+	}
+	return nil
+}
+
+// ReadAt reads up to n bytes from a byte offset; short reads happen at
+// end of file.
+func (c *Client) ReadAt(p string, off, n int64) ([]byte, error) {
+	cp, err := clean(p)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || n < 0 {
+		return nil, fmt.Errorf("gassyfs: negative offset or length")
+	}
+	c.metaCost()
+	fs := c.fs
+	fs.mu.Lock()
+	ino, ok := fs.inodes[cp]
+	if !ok {
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("gassyfs: %s: no such file", cp)
+	}
+	if ino.isDir {
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("gassyfs: %s is a directory", cp)
+	}
+	if off >= ino.size {
+		fs.mu.Unlock()
+		return nil, nil
+	}
+	if off+n > ino.size {
+		n = ino.size - off
+	}
+	blocks := append([]gasnet.Addr(nil), ino.blocks...)
+	fs.mu.Unlock()
+
+	bs := fs.opts.BlockSize
+	c.syncCache()
+	out := make([]byte, 0, n)
+	pos := off
+	for int64(len(out)) < n {
+		bi := pos / bs
+		inBlock := pos % bs
+		chunk := bs - inBlock
+		if rem := n - int64(len(out)); rem < chunk {
+			chunk = rem
+		}
+		b := blocks[bi]
+		if c.cache != nil {
+			// whole-block caching, page-cache style: a miss fetches the
+			// full block; a hit serves locally with no network cost.
+			full, hit := c.cache.get(b)
+			if !hit {
+				var err error
+				full, err = fs.world.Get(c.rank, b, bs)
+				if err != nil {
+					return nil, err
+				}
+				c.cache.put(b, full)
+			}
+			out = append(out, full[inBlock:inBlock+chunk]...)
+			pos += chunk
+			continue
+		}
+		buf, err := fs.world.Get(c.rank, gasnet.Addr{Rank: b.Rank, Offset: b.Offset + inBlock}, chunk)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+		pos += chunk
+	}
+	if fs.reg != nil {
+		fs.reg.Add("gassyfs_read_ops", 1)
+		fs.reg.Add("gassyfs_read_bytes", float64(len(out)))
+	}
+	return out, nil
+}
+
+// WriteFile creates (or truncates) a file with the given contents.
+func (c *Client) WriteFile(p string, data []byte) error {
+	if err := c.Create(p); err != nil {
+		return err
+	}
+	return c.WriteAt(p, 0, data)
+}
+
+// ReadFile reads an entire file.
+func (c *Client) ReadFile(p string) ([]byte, error) {
+	st, err := c.Stat(p)
+	if err != nil {
+		return nil, err
+	}
+	if st.IsDir {
+		return nil, fmt.Errorf("gassyfs: %s is a directory", p)
+	}
+	return c.ReadAt(p, 0, st.Size)
+}
+
+// Append writes data at the end of the file.
+func (c *Client) Append(p string, data []byte) error {
+	st, err := c.Stat(p)
+	if err != nil {
+		return err
+	}
+	return c.WriteAt(p, st.Size, data)
+}
+
+// Truncate shrinks or grows a file to the given size; blocks past the
+// new end are returned to the allocator.
+func (c *Client) Truncate(p string, size int64) error {
+	cp, err := clean(p)
+	if err != nil {
+		return err
+	}
+	if size < 0 {
+		return fmt.Errorf("gassyfs: negative size")
+	}
+	c.metaCost()
+	fs := c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, ok := fs.inodes[cp]
+	if !ok || ino.isDir {
+		return fmt.Errorf("gassyfs: %s: not a file", cp)
+	}
+	bs := fs.opts.BlockSize
+	keep := int((size + bs - 1) / bs)
+	if keep < len(ino.blocks) {
+		for _, b := range ino.blocks[keep:] {
+			fs.freeBlock(b)
+		}
+		ino.blocks = ino.blocks[:keep]
+	}
+	for len(ino.blocks) < keep {
+		addr, err := fs.allocBlock(c.rank)
+		if err != nil {
+			return err
+		}
+		ino.blocks = append(ino.blocks, addr)
+	}
+	ino.size = size
+	return nil
+}
+
+// Remove deletes a file or an empty directory.
+func (c *Client) Remove(p string) error {
+	cp, err := clean(p)
+	if err != nil {
+		return err
+	}
+	if cp == "/" {
+		return fmt.Errorf("gassyfs: cannot remove root")
+	}
+	c.metaCost()
+	fs := c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, ok := fs.inodes[cp]
+	if !ok {
+		return fmt.Errorf("gassyfs: %s: no such file or directory", cp)
+	}
+	if ino.isDir {
+		prefix := cp + "/"
+		for ip := range fs.inodes {
+			if strings.HasPrefix(ip, prefix) {
+				return fmt.Errorf("gassyfs: %s: directory not empty", cp)
+			}
+		}
+	}
+	for _, b := range ino.blocks {
+		fs.freeBlock(b)
+	}
+	delete(fs.inodes, cp)
+	return nil
+}
+
+// Rename moves a file or directory (and its subtree).
+func (c *Client) Rename(oldp, newp string) error {
+	co, err := clean(oldp)
+	if err != nil {
+		return err
+	}
+	cn, err := clean(newp)
+	if err != nil {
+		return err
+	}
+	if co == "/" || cn == "/" {
+		return fmt.Errorf("gassyfs: cannot rename root")
+	}
+	c.metaCost()
+	fs := c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, ok := fs.inodes[co]
+	if !ok {
+		return fmt.Errorf("gassyfs: %s: no such file or directory", co)
+	}
+	if _, exists := fs.inodes[cn]; exists {
+		return fmt.Errorf("gassyfs: %s already exists", cn)
+	}
+	parent := path.Dir(cn)
+	if pi, ok := fs.inodes[parent]; !ok || !pi.isDir {
+		return fmt.Errorf("gassyfs: parent %s is not a directory", parent)
+	}
+	if strings.HasPrefix(cn+"/", co+"/") && ino.isDir {
+		return fmt.Errorf("gassyfs: cannot rename %s into itself", co)
+	}
+	// move the inode and, for directories, every descendant
+	delete(fs.inodes, co)
+	fs.inodes[cn] = ino
+	if ino.isDir {
+		prefix := co + "/"
+		var moves [][2]string
+		for ip := range fs.inodes {
+			if strings.HasPrefix(ip, prefix) {
+				moves = append(moves, [2]string{ip, cn + "/" + strings.TrimPrefix(ip, prefix)})
+			}
+		}
+		for _, m := range moves {
+			fs.inodes[m[1]] = fs.inodes[m[0]]
+			delete(fs.inodes, m[0])
+		}
+	}
+	return nil
+}
+
+// Walk visits every path under root (inclusive) in sorted order.
+func (c *Client) Walk(root string, visit func(Stat) error) error {
+	cr, err := clean(root)
+	if err != nil {
+		return err
+	}
+	fs := c.fs
+	fs.mu.Lock()
+	var paths []string
+	for ip := range fs.inodes {
+		if ip == cr || strings.HasPrefix(ip, strings.TrimSuffix(cr, "/")+"/") {
+			paths = append(paths, ip)
+		}
+	}
+	fs.mu.Unlock()
+	if len(paths) == 0 {
+		return fmt.Errorf("gassyfs: %s: no such file or directory", cr)
+	}
+	sort.Strings(paths)
+	for _, ip := range paths {
+		st, err := c.Stat(ip)
+		if err != nil {
+			return err
+		}
+		if err := visit(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,335 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestObserveAndSeries(t *testing.T) {
+	r := NewRegistry(Labels{"machine": "m0"}, nil)
+	r.Observe("time", 10)
+	r.Observe("time", 20)
+	r.Observe("other", 5)
+	got := r.Series("time", nil)
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("series = %v", got)
+	}
+	if n := r.Len(); n != 3 {
+		t.Fatalf("len = %d", n)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	r := NewRegistry(nil, nil)
+	r.Add("ops", 3)
+	r.Add("ops", 4)
+	if v := r.Counter("ops"); v != 7 {
+		t.Fatalf("counter = %v", v)
+	}
+	series := r.Series("ops", nil)
+	if len(series) != 2 || series[1] != 7 {
+		t.Fatalf("counter series = %v", series)
+	}
+}
+
+func TestGauges(t *testing.T) {
+	r := NewRegistry(nil, nil)
+	r.Set("mem", 100)
+	r.Set("mem", 50)
+	if v := r.Gauge("mem"); v != 50 {
+		t.Fatalf("gauge = %v", v)
+	}
+	if v := r.Gauge("absent"); v != 0 {
+		t.Fatalf("absent gauge = %v", v)
+	}
+}
+
+func TestLabelsAndViews(t *testing.T) {
+	r := NewRegistry(Labels{"exp": "gassyfs"}, nil)
+	v := r.WithLabels(Labels{"machine": "n1"})
+	v.Observe("time", 42)
+	v2 := v.WithLabels(Labels{"run": "3"})
+	v2.Observe("time", 43)
+
+	if got := r.Series("time", Labels{"machine": "n1"}); len(got) != 2 {
+		t.Fatalf("machine series = %v", got)
+	}
+	if got := r.Series("time", Labels{"run": "3"}); len(got) != 1 || got[0] != 43 {
+		t.Fatalf("run series = %v", got)
+	}
+	if got := r.Series("time", Labels{"run": "9"}); len(got) != 0 {
+		t.Fatalf("mismatched filter should be empty, got %v", got)
+	}
+	// base labels present on everything
+	if got := r.Series("time", Labels{"exp": "gassyfs"}); len(got) != 2 {
+		t.Fatalf("base label series = %v", got)
+	}
+}
+
+func TestViewLabelsDoNotLeak(t *testing.T) {
+	r := NewRegistry(nil, nil)
+	v := r.WithLabels(Labels{"a": "1"})
+	_ = v.WithLabels(Labels{"b": "2"}) // deriving must not mutate v
+	v.Observe("m", 1)
+	obs := r.Observations()
+	if _, ok := obs[0].Labels["b"]; ok {
+		t.Fatal("derived view labels leaked into parent view")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	var now int64
+	r := NewRegistry(nil, func() int64 { return now })
+	v := r.WithLabels(nil)
+	now = 100
+	tm := v.StartTimer("elapsed")
+	now = 250
+	if got := tm.Stop(); got != 150 {
+		t.Fatalf("elapsed = %v", got)
+	}
+	if s := r.Series("elapsed", nil); len(s) != 1 || s[0] != 150 {
+		t.Fatalf("series = %v", s)
+	}
+}
+
+func TestTableExport(t *testing.T) {
+	r := NewRegistry(Labels{"workload": "compile"}, nil)
+	r.WithLabels(Labels{"nodes": "2"}).Observe("time", 55)
+	tb := r.Table()
+	cols := tb.Columns()
+	want := []string{"tick", "metric", "value", "nodes", "workload"}
+	if len(cols) != len(want) {
+		t.Fatalf("cols = %v", cols)
+	}
+	for i := range want {
+		if cols[i] != want[i] {
+			t.Fatalf("cols = %v, want %v", cols, want)
+		}
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("rows = %d", tb.Len())
+	}
+	if v := tb.MustCell(0, "value").Num; v != 55 {
+		t.Fatalf("value = %v", v)
+	}
+}
+
+func TestResultTablePivot(t *testing.T) {
+	r := NewRegistry(Labels{"workload": "compile-git"}, nil)
+	for _, n := range []string{"1", "2", "4"} {
+		v := r.WithLabels(Labels{"nodes": n})
+		v.Observe("time", 100/float64(len(n))) // arbitrary
+		v.Observe("mem", 7)
+	}
+	rt := r.ResultTable()
+	if rt.Len() != 3 {
+		t.Fatalf("pivot rows = %d\n%s", rt.Len(), rt.Format())
+	}
+	if !rt.HasColumn("time") || !rt.HasColumn("mem") || !rt.HasColumn("nodes") {
+		t.Fatalf("pivot cols = %v", rt.Columns())
+	}
+	row, err := rt.Where("nodes", rt.MustCell(0, "nodes"))
+	if err != nil || row.Len() != 1 {
+		t.Fatalf("where: %v", err)
+	}
+}
+
+func TestResultTableLastWins(t *testing.T) {
+	r := NewRegistry(nil, nil)
+	r.Observe("x", 1)
+	r.Observe("x", 2)
+	rt := r.ResultTable()
+	if rt.Len() != 1 {
+		t.Fatalf("rows = %d", rt.Len())
+	}
+	if v := rt.MustCell(0, "x").Num; v != 2 {
+		t.Fatalf("x = %v (last value should win)", v)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := NewRegistry(nil, nil)
+	for _, x := range []float64{1, 2, 3, 4} {
+		r.Observe("t", x)
+	}
+	s := r.Summarize("t", nil)
+	if s.Count != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-1.2909944487358056) > 1e-12 {
+		t.Fatalf("sd = %v", s.StdDev)
+	}
+	empty := r.Summarize("absent", nil)
+	if empty.Count != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+	if s.String() == "" {
+		t.Fatal("summary string empty")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry(nil, nil)
+	r.Add("c", 5)
+	r.Set("g", 2)
+	r.Reset()
+	if r.Len() != 0 || r.Counter("c") != 0 || r.Gauge("g") != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry(nil, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add("ops", 1)
+				r.Observe("x", float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("ops"); v != 800 {
+		t.Fatalf("ops = %v", v)
+	}
+	if n := r.Len(); n != 1600 {
+		t.Fatalf("observations = %d", n)
+	}
+}
+
+// Property: ticks are strictly increasing with the default clock.
+func TestQuickMonotonicTicks(t *testing.T) {
+	f := func(vals []float64) bool {
+		r := NewRegistry(nil, nil)
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				v = 0
+			}
+			r.Observe("m", v)
+		}
+		obs := r.Observations()
+		for i := 1; i < len(obs); i++ {
+			if obs[i].Tick <= obs[i-1].Tick {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Series returns exactly the observed values, in order.
+func TestQuickSeriesFaithful(t *testing.T) {
+	f := func(vals []float64) bool {
+		r := NewRegistry(nil, nil)
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			clean = append(clean, v)
+			r.Observe("m", v)
+		}
+		got := r.Series("m", nil)
+		if len(got) != len(clean) {
+			return false
+		}
+		for i := range got {
+			if got[i] != clean[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	samples := []float64{10, 11, 9, 10.5, 9.5, 10, 10.2, 9.8}
+	lo, hi, err := BootstrapCI(samples, func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}, 1000, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatalf("interval [%v, %v]", lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Fatalf("true mean 10 outside [%v, %v]", lo, hi)
+	}
+	// deterministic in the seed
+	lo2, hi2, _ := BootstrapCI(samples, func(xs []float64) float64 { return xs[0] }, 1000, 0.95, 7)
+	lo3, hi3, _ := BootstrapCI(samples, func(xs []float64) float64 { return xs[0] }, 1000, 0.95, 7)
+	if lo2 != lo3 || hi2 != hi3 {
+		t.Fatal("bootstrap must be deterministic for a seed")
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	id := func(xs []float64) float64 { return xs[0] }
+	if _, _, err := BootstrapCI([]float64{1}, id, 1000, 0.95, 1); err == nil {
+		t.Fatal("too few samples must fail")
+	}
+	if _, _, err := BootstrapCI([]float64{1, 2}, id, 10, 0.95, 1); err == nil {
+		t.Fatal("too few iterations must fail")
+	}
+	if _, _, err := BootstrapCI([]float64{1, 2}, id, 1000, 1.5, 1); err == nil {
+		t.Fatal("bad confidence must fail")
+	}
+}
+
+func TestCompareSystems(t *testing.T) {
+	// B is clearly ~10x faster than A (lower is better).
+	a := []float64{100, 104, 96, 99, 101, 103, 97, 100}
+	b := []float64{10, 10.3, 9.6, 10.1, 9.9, 10.2, 9.8, 10}
+	c, err := CompareSystems(a, b, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Factor < 9 || c.Factor > 11 {
+		t.Fatalf("factor = %v", c.Factor)
+	}
+	if !c.Better() {
+		t.Fatalf("B should be confidently better: %s", c.String())
+	}
+	if c.Lo > c.Factor || c.Hi < c.Factor {
+		t.Fatalf("point estimate outside CI: %s", c.String())
+	}
+	if c.String() == "" {
+		t.Fatal("empty statement")
+	}
+	// overlapping systems are not confidently different
+	c2, err := CompareSystems(a, []float64{98, 102, 95, 105, 99, 101}, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Better() {
+		t.Fatalf("similar systems must not be confidently different: %s", c2.String())
+	}
+}
+
+func TestCompareSystemsValidation(t *testing.T) {
+	if _, err := CompareSystems([]float64{1}, []float64{1, 2}, 0.95, 1); err == nil {
+		t.Fatal("too few samples must fail")
+	}
+	if _, err := CompareSystems([]float64{0, 0}, []float64{0, 0}, 0.95, 1); err == nil {
+		t.Fatal("zero means must fail")
+	}
+	if _, err := CompareSystems([]float64{1, 2}, []float64{1, 2}, 2, 1); err == nil {
+		t.Fatal("bad confidence must fail")
+	}
+}

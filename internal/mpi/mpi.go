@@ -1,0 +1,432 @@
+// Package mpi implements the message-passing substrate of the paper's
+// HPC use case: an MPI-like communicator over simulated cluster nodes,
+// with point-to-point messaging, tree-based collectives, and an
+// mpiP-style communication profiler.
+//
+// The noisy-neighbour experiment (Section "MPI Noisy Neighborhood
+// Characterization") runs a LULESH-like proxy application over this
+// communicator many times and studies run-to-run variability of the
+// captured MPI metrics. Collectives synchronize ranks, so a single
+// straggler (a rank on a loaded node) inflates everyone's MPI wait time
+// — the mechanism behind the variability the original study measured
+// with mpiP.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"popper/internal/cluster"
+	"popper/internal/table"
+)
+
+// Comm is an MPI communicator: one rank per cluster node.
+type Comm struct {
+	nodes []*cluster.Node
+	net   *cluster.Network
+	// queues[src][dst] holds in-flight message arrival times (FIFO).
+	queues map[int]map[int][]pendingMsg
+	prof   *Profiler
+}
+
+type pendingMsg struct {
+	arrival float64
+	bytes   int64
+}
+
+// NewComm builds a communicator with one rank per node.
+func NewComm(nodes []*cluster.Node, net *cluster.Network) (*Comm, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("mpi: communicator needs at least one rank")
+	}
+	if net == nil {
+		return nil, fmt.Errorf("mpi: nil network")
+	}
+	return &Comm{
+		nodes:  nodes,
+		net:    net,
+		queues: make(map[int]map[int][]pendingMsg),
+		prof:   NewProfiler(len(nodes)),
+	}, nil
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return len(c.nodes) }
+
+// Node returns the node behind a rank.
+func (c *Comm) Node(rank int) (*cluster.Node, error) {
+	if rank < 0 || rank >= len(c.nodes) {
+		return nil, fmt.Errorf("mpi: rank %d out of range [0,%d)", rank, len(c.nodes))
+	}
+	return c.nodes[rank], nil
+}
+
+// Profiler returns the attached mpiP-style profiler.
+func (c *Comm) Profiler() *Profiler { return c.prof }
+
+// sendOverhead is the per-message software overhead (seconds of CPU).
+const sendOverheadOps = 2e4
+
+// Send posts a message; the sender pays software overhead plus the wire
+// time, and the message is queued with its arrival timestamp.
+func (c *Comm) Send(src, dst int, bytes int64) error {
+	if err := c.checkRank(src); err != nil {
+		return err
+	}
+	if err := c.checkRank(dst); err != nil {
+		return err
+	}
+	if src == dst {
+		return fmt.Errorf("mpi: rank %d sending to itself", src)
+	}
+	if bytes < 0 {
+		return fmt.Errorf("mpi: negative message size")
+	}
+	start := c.nodes[src].Now()
+	c.nodes[src].Run(cluster.Work{CPUOps: sendOverheadOps})
+	wire := c.net.TransferTime(c.nodes[src], c.nodes[dst], bytes)
+	c.nodes[src].Advance(wire)
+	arrival := c.nodes[src].Now()
+	if c.queues[src] == nil {
+		c.queues[src] = make(map[int][]pendingMsg)
+	}
+	c.queues[src][dst] = append(c.queues[src][dst], pendingMsg{arrival: arrival, bytes: bytes})
+	c.prof.record(src, "Send", c.nodes[src].Now()-start, bytes)
+	return nil
+}
+
+// Recv consumes the oldest message from src; the receiver blocks until
+// the message has arrived.
+func (c *Comm) Recv(dst, src int) (int64, error) {
+	if err := c.checkRank(src); err != nil {
+		return 0, err
+	}
+	if err := c.checkRank(dst); err != nil {
+		return 0, err
+	}
+	q := c.queues[src][dst]
+	if len(q) == 0 {
+		return 0, fmt.Errorf("mpi: rank %d has no message from %d (deadlock)", dst, src)
+	}
+	msg := q[0]
+	c.queues[src][dst] = q[1:]
+	start := c.nodes[dst].Now()
+	c.nodes[dst].AdvanceTo(msg.arrival)
+	c.nodes[dst].Run(cluster.Work{CPUOps: sendOverheadOps})
+	c.prof.record(dst, "Recv", c.nodes[dst].Now()-start, msg.bytes)
+	return msg.bytes, nil
+}
+
+// Request is an outstanding nonblocking operation.
+type Request struct {
+	rank    int     // the rank that must Wait
+	arrival float64 // when the data is available (receive side)
+	bytes   int64
+	recv    bool
+	done    bool
+}
+
+// Isend posts a message without blocking for the wire: the sender pays
+// only the software overhead, and the transfer proceeds "in the
+// background" (its completion time is the arrival timestamp the matching
+// receive observes). Wait on the returned request is free for the
+// sender — the classic communication/computation overlap.
+func (c *Comm) Isend(src, dst int, bytes int64) (*Request, error) {
+	if err := c.checkRank(src); err != nil {
+		return nil, err
+	}
+	if err := c.checkRank(dst); err != nil {
+		return nil, err
+	}
+	if src == dst {
+		return nil, fmt.Errorf("mpi: rank %d sending to itself", src)
+	}
+	if bytes < 0 {
+		return nil, fmt.Errorf("mpi: negative message size")
+	}
+	start := c.nodes[src].Now()
+	c.nodes[src].Run(cluster.Work{CPUOps: sendOverheadOps})
+	wire := c.net.TransferTime(c.nodes[src], c.nodes[dst], bytes)
+	arrival := c.nodes[src].Now() + wire
+	if c.queues[src] == nil {
+		c.queues[src] = make(map[int][]pendingMsg)
+	}
+	c.queues[src][dst] = append(c.queues[src][dst], pendingMsg{arrival: arrival, bytes: bytes})
+	c.prof.record(src, "Isend", c.nodes[src].Now()-start, bytes)
+	return &Request{rank: src}, nil
+}
+
+// Irecv posts a receive for the oldest in-flight message from src
+// without blocking; Wait blocks until the data has arrived. The model
+// requires the matching Isend/Send to have been posted first (receives
+// cannot be pre-posted) — a deliberate simplification of MPI's matching
+// rules that all the bundled communication patterns satisfy.
+func (c *Comm) Irecv(dst, src int) (*Request, error) {
+	if err := c.checkRank(src); err != nil {
+		return nil, err
+	}
+	if err := c.checkRank(dst); err != nil {
+		return nil, err
+	}
+	q := c.queues[src][dst]
+	if len(q) == 0 {
+		return nil, fmt.Errorf("mpi: rank %d has no posted message from %d", dst, src)
+	}
+	msg := q[0]
+	c.queues[src][dst] = q[1:]
+	c.nodes[dst].Run(cluster.Work{CPUOps: sendOverheadOps})
+	return &Request{rank: dst, arrival: msg.arrival, bytes: msg.bytes, recv: true}, nil
+}
+
+// Wait completes a nonblocking operation: a receive blocks until the
+// message's arrival time; a send is already complete. The blocked time
+// is recorded as "Wait" in the profile.
+func (c *Comm) Wait(r *Request) error {
+	if r == nil || r.done {
+		return fmt.Errorf("mpi: wait on nil or completed request")
+	}
+	r.done = true
+	if !r.recv {
+		return nil
+	}
+	start := c.nodes[r.rank].Now()
+	c.nodes[r.rank].AdvanceTo(r.arrival)
+	c.prof.record(r.rank, "Wait", c.nodes[r.rank].Now()-start, r.bytes)
+	return nil
+}
+
+// Waitall completes a batch of requests.
+func (c *Comm) Waitall(reqs []*Request) error {
+	for _, r := range reqs {
+		if err := c.Wait(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sendrecv exchanges messages between two ranks (halo-exchange pattern).
+func (c *Comm) Sendrecv(a, b int, bytes int64) error {
+	if err := c.Send(a, b, bytes); err != nil {
+		return err
+	}
+	if err := c.Send(b, a, bytes); err != nil {
+		return err
+	}
+	if _, err := c.Recv(b, a); err != nil {
+		return err
+	}
+	_, err := c.Recv(a, b)
+	return err
+}
+
+// collective advances every rank to the end of a tree collective that
+// moves `bytes` per round over `rounds` rounds.
+func (c *Comm) collective(name string, bytes int64, rounds float64) {
+	start := 0.0
+	maxLat := 0.0
+	minBW := math.Inf(1)
+	for _, n := range c.nodes {
+		if t := n.Now(); t > start {
+			start = t
+		}
+		if l := n.Profile().NICLatS; l > maxLat {
+			maxLat = l
+		}
+		if b := n.Profile().NICBWBps; b < minBW {
+			minBW = b
+		}
+	}
+	perRound := 2*maxLat + float64(bytes)/minBW
+	end := start + rounds*perRound
+	for r, n := range c.nodes {
+		before := n.Now()
+		n.AdvanceTo(end)
+		c.prof.record(r, name, end-before, bytes)
+	}
+}
+
+func (c *Comm) rounds() float64 {
+	r := math.Ceil(math.Log2(float64(len(c.nodes))))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Barrier synchronizes all ranks.
+func (c *Comm) Barrier() { c.collective("Barrier", 0, c.rounds()) }
+
+// Bcast broadcasts bytes from a root over a binomial tree.
+func (c *Comm) Bcast(root int, bytes int64) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	c.collective("Bcast", bytes, c.rounds())
+	return nil
+}
+
+// Reduce combines bytes to a root over a binomial tree.
+func (c *Comm) Reduce(root int, bytes int64) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	c.collective("Reduce", bytes, c.rounds())
+	return nil
+}
+
+// Allreduce combines and redistributes (reduce + broadcast).
+func (c *Comm) Allreduce(bytes int64) {
+	c.collective("Allreduce", bytes, 2*c.rounds())
+}
+
+// Allgather gathers bytes from every rank to every rank.
+func (c *Comm) Allgather(bytes int64) {
+	c.collective("Allgather", bytes*int64(len(c.nodes)), c.rounds())
+}
+
+// Compute runs application (non-MPI) work on a rank.
+func (c *Comm) Compute(rank int, w cluster.Work) error {
+	if err := c.checkRank(rank); err != nil {
+		return err
+	}
+	c.nodes[rank].Run(w)
+	return nil
+}
+
+// MaxClock returns the application makespan.
+func (c *Comm) MaxClock() float64 { return cluster.MaxClock(c.nodes) }
+
+func (c *Comm) checkRank(r int) error {
+	if r < 0 || r >= len(c.nodes) {
+		return fmt.Errorf("mpi: rank %d out of range [0,%d)", r, len(c.nodes))
+	}
+	return nil
+}
+
+// Profiler captures per-rank, per-call MPI statistics like mpiP.
+type Profiler struct {
+	ranks int
+	// byRankCall[rank][call] accumulates time and counts.
+	byRankCall []map[string]*callStats
+}
+
+type callStats struct {
+	Count int
+	Time  float64
+	Bytes int64
+}
+
+// NewProfiler creates a profiler for n ranks.
+func NewProfiler(n int) *Profiler {
+	p := &Profiler{ranks: n, byRankCall: make([]map[string]*callStats, n)}
+	for i := range p.byRankCall {
+		p.byRankCall[i] = make(map[string]*callStats)
+	}
+	return p
+}
+
+func (p *Profiler) record(rank int, call string, elapsed float64, bytes int64) {
+	cs, ok := p.byRankCall[rank][call]
+	if !ok {
+		cs = &callStats{}
+		p.byRankCall[rank][call] = cs
+	}
+	cs.Count++
+	cs.Time += elapsed
+	cs.Bytes += bytes
+}
+
+// Reset clears all recorded statistics.
+func (p *Profiler) Reset() {
+	for i := range p.byRankCall {
+		p.byRankCall[i] = make(map[string]*callStats)
+	}
+}
+
+// MPITime returns the total time a rank spent inside MPI calls.
+func (p *Profiler) MPITime(rank int) float64 {
+	total := 0.0
+	for _, cs := range p.byRankCall[rank] {
+		total += cs.Time
+	}
+	return total
+}
+
+// TotalMPITime sums MPI time across ranks.
+func (p *Profiler) TotalMPITime() float64 {
+	total := 0.0
+	for r := 0; r < p.ranks; r++ {
+		total += p.MPITime(r)
+	}
+	return total
+}
+
+// Table exports per-rank per-call statistics (the mpiP report body).
+func (p *Profiler) Table() *table.Table {
+	t := table.New("rank", "call", "count", "time", "bytes")
+	for r := 0; r < p.ranks; r++ {
+		calls := make([]string, 0, len(p.byRankCall[r]))
+		for call := range p.byRankCall[r] {
+			calls = append(calls, call)
+		}
+		sort.Strings(calls)
+		for _, call := range calls {
+			cs := p.byRankCall[r][call]
+			t.MustAppend(
+				table.Number(float64(r)),
+				table.String(call),
+				table.Number(float64(cs.Count)),
+				table.Number(cs.Time),
+				table.Number(float64(cs.Bytes)),
+			)
+		}
+	}
+	return t
+}
+
+// Report renders an mpiP-style text summary: aggregate time per call
+// type, plus the rank-level min/mean/max MPI time.
+func (p *Profiler) Report(appTime float64) string {
+	var sb strings.Builder
+	sb.WriteString("@--- MPI Time (seconds) ---------------------------------\n")
+	times := make([]float64, p.ranks)
+	for r := range times {
+		times[r] = p.MPITime(r)
+	}
+	lo, hi := times[0], times[0]
+	for _, t := range times {
+		lo, hi = math.Min(lo, t), math.Max(hi, t)
+	}
+	fmt.Fprintf(&sb, "ranks=%d app=%.4g mpi(min=%.4g mean=%.4g max=%.4g)\n",
+		p.ranks, appTime, lo, table.Mean(times), hi)
+	if appTime > 0 {
+		fmt.Fprintf(&sb, "mpi fraction of app time: %.1f%%\n", table.Mean(times)/appTime*100)
+	}
+	sb.WriteString("@--- Aggregate Time (top, by call) ----------------------\n")
+	agg := make(map[string]*callStats)
+	for r := 0; r < p.ranks; r++ {
+		for call, cs := range p.byRankCall[r] {
+			a, ok := agg[call]
+			if !ok {
+				a = &callStats{}
+				agg[call] = a
+			}
+			a.Count += cs.Count
+			a.Time += cs.Time
+			a.Bytes += cs.Bytes
+		}
+	}
+	calls := make([]string, 0, len(agg))
+	for call := range agg {
+		calls = append(calls, call)
+	}
+	sort.Slice(calls, func(i, j int) bool { return agg[calls[i]].Time > agg[calls[j]].Time })
+	for _, call := range calls {
+		a := agg[call]
+		fmt.Fprintf(&sb, "%-10s calls=%-8d time=%-12.4g bytes=%d\n", call, a.Count, a.Time, a.Bytes)
+	}
+	return sb.String()
+}

@@ -1,0 +1,273 @@
+// Package pipeline implements the experiment execution engine of the
+// Popper convention: the staged lifecycle behind every experiment's
+// run.sh (setup → run → post-run → validate → teardown) plus the
+// provenance journal — the "chronological record on how experiments
+// evolve over time (the analogy of the lab notebook in experimental
+// sciences)" from the paper's Figure 1.
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"popper/internal/metrics"
+	"popper/internal/table"
+)
+
+// Canonical stage names, executed in this order.
+var StageOrder = []string{"setup", "run", "post-run", "validate", "teardown"}
+
+// Context is passed to every stage.
+type Context struct {
+	// Params are the experiment parameters (vars.yml content).
+	Params map[string]string
+	// Workspace holds the experiment's files (sources, datasets,
+	// results); stages read and write it.
+	Workspace map[string][]byte
+	// Metrics collects runtime measurements across stages.
+	Metrics *metrics.Registry
+	log     strings.Builder
+}
+
+// Logf appends to the execution log.
+func (c *Context) Logf(format string, args ...any) {
+	fmt.Fprintf(&c.log, format+"\n", args...)
+}
+
+// Param returns a parameter with a default.
+func (c *Context) Param(key, def string) string {
+	if v, ok := c.Params[key]; ok {
+		return v
+	}
+	return def
+}
+
+// StageFunc is one stage implementation.
+type StageFunc func(*Context) error
+
+// Pipeline is a named experiment lifecycle.
+type Pipeline struct {
+	Name   string
+	stages map[string]StageFunc
+}
+
+// New creates an empty pipeline.
+func New(name string) *Pipeline {
+	return &Pipeline{Name: name, stages: make(map[string]StageFunc)}
+}
+
+// AddStage registers a stage implementation; the name must be one of
+// StageOrder.
+func (p *Pipeline) AddStage(name string, fn StageFunc) error {
+	valid := false
+	for _, s := range StageOrder {
+		if s == name {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return fmt.Errorf("pipeline: unknown stage %q (valid: %s)", name, strings.Join(StageOrder, ", "))
+	}
+	if fn == nil {
+		return fmt.Errorf("pipeline: nil stage function for %q", name)
+	}
+	if _, dup := p.stages[name]; dup {
+		return fmt.Errorf("pipeline: stage %q already defined", name)
+	}
+	p.stages[name] = fn
+	return nil
+}
+
+// Stages lists the defined stages in execution order.
+func (p *Pipeline) Stages() []string {
+	var out []string
+	for _, s := range StageOrder {
+		if _, ok := p.stages[s]; ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// StageResult records one stage execution.
+type StageResult struct {
+	Stage string
+	Err   error
+	Ran   bool
+}
+
+// Record is the outcome of one pipeline execution.
+type Record struct {
+	Pipeline  string
+	Iteration int
+	Reason    string // why this iteration ran (param change, bug fix, ...)
+	Params    map[string]string
+	Stages    []StageResult
+	Err       error
+	Log       string
+	// ResultHash fingerprints the workspace after execution, so the
+	// journal can tell whether a re-execution reproduced prior outputs.
+	ResultHash string
+}
+
+// Failed reports whether the execution failed.
+func (r Record) Failed() bool { return r.Err != nil }
+
+// Run executes the defined stages in order. If any stage fails, later
+// stages are skipped — except teardown, which always runs when defined.
+func (p *Pipeline) Run(ctx *Context) Record {
+	if ctx.Params == nil {
+		ctx.Params = map[string]string{}
+	}
+	if ctx.Workspace == nil {
+		ctx.Workspace = map[string][]byte{}
+	}
+	if ctx.Metrics == nil {
+		ctx.Metrics = metrics.NewRegistry(nil, nil)
+	}
+	rec := Record{Pipeline: p.Name, Params: copyParams(ctx.Params)}
+	failed := false
+	for _, name := range StageOrder {
+		fn, ok := p.stages[name]
+		if !ok {
+			continue
+		}
+		if failed && name != "teardown" {
+			rec.Stages = append(rec.Stages, StageResult{Stage: name, Ran: false})
+			continue
+		}
+		ctx.Logf("--- stage %s", name)
+		err := fn(ctx)
+		rec.Stages = append(rec.Stages, StageResult{Stage: name, Err: err, Ran: true})
+		if err != nil {
+			ctx.Logf("stage %s failed: %v", name, err)
+			if !failed {
+				rec.Err = fmt.Errorf("pipeline %s: stage %s: %w", p.Name, name, err)
+			}
+			failed = true
+		}
+	}
+	rec.Log = ctx.log.String()
+	rec.ResultHash = hashWorkspace(ctx.Workspace)
+	return rec
+}
+
+func copyParams(p map[string]string) map[string]string {
+	out := make(map[string]string, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+func hashWorkspace(ws map[string][]byte) string {
+	paths := make([]string, 0, len(ws))
+	for p := range ws {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	h := sha256.New()
+	for _, p := range paths {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+		h.Write(ws[p])
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Journal is the lab notebook: the chronological record of executions.
+type Journal struct {
+	records []Record
+}
+
+// NewJournal creates an empty journal.
+func NewJournal() *Journal { return &Journal{} }
+
+// Append records an execution with the reason it was run, assigning the
+// iteration number.
+func (j *Journal) Append(rec Record, reason string) Record {
+	rec.Iteration = len(j.records) + 1
+	rec.Reason = reason
+	j.records = append(j.records, rec)
+	return rec
+}
+
+// Records returns the history, oldest first.
+func (j *Journal) Records() []Record { return append([]Record(nil), j.records...) }
+
+// Len returns the number of journaled executions.
+func (j *Journal) Len() int { return len(j.records) }
+
+// Reproduced reports whether the two iterations produced identical
+// workspaces (the notebook's "did the re-run match?" question).
+func (j *Journal) Reproduced(iterA, iterB int) (bool, error) {
+	a, err := j.record(iterA)
+	if err != nil {
+		return false, err
+	}
+	b, err := j.record(iterB)
+	if err != nil {
+		return false, err
+	}
+	return a.ResultHash == b.ResultHash, nil
+}
+
+func (j *Journal) record(iter int) (Record, error) {
+	if iter < 1 || iter > len(j.records) {
+		return Record{}, fmt.Errorf("pipeline: no journal iteration %d (have %d)", iter, len(j.records))
+	}
+	return j.records[iter-1], nil
+}
+
+// Table exports the journal for analysis: iteration, reason, status,
+// result hash and one column per parameter seen.
+func (j *Journal) Table() *table.Table {
+	keySet := map[string]bool{}
+	for _, r := range j.records {
+		for k := range r.Params {
+			keySet[k] = true
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	cols := append([]string{"iteration", "reason", "status", "result"}, keys...)
+	t := table.New(cols...)
+	for _, r := range j.records {
+		status := "ok"
+		if r.Failed() {
+			status = "failed"
+		}
+		row := []table.Value{
+			table.Number(float64(r.Iteration)),
+			table.String(r.Reason),
+			table.String(status),
+			table.String(r.ResultHash),
+		}
+		for _, k := range keys {
+			row = append(row, table.String(r.Params[k]))
+		}
+		t.MustAppend(row...)
+	}
+	return t
+}
+
+// Format renders the journal as the human-readable lab notebook.
+func (j *Journal) Format() string {
+	var sb strings.Builder
+	for _, r := range j.records {
+		status := "ok"
+		if r.Failed() {
+			status = "FAILED"
+		}
+		fmt.Fprintf(&sb, "#%-3d %-7s result=%s  %s\n", r.Iteration, status, r.ResultHash, r.Reason)
+	}
+	return sb.String()
+}

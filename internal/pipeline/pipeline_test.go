@@ -1,0 +1,228 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAddStageValidation(t *testing.T) {
+	p := New("exp")
+	if err := p.AddStage("compile", func(*Context) error { return nil }); err == nil {
+		t.Fatal("unknown stage name must fail")
+	}
+	if err := p.AddStage("run", nil); err == nil {
+		t.Fatal("nil stage must fail")
+	}
+	if err := p.AddStage("run", func(*Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddStage("run", func(*Context) error { return nil }); err == nil {
+		t.Fatal("duplicate stage must fail")
+	}
+}
+
+func TestStagesInOrder(t *testing.T) {
+	p := New("exp")
+	var order []string
+	for _, s := range []string{"teardown", "run", "setup"} { // registered out of order
+		s := s
+		p.AddStage(s, func(*Context) error {
+			order = append(order, s)
+			return nil
+		})
+	}
+	if got := p.Stages(); strings.Join(got, ",") != "setup,run,teardown" {
+		t.Fatalf("stages = %v", got)
+	}
+	rec := p.Run(&Context{})
+	if rec.Failed() {
+		t.Fatal(rec.Err)
+	}
+	if strings.Join(order, ",") != "setup,run,teardown" {
+		t.Fatalf("execution order = %v", order)
+	}
+}
+
+func TestFailureSkipsButRunsTeardown(t *testing.T) {
+	p := New("exp")
+	var ran []string
+	add := func(name string, fail bool) {
+		p.AddStage(name, func(*Context) error {
+			ran = append(ran, name)
+			if fail {
+				return fmt.Errorf("boom")
+			}
+			return nil
+		})
+	}
+	add("setup", false)
+	add("run", true)
+	add("post-run", false)
+	add("validate", false)
+	add("teardown", false)
+
+	rec := p.Run(&Context{})
+	if !rec.Failed() {
+		t.Fatal("record should be failed")
+	}
+	if strings.Join(ran, ",") != "setup,run,teardown" {
+		t.Fatalf("ran = %v", ran)
+	}
+	// stage results reflect skipping
+	byName := map[string]StageResult{}
+	for _, s := range rec.Stages {
+		byName[s.Stage] = s
+	}
+	if byName["post-run"].Ran || byName["validate"].Ran {
+		t.Fatal("post-run/validate must be skipped")
+	}
+	if !byName["teardown"].Ran {
+		t.Fatal("teardown must always run")
+	}
+	if !strings.Contains(rec.Err.Error(), "stage run") {
+		t.Fatalf("err = %v", rec.Err)
+	}
+}
+
+func TestTeardownFailureAfterSuccess(t *testing.T) {
+	p := New("exp")
+	p.AddStage("run", func(*Context) error { return nil })
+	p.AddStage("teardown", func(*Context) error { return fmt.Errorf("cleanup fail") })
+	rec := p.Run(&Context{})
+	if !rec.Failed() {
+		t.Fatal("teardown failure must fail the record")
+	}
+}
+
+func TestContextParamsAndLog(t *testing.T) {
+	p := New("exp")
+	p.AddStage("run", func(c *Context) error {
+		c.Logf("running with nodes=%s", c.Param("nodes", "1"))
+		c.Workspace["results.csv"] = []byte("nodes,time\n" + c.Param("nodes", "1") + ",42\n")
+		c.Metrics.Observe("time", 42)
+		return nil
+	})
+	ctx := &Context{Params: map[string]string{"nodes": "4"}}
+	rec := p.Run(ctx)
+	if rec.Failed() {
+		t.Fatal(rec.Err)
+	}
+	if !strings.Contains(rec.Log, "nodes=4") {
+		t.Fatalf("log:\n%s", rec.Log)
+	}
+	if !strings.Contains(string(ctx.Workspace["results.csv"]), "4,42") {
+		t.Fatalf("workspace = %v", ctx.Workspace)
+	}
+	if got := ctx.Metrics.Series("time", nil); len(got) != 1 {
+		t.Fatalf("metrics = %v", got)
+	}
+	if rec.Params["nodes"] != "4" {
+		t.Fatalf("params snapshot = %v", rec.Params)
+	}
+}
+
+func TestNilContextFieldsInitialized(t *testing.T) {
+	p := New("exp")
+	p.AddStage("run", func(c *Context) error {
+		if c.Params == nil || c.Workspace == nil || c.Metrics == nil {
+			return fmt.Errorf("context not initialized")
+		}
+		return nil
+	})
+	if rec := p.Run(&Context{}); rec.Failed() {
+		t.Fatal(rec.Err)
+	}
+}
+
+func TestResultHashDeterministic(t *testing.T) {
+	run := func(content string) string {
+		p := New("exp")
+		p.AddStage("run", func(c *Context) error {
+			c.Workspace["out"] = []byte(content)
+			return nil
+		})
+		return p.Run(&Context{}).ResultHash
+	}
+	if run("same") != run("same") {
+		t.Fatal("same outputs must hash identically")
+	}
+	if run("a") == run("b") {
+		t.Fatal("different outputs must differ")
+	}
+}
+
+func TestJournalIterations(t *testing.T) {
+	j := NewJournal()
+	p := New("exp")
+	p.AddStage("run", func(c *Context) error {
+		c.Workspace["out"] = []byte("result-" + c.Param("param", ""))
+		return nil
+	})
+	// Figure 1's loop: initial run, param change, re-run of the original.
+	r1 := j.Append(p.Run(&Context{Params: map[string]string{"param": "a"}}), "initial run")
+	r2 := j.Append(p.Run(&Context{Params: map[string]string{"param": "b"}}), "changed parameter")
+	r3 := j.Append(p.Run(&Context{Params: map[string]string{"param": "a"}}), "re-run original")
+
+	if r1.Iteration != 1 || r2.Iteration != 2 || r3.Iteration != 3 {
+		t.Fatalf("iterations = %d %d %d", r1.Iteration, r2.Iteration, r3.Iteration)
+	}
+	if j.Len() != 3 {
+		t.Fatalf("len = %d", j.Len())
+	}
+	same, err := j.Reproduced(1, 3)
+	if err != nil || !same {
+		t.Fatalf("1 vs 3: %v, %v", same, err)
+	}
+	diff, err := j.Reproduced(1, 2)
+	if err != nil || diff {
+		t.Fatalf("1 vs 2 should differ: %v, %v", diff, err)
+	}
+	if _, err := j.Reproduced(0, 1); err == nil {
+		t.Fatal("bad iteration must fail")
+	}
+	if _, err := j.Reproduced(1, 9); err == nil {
+		t.Fatal("bad iteration must fail")
+	}
+}
+
+func TestJournalTableAndFormat(t *testing.T) {
+	j := NewJournal()
+	p := New("exp")
+	p.AddStage("run", func(c *Context) error {
+		if c.Param("fail", "") == "yes" {
+			return fmt.Errorf("injected")
+		}
+		return nil
+	})
+	j.Append(p.Run(&Context{Params: map[string]string{"nodes": "2"}}), "first")
+	j.Append(p.Run(&Context{Params: map[string]string{"nodes": "4", "fail": "yes"}}), "bad run")
+
+	tb := j.Table()
+	if tb.Len() != 2 {
+		t.Fatalf("rows = %d", tb.Len())
+	}
+	for _, col := range []string{"iteration", "reason", "status", "result", "nodes", "fail"} {
+		if !tb.HasColumn(col) {
+			t.Fatalf("missing column %q: %v", col, tb.Columns())
+		}
+	}
+	if got := tb.MustCell(1, "status").Str; got != "failed" {
+		t.Fatalf("status = %q", got)
+	}
+	text := j.Format()
+	if !strings.Contains(text, "FAILED") || !strings.Contains(text, "first") {
+		t.Fatalf("format:\n%s", text)
+	}
+	if len(j.Records()) != 2 {
+		t.Fatal("records accessor broken")
+	}
+}
+
+func TestEmptyPipeline(t *testing.T) {
+	p := New("empty")
+	rec := p.Run(&Context{})
+	if rec.Failed() || len(rec.Stages) != 0 {
+		t.Fatalf("empty pipeline = %+v", rec)
+	}
+}

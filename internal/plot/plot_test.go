@@ -1,0 +1,246 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	// The paper's convention: "(2.2, 2.3]" — half-open on the left.
+	h, err := NewHistogram([]float64{2.21, 2.25, 2.3, 2.31, 1.0}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	var bucket23, bucket24 int
+	for _, b := range h.Buckets {
+		if math.Abs(b.Hi-2.3) < 1e-9 {
+			bucket23 = b.Count
+		}
+		if math.Abs(b.Hi-2.4) < 1e-9 {
+			bucket24 = b.Count
+		}
+	}
+	if bucket23 != 3 { // 2.21, 2.25, 2.30 all in (2.2, 2.3]
+		t.Fatalf("(2.2,2.3] count = %d, want 3", bucket23)
+	}
+	if bucket24 != 1 { // 2.31
+		t.Fatalf("(2.3,2.4] count = %d, want 1", bucket24)
+	}
+}
+
+func TestHistogramContiguousBuckets(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(h.Buckets); i++ {
+		if math.Abs(h.Buckets[i].Lo-h.Buckets[i-1].Hi) > 1e-9 {
+			t.Fatalf("buckets not contiguous: %+v", h.Buckets)
+		}
+	}
+	// Empty middle buckets exist with zero counts.
+	if len(h.Buckets) != 5 {
+		t.Fatalf("buckets = %d, want 5", len(h.Buckets))
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil, 1); err == nil {
+		t.Fatal("empty values should fail")
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Fatal("zero width should fail")
+	}
+	if _, err := NewHistogram([]float64{math.NaN()}, 1); err == nil {
+		t.Fatal("NaN should fail")
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h, _ := NewHistogram([]float64{1.11, 1.15, 1.12, 2.5}, 0.1)
+	m := h.Mode()
+	if m.Count != 3 || math.Abs(m.Hi-1.2) > 1e-9 {
+		t.Fatalf("mode = %+v", m)
+	}
+}
+
+func TestHistogramRenders(t *testing.T) {
+	h, _ := NewHistogram([]float64{1, 1.05, 2, 3}, 0.5)
+	h.Title = "variability profile"
+	h.XLabel = "speedup"
+	ascii := h.ASCII()
+	if !strings.Contains(ascii, "variability profile") || !strings.Contains(ascii, "#") {
+		t.Fatalf("ascii:\n%s", ascii)
+	}
+	svg := h.SVG()
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "<rect") {
+		t.Fatalf("svg:\n%s", svg)
+	}
+	if !strings.Contains(svg, "</svg>") {
+		t.Fatal("svg unterminated")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	var c LineChart
+	c.Title = "GassyFS scalability"
+	c.XLabel, c.YLabel = "nodes", "time (s)"
+	if err := c.Add("cloudlab", []float64{1, 2, 4, 8}, []float64{100, 62, 38, 24}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("ec2", []float64{1, 2, 4, 8}, []float64{140, 85, 52, 33}); err != nil {
+		t.Fatal(err)
+	}
+	ascii, err := c.ASCII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"GassyFS scalability", "*", "o", "cloudlab", "ec2"} {
+		if !strings.Contains(ascii, want) {
+			t.Fatalf("ascii missing %q:\n%s", want, ascii)
+		}
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Fatalf("svg series:\n%s", svg)
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	var c LineChart
+	if err := c.Add("bad", []float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if err := c.Add("bad", nil, nil); err == nil {
+		t.Fatal("empty series should fail")
+	}
+	if err := c.Add("bad", []float64{1}, []float64{math.NaN()}); err == nil {
+		t.Fatal("NaN should fail")
+	}
+	if _, err := c.ASCII(); err == nil {
+		t.Fatal("chart with no series should fail")
+	}
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("chart with no series should fail")
+	}
+}
+
+func TestLineChartLogY(t *testing.T) {
+	var c LineChart
+	c.LogY = true
+	c.Add("s", []float64{1, 2, 3}, []float64{1, 10, 100})
+	if _, err := c.ASCII(); err != nil {
+		t.Fatal(err)
+	}
+	var bad LineChart
+	bad.LogY = true
+	bad.Add("s", []float64{1, 2}, []float64{0, 1})
+	if _, err := bad.ASCII(); err == nil {
+		t.Fatal("log axis with zero should fail")
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	var c LineChart
+	c.Add("flat", []float64{5, 5}, []float64{3, 3})
+	if _, err := c.ASCII(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SVG(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	h := Heatmap{
+		Title:     "air temperature",
+		Rows:      [][]float64{{280, 290, 300}, {270, 275, 285}, {250, 255, 260}},
+		RowLabels: []string{"60N", "0", "60S"},
+	}
+	ascii, err := h.ASCII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ascii, "60N") || !strings.Contains(ascii, "scale:") {
+		t.Fatalf("ascii:\n%s", ascii)
+	}
+	svg, err := h.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(svg, "<rect") < 9 {
+		t.Fatalf("svg cells:\n%s", svg)
+	}
+	empty := Heatmap{}
+	if _, err := empty.ASCII(); err == nil {
+		t.Fatal("empty heatmap should fail")
+	}
+	if _, err := empty.SVG(); err == nil {
+		t.Fatal("empty heatmap should fail")
+	}
+}
+
+func TestHeatmapUniform(t *testing.T) {
+	h := Heatmap{Rows: [][]float64{{1, 1}, {1, 1}}}
+	if _, err := h.ASCII(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	h, _ := NewHistogram([]float64{1}, 1)
+	h.Title = "a < b & c > d"
+	svg := h.SVG()
+	if strings.Contains(svg, "a < b & c") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "a &lt; b &amp; c &gt; d") {
+		t.Fatalf("escape output wrong:\n%s", svg)
+	}
+}
+
+// Property: histogram conserves count and every value lies in its bucket.
+func TestQuickHistogramConservation(t *testing.T) {
+	f := func(raw []int16, wRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		width := float64(wRaw%50+1) / 10.0
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r) / 16.0
+		}
+		h, err := NewHistogram(vals, width)
+		if err != nil {
+			return false
+		}
+		if h.Total() != len(vals) {
+			return false
+		}
+		// each value is inside some bucket (lo, hi]
+		for _, v := range vals {
+			ok := false
+			for _, b := range h.Buckets {
+				if v > b.Lo-1e-9 && v <= b.Hi+1e-9 {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,670 @@
+// Package table implements a small column-oriented dataframe used
+// throughout the Popper toolchain: experiment results (results.csv) are
+// loaded into a Table, post-processing scripts filter and aggregate it,
+// the Aver evaluator queries it, and plot renderers consume it.
+//
+// A Table has named columns; every cell is a Value which is either a
+// string or a float64. Numeric parsing happens on CSV load, so metric
+// columns can be used directly in computations while categorical columns
+// (workload, machine) stay as strings.
+package table
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a single cell: either a numeric or a string observation.
+type Value struct {
+	Num   float64
+	Str   string
+	IsNum bool
+}
+
+// Number builds a numeric value.
+func Number(f float64) Value { return Value{Num: f, IsNum: true} }
+
+// String builds a string value.
+func String(s string) Value { return Value{Str: s} }
+
+// Auto parses s as a number when possible, otherwise keeps it as a string.
+func Auto(s string) Value {
+	t := strings.TrimSpace(s)
+	if t != "" {
+		if f, err := strconv.ParseFloat(t, 64); err == nil {
+			return Number(f)
+		}
+	}
+	return String(s)
+}
+
+// Float returns the numeric interpretation of the value; strings yield NaN.
+func (v Value) Float() float64 {
+	if v.IsNum {
+		return v.Num
+	}
+	return math.NaN()
+}
+
+// Text renders the value the way it is written to CSV.
+func (v Value) Text() string {
+	if v.IsNum {
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	}
+	return v.Str
+}
+
+// Equal reports cell equality (numeric compare for numbers).
+func (v Value) Equal(o Value) bool {
+	if v.IsNum != o.IsNum {
+		return false
+	}
+	if v.IsNum {
+		return v.Num == o.Num || (math.IsNaN(v.Num) && math.IsNaN(o.Num))
+	}
+	return v.Str == o.Str
+}
+
+// Less orders values: numbers before strings, then by value.
+func (v Value) Less(o Value) bool {
+	if v.IsNum != o.IsNum {
+		return v.IsNum
+	}
+	if v.IsNum {
+		return v.Num < o.Num
+	}
+	return v.Str < o.Str
+}
+
+// Table is a column-oriented frame with equal-length columns.
+type Table struct {
+	cols  []string
+	index map[string]int
+	data  [][]Value // data[c][r]
+}
+
+// New creates an empty table with the given column names.
+func New(cols ...string) *Table {
+	t := &Table{
+		cols:  append([]string(nil), cols...),
+		index: make(map[string]int, len(cols)),
+		data:  make([][]Value, len(cols)),
+	}
+	for i, c := range cols {
+		t.index[c] = i
+	}
+	return t
+}
+
+// Columns returns the column names in order.
+func (t *Table) Columns() []string { return append([]string(nil), t.cols...) }
+
+// HasColumn reports whether the column exists.
+func (t *Table) HasColumn(name string) bool { _, ok := t.index[name]; return ok }
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return len(t.data[0])
+}
+
+// Append adds one row; the number of values must match the column count.
+func (t *Table) Append(vals ...Value) error {
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("table: row has %d values, table has %d columns", len(vals), len(t.cols))
+	}
+	for i, v := range vals {
+		t.data[i] = append(t.data[i], v)
+	}
+	return nil
+}
+
+// AppendRecord adds one row from raw strings, auto-typing each cell.
+func (t *Table) AppendRecord(fields ...string) error {
+	vals := make([]Value, len(fields))
+	for i, f := range fields {
+		vals[i] = Auto(f)
+	}
+	return t.Append(vals...)
+}
+
+// MustAppend is Append that panics on arity mismatch; for test fixtures
+// and generators where the shape is statically known.
+func (t *Table) MustAppend(vals ...Value) {
+	if err := t.Append(vals...); err != nil {
+		panic(err)
+	}
+}
+
+// Cell returns the value at (row, column name).
+func (t *Table) Cell(row int, col string) (Value, error) {
+	ci, ok := t.index[col]
+	if !ok {
+		return Value{}, fmt.Errorf("table: no column %q", col)
+	}
+	if row < 0 || row >= t.Len() {
+		return Value{}, fmt.Errorf("table: row %d out of range [0,%d)", row, t.Len())
+	}
+	return t.data[ci][row], nil
+}
+
+// MustCell is Cell that panics on error.
+func (t *Table) MustCell(row int, col string) Value {
+	v, err := t.Cell(row, col)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Column returns a copy of an entire column.
+func (t *Table) Column(col string) ([]Value, error) {
+	ci, ok := t.index[col]
+	if !ok {
+		return nil, fmt.Errorf("table: no column %q", col)
+	}
+	return append([]Value(nil), t.data[ci]...), nil
+}
+
+// Floats returns a column as float64s; string cells become NaN.
+func (t *Table) Floats(col string) ([]float64, error) {
+	vs, err := t.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = v.Float()
+	}
+	return out, nil
+}
+
+// Row returns a copy of one row in column order.
+func (t *Table) Row(i int) []Value {
+	out := make([]Value, len(t.cols))
+	for c := range t.cols {
+		out[c] = t.data[c][i]
+	}
+	return out
+}
+
+// AddColumn appends a new column computed from each row. The compute
+// function receives the row index.
+func (t *Table) AddColumn(name string, f func(row int) Value) error {
+	if t.HasColumn(name) {
+		return fmt.Errorf("table: column %q already exists", name)
+	}
+	col := make([]Value, t.Len())
+	for i := range col {
+		col[i] = f(i)
+	}
+	t.index[name] = len(t.cols)
+	t.cols = append(t.cols, name)
+	t.data = append(t.data, col)
+	return nil
+}
+
+// Select returns a new table with only the named columns, in order.
+func (t *Table) Select(cols ...string) (*Table, error) {
+	out := New(cols...)
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		ci, ok := t.index[c]
+		if !ok {
+			return nil, fmt.Errorf("table: no column %q", c)
+		}
+		idx[i] = ci
+	}
+	for i, ci := range idx {
+		out.data[i] = append([]Value(nil), t.data[ci]...)
+	}
+	return out, nil
+}
+
+// Filter returns the rows for which keep returns true.
+func (t *Table) Filter(keep func(row int) bool) *Table {
+	out := New(t.cols...)
+	for r := 0; r < t.Len(); r++ {
+		if keep(r) {
+			for c := range t.cols {
+				out.data[c] = append(out.data[c], t.data[c][r])
+			}
+		}
+	}
+	return out
+}
+
+// Where filters rows whose column equals the given value.
+func (t *Table) Where(col string, v Value) (*Table, error) {
+	ci, ok := t.index[col]
+	if !ok {
+		return nil, fmt.Errorf("table: no column %q", col)
+	}
+	return t.Filter(func(r int) bool { return t.data[ci][r].Equal(v) }), nil
+}
+
+// SortBy sorts rows by the given columns ascending (stable).
+func (t *Table) SortBy(cols ...string) error {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		ci, ok := t.index[c]
+		if !ok {
+			return fmt.Errorf("table: no column %q", c)
+		}
+		idx[i] = ci
+	}
+	order := make([]int, t.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := order[a], order[b]
+		for _, ci := range idx {
+			va, vb := t.data[ci][ra], t.data[ci][rb]
+			if !va.Equal(vb) {
+				return va.Less(vb)
+			}
+		}
+		return false
+	})
+	for c := range t.data {
+		col := make([]Value, len(order))
+		for i, r := range order {
+			col[i] = t.data[c][r]
+		}
+		t.data[c] = col
+	}
+	return nil
+}
+
+// Unique returns the distinct values of a column in first-seen order.
+func (t *Table) Unique(col string) ([]Value, error) {
+	vs, err := t.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []Value
+	for _, v := range vs {
+		key := fmt.Sprintf("%t|%s", v.IsNum, v.Text())
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Agg names an aggregation over a column within a group.
+type Agg struct {
+	Col string // source column
+	Op  string // one of: mean, sum, min, max, count, median, stddev, first
+	As  string // output column name; defaults to Op+"_"+Col
+}
+
+func (a Agg) name() string {
+	if a.As != "" {
+		return a.As
+	}
+	return a.Op + "_" + a.Col
+}
+
+// GroupBy groups rows by key columns and computes the aggregations.
+// Groups appear in first-seen order.
+func (t *Table) GroupBy(keys []string, aggs ...Agg) (*Table, error) {
+	keyIdx := make([]int, len(keys))
+	for i, k := range keys {
+		ci, ok := t.index[k]
+		if !ok {
+			return nil, fmt.Errorf("table: no column %q", k)
+		}
+		keyIdx[i] = ci
+	}
+	for _, a := range aggs {
+		if !t.HasColumn(a.Col) {
+			return nil, fmt.Errorf("table: no column %q", a.Col)
+		}
+		switch a.Op {
+		case "mean", "sum", "min", "max", "count", "median", "stddev", "first":
+		default:
+			return nil, fmt.Errorf("table: unknown aggregation %q", a.Op)
+		}
+	}
+	outCols := append([]string(nil), keys...)
+	for _, a := range aggs {
+		outCols = append(outCols, a.name())
+	}
+	out := New(outCols...)
+
+	type group struct {
+		keyVals []Value
+		rows    []int
+	}
+	var groups []*group
+	byKey := make(map[string]*group)
+	for r := 0; r < t.Len(); r++ {
+		var sb strings.Builder
+		kv := make([]Value, len(keyIdx))
+		for i, ci := range keyIdx {
+			kv[i] = t.data[ci][r]
+			sb.WriteString(kv[i].Text())
+			sb.WriteByte(0)
+		}
+		g, ok := byKey[sb.String()]
+		if !ok {
+			g = &group{keyVals: kv}
+			byKey[sb.String()] = g
+			groups = append(groups, g)
+		}
+		g.rows = append(g.rows, r)
+	}
+	for _, g := range groups {
+		row := append([]Value(nil), g.keyVals...)
+		for _, a := range aggs {
+			ci := t.index[a.Col]
+			row = append(row, aggregate(a.Op, t.data[ci], g.rows))
+		}
+		if err := out.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func aggregate(op string, col []Value, rows []int) Value {
+	if op == "count" {
+		return Number(float64(len(rows)))
+	}
+	if op == "first" {
+		if len(rows) == 0 {
+			return String("")
+		}
+		return col[rows[0]]
+	}
+	nums := make([]float64, 0, len(rows))
+	for _, r := range rows {
+		if col[r].IsNum {
+			nums = append(nums, col[r].Num)
+		}
+	}
+	if len(nums) == 0 {
+		return Number(math.NaN())
+	}
+	switch op {
+	case "sum":
+		return Number(Sum(nums))
+	case "mean":
+		return Number(Mean(nums))
+	case "min":
+		m := nums[0]
+		for _, n := range nums[1:] {
+			if n < m {
+				m = n
+			}
+		}
+		return Number(m)
+	case "max":
+		m := nums[0]
+		for _, n := range nums[1:] {
+			if n > m {
+				m = n
+			}
+		}
+		return Number(m)
+	case "median":
+		return Number(Median(nums))
+	case "stddev":
+		return Number(StdDev(nums))
+	}
+	return Number(math.NaN())
+}
+
+// Join performs an inner join on equal values of the named column.
+// Right-hand columns that collide are suffixed with "_r".
+func (t *Table) Join(right *Table, on string) (*Table, error) {
+	li, ok := t.index[on]
+	if !ok {
+		return nil, fmt.Errorf("table: left has no column %q", on)
+	}
+	ri, ok := right.index[on]
+	if !ok {
+		return nil, fmt.Errorf("table: right has no column %q", on)
+	}
+	outCols := append([]string(nil), t.cols...)
+	var rightKeep []int
+	for ci, c := range right.cols {
+		if ci == ri {
+			continue
+		}
+		rightKeep = append(rightKeep, ci)
+		if t.HasColumn(c) {
+			c += "_r"
+		}
+		outCols = append(outCols, c)
+	}
+	out := New(outCols...)
+	// Hash the right side.
+	rIndex := make(map[string][]int)
+	for r := 0; r < right.Len(); r++ {
+		k := right.data[ri][r].Text()
+		rIndex[k] = append(rIndex[k], r)
+	}
+	for lr := 0; lr < t.Len(); lr++ {
+		for _, rr := range rIndex[t.data[li][lr].Text()] {
+			row := t.Row(lr)
+			for _, ci := range rightKeep {
+				row = append(row, right.data[ci][rr])
+			}
+			if err := out.Append(row...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Concat appends the rows of other; column sets must match exactly.
+func (t *Table) Concat(other *Table) error {
+	if len(t.cols) != len(other.cols) {
+		return fmt.Errorf("table: concat column count mismatch %d vs %d", len(t.cols), len(other.cols))
+	}
+	for i, c := range t.cols {
+		if other.cols[i] != c {
+			return fmt.Errorf("table: concat column mismatch %q vs %q", c, other.cols[i])
+		}
+	}
+	for c := range t.data {
+		t.data[c] = append(t.data[c], other.data[c]...)
+	}
+	return nil
+}
+
+// Clone deep-copies the table.
+func (t *Table) Clone() *Table {
+	out := New(t.cols...)
+	for c := range t.data {
+		out.data[c] = append([]Value(nil), t.data[c]...)
+	}
+	return out
+}
+
+// ReadCSV loads a table from CSV with a header row; cells are auto-typed.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("table: empty CSV input")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	for i := range header {
+		header[i] = strings.TrimSpace(header[i])
+	}
+	t := New(header...)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading CSV row: %w", err)
+		}
+		if err := t.AppendRecord(rec...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ParseCSV is ReadCSV over a string.
+func ParseCSV(s string) (*Table, error) { return ReadCSV(strings.NewReader(s)) }
+
+// WriteCSV renders the table as CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.cols); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.cols))
+	for r := 0; r < t.Len(); r++ {
+		for c := range t.cols {
+			rec[c] = t.data[c][r].Text()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSV renders the table as a CSV string.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	_ = t.WriteCSV(&sb)
+	return sb.String()
+}
+
+// MarshalJSON encodes the table as a list of row objects.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := make([]map[string]any, t.Len())
+	for r := 0; r < t.Len(); r++ {
+		m := make(map[string]any, len(t.cols))
+		for c, name := range t.cols {
+			v := t.data[c][r]
+			if v.IsNum {
+				m[name] = v.Num
+			} else {
+				m[name] = v.Str
+			}
+		}
+		rows[r] = m
+	}
+	return json.Marshal(rows)
+}
+
+// Format renders a human-readable aligned text table (for CLI output).
+func (t *Table) Format() string {
+	widths := make([]int, len(t.cols))
+	for c, name := range t.cols {
+		widths[c] = len(name)
+		for r := 0; r < t.Len(); r++ {
+			if n := len(t.data[c][r].Text()); n > widths[c] {
+				widths[c] = n
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for c, cell := range cells {
+			if c > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			for i := len(cell); i < widths[c]; i++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.cols)
+	sep := make([]string, len(t.cols))
+	for c := range sep {
+		sep[c] = strings.Repeat("-", widths[c])
+	}
+	writeRow(sep)
+	cells := make([]string, len(t.cols))
+	for r := 0; r < t.Len(); r++ {
+		for c := range t.cols {
+			cells[c] = t.data[c][r].Text()
+		}
+		writeRow(cells)
+	}
+	return sb.String()
+}
+
+// Statistics helpers shared across the toolchain.
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Median returns the median, or NaN for empty input.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// StdDev returns the sample standard deviation (n-1), 0 for n<2.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// CoeffVar returns the coefficient of variation (stddev/mean).
+func CoeffVar(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return math.NaN()
+	}
+	return StdDev(xs) / m
+}

@@ -1,0 +1,180 @@
+// Package torpor reproduces the Torpor use case of the paper:
+// a workload- and architecture-independent technique for characterizing
+// the performance of a computing platform.
+//
+// Torpor runs a battery of microbenchmarks (internal/stress) on two
+// platforms A (base) and B (target) and derives a *variability profile*:
+// the per-stressor speedup of B with respect to A. The profile serves
+// three purposes, all implemented here:
+//
+//  1. the histogram of speedups is the paper's Figure
+//     "torpor-variability" (CloudLab node vs a 10-year-old Xeon);
+//  2. the profile predicts the speedup range of any application moved
+//     from A to B from the application's resource mix; and
+//  3. the profile drives *performance recreation*: throttling the faster
+//     machine (via OS-level virtualization, modeled as background load)
+//     so applications behave as they did on the older platform.
+package torpor
+
+import (
+	"fmt"
+	"math"
+
+	"popper/internal/cluster"
+	"popper/internal/plot"
+	"popper/internal/stress"
+	"popper/internal/table"
+)
+
+// Entry is one stressor's speedup in a variability profile.
+type Entry struct {
+	Stressor string
+	Class    stress.Class
+	Speedup  float64
+}
+
+// VariabilityProfile characterizes platform B relative to platform A.
+type VariabilityProfile struct {
+	Base, Target string
+	Entries      []Entry
+}
+
+// Profile derives the analytic variability profile of target vs base from
+// the machine models (no jitter: the pure architectural ratio).
+func Profile(base, target *cluster.MachineProfile) *VariabilityProfile {
+	vp := &VariabilityProfile{Base: base.Name, Target: target.Name}
+	for _, s := range stress.All() {
+		vp.Entries = append(vp.Entries, Entry{
+			Stressor: s.Name, Class: s.Class, Speedup: s.Speedup(base, target),
+		})
+	}
+	return vp
+}
+
+// MeasureProfile derives the profile experimentally by running the
+// battery on both nodes and taking throughput ratios — this is the
+// paper's actual methodology and includes platform jitter.
+func MeasureProfile(baseNode, targetNode *cluster.Node, ops int) (*VariabilityProfile, error) {
+	if baseNode == nil || targetNode == nil {
+		return nil, fmt.Errorf("torpor: need two nodes")
+	}
+	baseSamples := stress.RunBattery(baseNode, ops)
+	targetSamples := stress.RunBattery(targetNode, ops)
+	vp := &VariabilityProfile{
+		Base:   baseNode.Profile().Name,
+		Target: targetNode.Profile().Name,
+	}
+	for i := range baseSamples {
+		if baseSamples[i].Throughput <= 0 {
+			return nil, fmt.Errorf("torpor: stressor %s measured zero throughput", baseSamples[i].Stressor)
+		}
+		vp.Entries = append(vp.Entries, Entry{
+			Stressor: baseSamples[i].Stressor,
+			Class:    baseSamples[i].Class,
+			Speedup:  targetSamples[i].Throughput / baseSamples[i].Throughput,
+		})
+	}
+	return vp, nil
+}
+
+// Speedups returns the raw speedup values in entry order.
+func (vp *VariabilityProfile) Speedups() []float64 {
+	out := make([]float64, len(vp.Entries))
+	for i, e := range vp.Entries {
+		out[i] = e.Speedup
+	}
+	return out
+}
+
+// Range returns the minimum and maximum stressor speedup — Torpor's
+// "variability range of B with respect to A".
+func (vp *VariabilityProfile) Range() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, e := range vp.Entries {
+		lo = math.Min(lo, e.Speedup)
+		hi = math.Max(hi, e.Speedup)
+	}
+	return lo, hi
+}
+
+// Mean returns the arithmetic mean speedup across stressors.
+func (vp *VariabilityProfile) Mean() float64 {
+	return table.Mean(vp.Speedups())
+}
+
+// Table exports the profile as a results table (stressor, class, speedup).
+func (vp *VariabilityProfile) Table() *table.Table {
+	t := table.New("stressor", "class", "base", "target", "speedup")
+	for _, e := range vp.Entries {
+		t.MustAppend(
+			table.String(e.Stressor),
+			table.String(string(e.Class)),
+			table.String(vp.Base),
+			table.String(vp.Target),
+			table.Number(e.Speedup),
+		)
+	}
+	return t
+}
+
+// Histogram bins the speedups with the given bucket width — the figure
+// artifact of the use case.
+func (vp *VariabilityProfile) Histogram(width float64) (*plot.Histogram, error) {
+	h, err := plot.NewHistogram(vp.Speedups(), width)
+	if err != nil {
+		return nil, err
+	}
+	h.Title = fmt.Sprintf("Variability profile of %s vs %s", vp.Target, vp.Base)
+	h.XLabel = "speedup"
+	return h, nil
+}
+
+// Predict estimates the speedup an application with the given resource
+// demands would see moving from base to target, and bounds it by the
+// profile's variability range. Applications are mixes of the resources
+// the stressors exercise, so their speedup must fall inside the range —
+// that containment is Torpor's core claim, and the tests verify it.
+func (vp *VariabilityProfile) Predict(base, target *cluster.MachineProfile, app cluster.Work) (estimate, lo, hi float64, err error) {
+	if base.Name != vp.Base || target.Name != vp.Target {
+		return 0, 0, 0, fmt.Errorf("torpor: profile is %s->%s, asked about %s->%s",
+			vp.Base, vp.Target, base.Name, target.Name)
+	}
+	db, dt := base.Duration(app), target.Duration(app)
+	if dt <= 0 || db <= 0 {
+		return 0, 0, 0, fmt.Errorf("torpor: application work is empty")
+	}
+	lo, hi = vp.Range()
+	return db / dt, lo, hi, nil
+}
+
+// ThrottleLoad computes the background-load fraction that slows a machine
+// down by the given factor (factor >= 1). This models recreating an old
+// platform's performance on a new one with OS-level virtualization
+// (cgroup-style CPU capping), Torpor's "recreate performance" goal.
+func ThrottleLoad(factor float64) (float64, error) {
+	if factor < 1 {
+		return 0, fmt.Errorf("torpor: slowdown factor %g must be >= 1", factor)
+	}
+	load := 1 - 1/factor
+	if load > 0.95 {
+		return 0, fmt.Errorf("torpor: factor %g exceeds the maximum throttle (20x)", factor)
+	}
+	return load, nil
+}
+
+// Recreate throttles `node` so that it behaves like the profile's base
+// platform for CPU-dominated work: the node's background load is set to
+// absorb the mean speedup. Returns the applied load.
+func (vp *VariabilityProfile) Recreate(node *cluster.Node) (float64, error) {
+	if node.Profile().Name != vp.Target {
+		return 0, fmt.Errorf("torpor: node is %s, profile targets %s", node.Profile().Name, vp.Target)
+	}
+	load, err := ThrottleLoad(vp.Mean())
+	if err != nil {
+		return 0, err
+	}
+	if err := node.SetBackgroundLoad(load); err != nil {
+		return 0, err
+	}
+	return load, nil
+}

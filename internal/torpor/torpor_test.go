@@ -1,0 +1,237 @@
+package torpor
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"popper/internal/cluster"
+	"popper/internal/stress"
+)
+
+func profiles(t *testing.T) (*cluster.MachineProfile, *cluster.MachineProfile) {
+	t.Helper()
+	return cluster.MustProfile("xeon-2005"), cluster.MustProfile("cloudlab-c220g1")
+}
+
+func TestAnalyticProfile(t *testing.T) {
+	base, target := profiles(t)
+	vp := Profile(base, target)
+	if vp.Base != "xeon-2005" || vp.Target != "cloudlab-c220g1" {
+		t.Fatalf("identity = %s -> %s", vp.Base, vp.Target)
+	}
+	if len(vp.Entries) != len(stress.All()) {
+		t.Fatalf("entries = %d", len(vp.Entries))
+	}
+	for _, e := range vp.Entries {
+		if e.Speedup <= 1 {
+			t.Errorf("%s speedup = %.2f, newer machine must be faster", e.Stressor, e.Speedup)
+		}
+	}
+}
+
+func TestPaperHistogramShape(t *testing.T) {
+	// Reproduces Fig. torpor-variability: bucket width 0.1, and the
+	// "(2.2, 2.3]" bucket holds 7 stressors (the histogram mode).
+	base, target := profiles(t)
+	vp := Profile(base, target)
+	h, err := vp.Histogram(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count22 int
+	for _, b := range h.Buckets {
+		if math.Abs(b.Lo-2.2) < 1e-9 {
+			count22 = b.Count
+		}
+	}
+	if count22 != 7 {
+		t.Fatalf("(2.2, 2.3] bucket = %d stressors, paper shows 7", count22)
+	}
+	if m := h.Mode(); math.Abs(m.Lo-2.2) > 1e-9 {
+		t.Fatalf("mode bucket = (%.2f, %.2f], want (2.20, 2.30]", m.Lo, m.Hi)
+	}
+	if !strings.Contains(h.Title, "cloudlab-c220g1") {
+		t.Fatalf("title = %q", h.Title)
+	}
+}
+
+func TestRangeAndMean(t *testing.T) {
+	base, target := profiles(t)
+	vp := Profile(base, target)
+	lo, hi := vp.Range()
+	if lo >= hi {
+		t.Fatalf("range [%v, %v]", lo, hi)
+	}
+	if lo < 1.0 || lo > 2.0 {
+		t.Fatalf("lo = %v, latency-bound stressors should sit near 1.3", lo)
+	}
+	if hi < 4.0 {
+		t.Fatalf("hi = %v, vector tail should exceed 4", hi)
+	}
+	m := vp.Mean()
+	if m <= lo || m >= hi {
+		t.Fatalf("mean %v outside range [%v, %v]", m, lo, hi)
+	}
+}
+
+func TestMeasuredProfileMatchesAnalytic(t *testing.T) {
+	c := cluster.New(42)
+	baseNodes, _ := c.Provision("xeon-2005", 1)
+	targetNodes, _ := c.Provision("cloudlab-c220g1", 1)
+	measured, err := MeasureProfile(baseNodes[0], targetNodes[0], 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, target := profiles(t)
+	analytic := Profile(base, target)
+	if len(measured.Entries) != len(analytic.Entries) {
+		t.Fatalf("entry counts differ")
+	}
+	for i := range measured.Entries {
+		m, a := measured.Entries[i].Speedup, analytic.Entries[i].Speedup
+		if math.Abs(m-a)/a > 0.15 {
+			t.Errorf("%s: measured %.2f vs analytic %.2f differ > 15%%",
+				measured.Entries[i].Stressor, m, a)
+		}
+	}
+}
+
+func TestMeasureProfileValidation(t *testing.T) {
+	if _, err := MeasureProfile(nil, nil, 10); err == nil {
+		t.Fatal("nil nodes should fail")
+	}
+}
+
+func TestTableExport(t *testing.T) {
+	base, target := profiles(t)
+	tb := Profile(base, target).Table()
+	if tb.Len() != len(stress.All()) {
+		t.Fatalf("rows = %d", tb.Len())
+	}
+	for _, col := range []string{"stressor", "class", "base", "target", "speedup"} {
+		if !tb.HasColumn(col) {
+			t.Fatalf("missing column %s", col)
+		}
+	}
+	if v := tb.MustCell(0, "base").Str; v != "xeon-2005" {
+		t.Fatalf("base = %q", v)
+	}
+}
+
+func TestPredictContainment(t *testing.T) {
+	base, target := profiles(t)
+	vp := Profile(base, target)
+	apps := []cluster.Work{
+		{CPUOps: 1e9},                                 // pure scalar
+		{CPUOps: 5e8, MemBytes: 1e8},                  // mixed
+		{VecOps: 1e9, MemBytes: 1.5e8},                // vectorized (streams data)
+		{RandAccess: 1e6, CPUOps: 1e7},                // latency bound
+		{CPUOps: 1e8, BranchMiss: 1e6, Syscalls: 1e4}, // branchy
+		{DiskBytes: 0, CPUOps: 3e8, RandAccess: 1e5},  // another mix
+	}
+	for i, app := range apps {
+		est, lo, hi, err := vp.Predict(base, target, app)
+		if err != nil {
+			t.Fatalf("app %d: %v", i, err)
+		}
+		// Torpor's claim: any application's speedup falls inside the
+		// variability range (within tolerance for resource mixes that
+		// blend beyond stressor extremes).
+		if est < lo*0.95 || est > hi*1.05 {
+			t.Errorf("app %d: estimate %.2f outside range [%.2f, %.2f]", i, est, lo, hi)
+		}
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	base, target := profiles(t)
+	vp := Profile(base, target)
+	other := cluster.MustProfile("ec2-m4")
+	if _, _, _, err := vp.Predict(other, target, cluster.Work{CPUOps: 1}); err == nil {
+		t.Fatal("mismatched base must fail")
+	}
+	if _, _, _, err := vp.Predict(base, other, cluster.Work{CPUOps: 1}); err == nil {
+		t.Fatal("mismatched target must fail")
+	}
+	if _, _, _, err := vp.Predict(base, target, cluster.Work{}); err == nil {
+		t.Fatal("empty work must fail")
+	}
+}
+
+func TestThrottleLoad(t *testing.T) {
+	load, err := ThrottleLoad(2)
+	if err != nil || math.Abs(load-0.5) > 1e-12 {
+		t.Fatalf("load = %v, %v", load, err)
+	}
+	if l, err := ThrottleLoad(1); err != nil || l != 0 {
+		t.Fatalf("identity throttle = %v, %v", l, err)
+	}
+	if _, err := ThrottleLoad(0.5); err == nil {
+		t.Fatal("factor < 1 must fail")
+	}
+	if _, err := ThrottleLoad(100); err == nil {
+		t.Fatal("factor beyond max throttle must fail")
+	}
+}
+
+func TestRecreateOldPlatform(t *testing.T) {
+	// Throttle a CloudLab node so CPU work runs at old-Xeon speed.
+	c := cluster.New(7)
+	newNodes, _ := c.Provision("cloudlab-c220g1", 1)
+	oldNodes, _ := c.Provision("xeon-2005", 1)
+	base, target := profiles(t)
+	vp := Profile(base, target)
+
+	load, err := vp.Recreate(newNodes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load <= 0 || load >= 1 {
+		t.Fatalf("load = %v", load)
+	}
+	// A mixed workload on the throttled new node should take a time in
+	// the same ballpark as the real old node (within 2x — the profile is
+	// one scalar, applications vary).
+	app := cluster.Work{CPUOps: 1e9, MemBytes: 1e8, BranchMiss: 1e6}
+	tNew := newNodes[0].Run(app)
+	tOld := oldNodes[0].Run(app)
+	ratio := tNew / tOld
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("recreated/old = %.2f, throttling too far off", ratio)
+	}
+}
+
+func TestRecreateWrongNode(t *testing.T) {
+	c := cluster.New(8)
+	nodes, _ := c.Provision("ec2-m4", 1)
+	base, target := profiles(t)
+	vp := Profile(base, target)
+	if _, err := vp.Recreate(nodes[0]); err == nil {
+		t.Fatal("recreate on wrong platform must fail")
+	}
+}
+
+// Property: speedups scale consistently — if we uniformly slow the target
+// clock by k, every speedup falls (profile ordering is stable).
+func TestQuickProfileMonotoneInClock(t *testing.T) {
+	f := func(kRaw uint8) bool {
+		k := 1 + float64(kRaw%50)/100.0 // 1.0 .. 1.49
+		base := cluster.MustProfile("xeon-2005")
+		target := cluster.MustProfile("cloudlab-c220g1")
+		slowed := *target
+		slowed.ClockHz = target.ClockHz / k
+		vpFast := Profile(base, target)
+		vpSlow := Profile(base, &slowed)
+		for i := range vpFast.Entries {
+			if vpSlow.Entries[i].Speedup > vpFast.Entries[i].Speedup+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+package vcs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Merge support: the collaboration story of the convention ("allowing
+// researchers to easily collaborate as well as build upon existing
+// work"). Merges are file-level three-way: a file changed on only one
+// side is taken from that side; a file changed identically on both sides
+// is taken as is; diverging changes to the same path are conflicts and
+// abort the merge.
+
+// MergeConflict describes one path both branches changed differently.
+type MergeConflict struct {
+	Path string
+	// OursHash/TheirsHash identify the two contents (for reporting).
+	Ours, Theirs string
+}
+
+// ErrMergeConflict is returned when a merge cannot complete.
+type ErrMergeConflict struct {
+	Conflicts []MergeConflict
+}
+
+func (e *ErrMergeConflict) Error() string {
+	paths := make([]string, len(e.Conflicts))
+	for i, c := range e.Conflicts {
+		paths[i] = c.Path
+	}
+	return fmt.Sprintf("vcs: merge conflicts in: %s", strings.Join(paths, ", "))
+}
+
+// mergeBase finds the nearest common ancestor of two commits
+// (first-parent breadth-first; sufficient for the linear-with-branches
+// histories this repository model produces).
+func (r *Repository) mergeBase(a, b Hash) (Hash, error) {
+	ancestors := map[Hash]bool{}
+	for cur := a; cur != ""; {
+		ancestors[cur] = true
+		c, err := r.LookupCommit(cur)
+		if err != nil {
+			return "", err
+		}
+		if len(c.Parents) == 0 {
+			break
+		}
+		cur = c.Parents[0]
+	}
+	for cur := b; cur != ""; {
+		if ancestors[cur] {
+			return cur, nil
+		}
+		c, err := r.LookupCommit(cur)
+		if err != nil {
+			return "", err
+		}
+		if len(c.Parents) == 0 {
+			break
+		}
+		cur = c.Parents[0]
+	}
+	return "", fmt.Errorf("vcs: no common ancestor between %s and %s", a.Short(), b.Short())
+}
+
+// isAncestor reports whether a is reachable from b via first parents.
+func (r *Repository) isAncestor(a, b Hash) (bool, error) {
+	for cur := b; cur != ""; {
+		if cur == a {
+			return true, nil
+		}
+		c, err := r.LookupCommit(cur)
+		if err != nil {
+			return false, err
+		}
+		if len(c.Parents) == 0 {
+			return false, nil
+		}
+		cur = c.Parents[0]
+	}
+	return false, nil
+}
+
+// Merge merges the named branch into the current branch.
+//
+// Fast-forward when the current head is an ancestor of the other branch;
+// otherwise a three-way merge commit with both parents. Returns the
+// resulting head commit. Conflicting paths abort with *ErrMergeConflict
+// and leave both branches untouched.
+func (r *Repository) Merge(other, author string) (Commit, error) {
+	r.mu.Lock()
+	oursHash, oursOK := r.refs[r.head], true
+	theirsHash, theirsOK := r.refs[other]
+	current := r.head
+	r.mu.Unlock()
+	if !theirsOK {
+		return Commit{}, fmt.Errorf("vcs: no branch %q", other)
+	}
+	if other == current {
+		return Commit{}, fmt.Errorf("vcs: cannot merge %q into itself", other)
+	}
+	if theirsHash == "" {
+		return Commit{}, fmt.Errorf("vcs: branch %q has no commits", other)
+	}
+	if !oursOK || oursHash == "" {
+		// empty current branch: fast-forward trivially
+		r.mu.Lock()
+		r.refs[current] = theirsHash
+		r.mu.Unlock()
+		return r.LookupCommit(theirsHash)
+	}
+	if oursHash == theirsHash {
+		return r.LookupCommit(oursHash)
+	}
+	// fast-forward?
+	if ff, err := r.isAncestor(oursHash, theirsHash); err != nil {
+		return Commit{}, err
+	} else if ff {
+		r.mu.Lock()
+		r.refs[current] = theirsHash
+		r.mu.Unlock()
+		return r.LookupCommit(theirsHash)
+	}
+	// already up to date?
+	if anc, err := r.isAncestor(theirsHash, oursHash); err != nil {
+		return Commit{}, err
+	} else if anc {
+		return r.LookupCommit(oursHash)
+	}
+	// three-way merge
+	baseHash, err := r.mergeBase(oursHash, theirsHash)
+	if err != nil {
+		return Commit{}, err
+	}
+	base, err := r.Checkout(baseHash)
+	if err != nil {
+		return Commit{}, err
+	}
+	ours, err := r.Checkout(oursHash)
+	if err != nil {
+		return Commit{}, err
+	}
+	theirs, err := r.Checkout(theirsHash)
+	if err != nil {
+		return Commit{}, err
+	}
+
+	merged := make(map[string][]byte)
+	var conflicts []MergeConflict
+	paths := map[string]bool{}
+	for p := range base {
+		paths[p] = true
+	}
+	for p := range ours {
+		paths[p] = true
+	}
+	for p := range theirs {
+		paths[p] = true
+	}
+	sorted := make([]string, 0, len(paths))
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	for _, p := range sorted {
+		b, hasB := base[p]
+		o, hasO := ours[p]
+		t, hasT := theirs[p]
+		oursChanged := hasO != hasB || (hasO && hasB && string(o) != string(b))
+		theirsChanged := hasT != hasB || (hasT && hasB && string(t) != string(b))
+		switch {
+		case !oursChanged && !theirsChanged:
+			if hasB {
+				merged[p] = b
+			}
+		case oursChanged && !theirsChanged:
+			if hasO {
+				merged[p] = o
+			}
+		case !oursChanged && theirsChanged:
+			if hasT {
+				merged[p] = t
+			}
+		default: // both changed
+			if hasO && hasT && string(o) == string(t) {
+				merged[p] = o
+				continue
+			}
+			if !hasO && !hasT { // both deleted
+				continue
+			}
+			conflicts = append(conflicts, MergeConflict{
+				Path: p, Ours: summarize(o, hasO), Theirs: summarize(t, hasT),
+			})
+		}
+	}
+	if len(conflicts) > 0 {
+		return Commit{}, &ErrMergeConflict{Conflicts: conflicts}
+	}
+
+	r.mu.Lock()
+	tree := r.storeTree(merged, "")
+	r.seq++
+	c := Commit{
+		Tree:    tree,
+		Parents: []Hash{oursHash, theirsHash},
+		Author:  author,
+		Message: fmt.Sprintf("merge branch %q into %q", other, current),
+		Seq:     r.seq,
+	}
+	c.Hash = r.put(kindCommit, encodeCommit(c))
+	r.refs[current] = c.Hash
+	hooks := append([]func(Commit){}, r.hooks...)
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h(c)
+	}
+	return c, nil
+}
+
+func summarize(content []byte, present bool) string {
+	if !present {
+		return "(deleted)"
+	}
+	return fmt.Sprintf("%d bytes", len(content))
+}

@@ -1,0 +1,240 @@
+package vcs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMergeFastForward(t *testing.T) {
+	r := NewRepository()
+	r.Commit(files("a", "1"), "x", "base")
+	r.CreateBranch("feature", true)
+	c2, _ := r.Commit(files("a", "1", "b", "2"), "x", "feature work")
+
+	r.SwitchBranch("master")
+	merged, err := r.Merge("feature", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Hash != c2.Hash {
+		t.Fatalf("fast-forward should move master to %s, got %s", c2.Hash.Short(), merged.Hash.Short())
+	}
+	out, _ := r.CheckoutHead()
+	if string(out["b"]) != "2" {
+		t.Fatal("feature content missing after merge")
+	}
+}
+
+func TestMergeThreeWay(t *testing.T) {
+	r := NewRepository()
+	r.Commit(files("shared", "base", "ours-file", "o0", "theirs-file", "t0"), "x", "base")
+	r.CreateBranch("collab", true)
+	r.Commit(files("shared", "base", "ours-file", "o0", "theirs-file", "t1", "new-theirs", "nt"), "x", "their change")
+	r.SwitchBranch("master")
+	r.Commit(files("shared", "base", "ours-file", "o1", "theirs-file", "t0"), "x", "our change")
+
+	merged, err := r.Merge("collab", "merger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Parents) != 2 {
+		t.Fatalf("merge commit parents = %v", merged.Parents)
+	}
+	out, _ := r.CheckoutHead()
+	checks := map[string]string{
+		"shared":      "base",
+		"ours-file":   "o1",
+		"theirs-file": "t1",
+		"new-theirs":  "nt",
+	}
+	for p, want := range checks {
+		if string(out[p]) != want {
+			t.Errorf("%s = %q, want %q", p, out[p], want)
+		}
+	}
+	if !strings.Contains(merged.Message, "merge branch") {
+		t.Fatalf("message = %q", merged.Message)
+	}
+}
+
+func TestMergeIdenticalChanges(t *testing.T) {
+	r := NewRepository()
+	r.Commit(files("f", "base"), "x", "base")
+	r.CreateBranch("b", true)
+	r.Commit(files("f", "same-change"), "x", "theirs")
+	r.SwitchBranch("master")
+	r.Commit(files("f", "same-change"), "x", "ours")
+	if _, err := r.Merge("b", "x"); err != nil {
+		t.Fatalf("identical changes must not conflict: %v", err)
+	}
+}
+
+func TestMergeBothDeleted(t *testing.T) {
+	r := NewRepository()
+	r.Commit(files("f", "base", "keep", "k"), "x", "base")
+	r.CreateBranch("b", true)
+	r.Commit(files("keep", "k"), "x", "theirs delete")
+	r.SwitchBranch("master")
+	r.Commit(files("keep", "k"), "x", "ours delete")
+	merged, err := r.Merge("b", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := r.Checkout(merged.Hash)
+	if _, ok := out["f"]; ok {
+		t.Fatal("doubly-deleted file resurrected")
+	}
+}
+
+func TestMergeConflict(t *testing.T) {
+	r := NewRepository()
+	r.Commit(files("f", "base"), "x", "base")
+	r.CreateBranch("b", true)
+	theirHead, _ := r.Commit(files("f", "theirs"), "x", "theirs")
+	r.SwitchBranch("master")
+	ourHead, _ := r.Commit(files("f", "ours"), "x", "ours")
+
+	_, err := r.Merge("b", "x")
+	var conflict *ErrMergeConflict
+	if !errors.As(err, &conflict) {
+		t.Fatalf("want ErrMergeConflict, got %v", err)
+	}
+	if len(conflict.Conflicts) != 1 || conflict.Conflicts[0].Path != "f" {
+		t.Fatalf("conflicts = %+v", conflict.Conflicts)
+	}
+	// branches untouched
+	head, _ := r.Head()
+	if head.Hash != ourHead.Hash {
+		t.Fatal("failed merge must not move the current branch")
+	}
+	got, _ := r.ResolveTagOrBranch("b")
+	if got != theirHead.Hash {
+		t.Fatal("failed merge must not move the other branch")
+	}
+}
+
+func TestMergeModifyDeleteConflict(t *testing.T) {
+	r := NewRepository()
+	r.Commit(files("f", "base"), "x", "base")
+	r.CreateBranch("b", true)
+	r.Commit(map[string][]byte{}, "x", "theirs deletes f")
+	r.SwitchBranch("master")
+	r.Commit(files("f", "modified"), "x", "ours modifies f")
+	_, err := r.Merge("b", "x")
+	var conflict *ErrMergeConflict
+	if !errors.As(err, &conflict) {
+		t.Fatalf("modify/delete must conflict, got %v", err)
+	}
+	if conflict.Conflicts[0].Theirs != "(deleted)" {
+		t.Fatalf("conflict detail = %+v", conflict.Conflicts[0])
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	r := NewRepository()
+	r.Commit(files("a", "1"), "x", "base")
+	if _, err := r.Merge("master", "x"); err == nil {
+		t.Fatal("self-merge must fail")
+	}
+	if _, err := r.Merge("ghost", "x"); err == nil {
+		t.Fatal("unknown branch must fail")
+	}
+	r.CreateBranch("empty", false)
+	// merging an identical branch is a no-op returning current head
+	head, _ := r.Head()
+	got, err := r.Merge("empty", "x")
+	if err != nil || got.Hash != head.Hash {
+		t.Fatalf("identical merge = %v, %v", got, err)
+	}
+}
+
+func TestMergeAlreadyUpToDate(t *testing.T) {
+	r := NewRepository()
+	r.Commit(files("a", "1"), "x", "c1")
+	r.CreateBranch("old", false)
+	head, _ := r.Commit(files("a", "2"), "x", "c2")
+	// master is ahead of old: merge is a no-op
+	got, err := r.Merge("old", "x")
+	if err != nil || got.Hash != head.Hash {
+		t.Fatalf("up-to-date merge = %v, %v", got, err)
+	}
+}
+
+func TestMergeTriggersHooks(t *testing.T) {
+	r := NewRepository()
+	r.Commit(files("f", "base"), "x", "base")
+	r.CreateBranch("b", true)
+	r.Commit(files("f", "base", "g", "1"), "x", "theirs")
+	r.SwitchBranch("master")
+	r.Commit(files("f", "changed"), "x", "ours")
+
+	var hookMsgs []string
+	r.OnCommit(func(c Commit) { hookMsgs = append(hookMsgs, c.Message) })
+	if _, err := r.Merge("b", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if len(hookMsgs) != 1 || !strings.Contains(hookMsgs[0], "merge") {
+		t.Fatalf("hooks = %v (CI must see merge commits)", hookMsgs)
+	}
+}
+
+// ResolveTagOrBranch is a test helper exposing branch tips.
+func (r *Repository) ResolveTagOrBranch(name string) (Hash, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.refs[name]; ok {
+		return h, nil
+	}
+	if h, ok := r.tags[name]; ok {
+		return h, nil
+	}
+	return "", errorsNew("no ref " + name)
+}
+
+func errorsNew(s string) error { return errors.New(s) }
+
+// Property: merging branches with disjoint path changes never conflicts
+// and the result contains both sides' files.
+func TestQuickDisjointMerge(t *testing.T) {
+	f := func(oursN, theirsN uint8) bool {
+		r := NewRepository()
+		r.Commit(files("base", "b"), "x", "base")
+		r.CreateBranch("b", true)
+		theirFiles := files("base", "b")
+		for i := 0; i < int(theirsN%5)+1; i++ {
+			theirFiles[fmt.Sprintf("theirs/%d", i)] = []byte{byte(i)}
+		}
+		r.Commit(theirFiles, "x", "theirs")
+		r.SwitchBranch("master")
+		ourFiles := files("base", "b")
+		for i := 0; i < int(oursN%5)+1; i++ {
+			ourFiles[fmt.Sprintf("ours/%d", i)] = []byte{byte(i)}
+		}
+		r.Commit(ourFiles, "x", "ours")
+		merged, err := r.Merge("b", "x")
+		if err != nil {
+			return false
+		}
+		out, err := r.Checkout(merged.Hash)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(theirsN%5)+1; i++ {
+			if _, ok := out[fmt.Sprintf("theirs/%d", i)]; !ok {
+				return false
+			}
+		}
+		for i := 0; i < int(oursN%5)+1; i++ {
+			if _, ok := out[fmt.Sprintf("ours/%d", i)]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,578 @@
+package yamlite
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustDecode(t *testing.T, src string) any {
+	t.Helper()
+	v, err := Decode(src)
+	if err != nil {
+		t.Fatalf("Decode(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestDecodeScalars(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"42", int64(42)},
+		{"-17", int64(-17)},
+		{"3.25", 3.25},
+		{"true", true},
+		{"no", false},
+		{"null", nil},
+		{"~", nil},
+		{"hello world", "hello world"},
+		{`"quoted: string"`, "quoted: string"},
+		{`'single ''quoted'''`, "single 'quoted'"},
+		{`"tab\there"`, "tab\there"},
+	}
+	for _, c := range cases {
+		if got := mustDecode(t, c.src); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Decode(%q) = %#v, want %#v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestDecodeMapping(t *testing.T) {
+	src := `
+name: myexp
+runs: 10
+threshold: 0.95
+enabled: true
+`
+	got := mustDecode(t, src)
+	want := map[string]any{
+		"name": "myexp", "runs": int64(10), "threshold": 0.95, "enabled": true,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v, want %#v", got, want)
+	}
+}
+
+func TestDecodeNestedMapping(t *testing.T) {
+	src := `
+experiment:
+  name: gassyfs
+  cluster:
+    nodes: 16
+    profile: cloudlab-c220g1
+paper:
+  build: build.sh
+`
+	got := mustDecode(t, src)
+	exp, ok := Get(got, "experiment.cluster.nodes")
+	if !ok || exp != int64(16) {
+		t.Fatalf("experiment.cluster.nodes = %v, %v", exp, ok)
+	}
+	if s := GetString(got, "paper.build", ""); s != "build.sh" {
+		t.Fatalf("paper.build = %q", s)
+	}
+}
+
+func TestDecodeSequences(t *testing.T) {
+	src := `
+stressors:
+  - cpu
+  - matrix
+  - qsort
+nodes: [1, 2, 4, 8]
+`
+	got := mustDecode(t, src)
+	if s := GetStringSlice(got, "stressors"); !reflect.DeepEqual(s, []string{"cpu", "matrix", "qsort"}) {
+		t.Fatalf("stressors = %v", s)
+	}
+	nodes := GetSlice(got, "nodes")
+	if len(nodes) != 4 || nodes[3] != int64(8) {
+		t.Fatalf("nodes = %v", nodes)
+	}
+}
+
+func TestDecodeSequenceOfMappings(t *testing.T) {
+	src := `
+tasks:
+  - name: install
+    action: pkg
+    args: [gcc, make]
+  - name: run
+    action: shell
+    cmd: ./run.sh
+`
+	got := mustDecode(t, src)
+	tasks := GetSlice(got, "tasks")
+	if len(tasks) != 2 {
+		t.Fatalf("tasks = %#v", tasks)
+	}
+	if n := GetString(tasks[0], "name", ""); n != "install" {
+		t.Fatalf("task[0].name = %q", n)
+	}
+	if c := GetString(got, "tasks.1.cmd", ""); c != "./run.sh" {
+		t.Fatalf("tasks.1.cmd = %q", c)
+	}
+}
+
+func TestDecodeNestedSequence(t *testing.T) {
+	src := `
+matrix:
+  -
+    - 1
+    - 2
+  -
+    - 3
+`
+	got := mustDecode(t, src)
+	m := GetSlice(got, "matrix")
+	if len(m) != 2 {
+		t.Fatalf("matrix = %#v", m)
+	}
+	first, ok := m[0].([]any)
+	if !ok || len(first) != 2 || first[1] != int64(2) {
+		t.Fatalf("matrix[0] = %#v", m[0])
+	}
+}
+
+func TestDecodeFlowMap(t *testing.T) {
+	src := `env: {CC: gcc, JOBS: 4, DEBUG: false}`
+	got := mustDecode(t, src)
+	if v := GetInt(got, "env.JOBS", -1); v != 4 {
+		t.Fatalf("env.JOBS = %d", v)
+	}
+	if v := GetBool(got, "env.DEBUG", true); v {
+		t.Fatalf("env.DEBUG should be false")
+	}
+}
+
+func TestDecodeComments(t *testing.T) {
+	src := `
+# full line comment
+name: test # trailing comment
+url: "http://x#y"  # '#' inside quotes is preserved
+anchor: a#b
+`
+	got := mustDecode(t, src)
+	if s := GetString(got, "name", ""); s != "test" {
+		t.Fatalf("name = %q", s)
+	}
+	if s := GetString(got, "url", ""); s != "http://x#y" {
+		t.Fatalf("url = %q", s)
+	}
+	if s := GetString(got, "anchor", ""); s != "a#b" {
+		t.Fatalf("anchor = %q (mid-word # is not a comment)", s)
+	}
+}
+
+func TestDecodeDocumentMarker(t *testing.T) {
+	src := "---\nkey: value\n"
+	got := mustDecode(t, src)
+	if s := GetString(got, "key", ""); s != "value" {
+		t.Fatalf("key = %q", s)
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	for _, src := range []string{"", "\n", "# only a comment\n"} {
+		if v := mustDecode(t, src); v != nil {
+			t.Errorf("Decode(%q) = %#v, want nil", src, v)
+		}
+	}
+	m, err := DecodeMap("")
+	if err != nil || len(m) != 0 {
+		t.Fatalf("DecodeMap(\"\") = %v, %v", m, err)
+	}
+}
+
+func TestDecodeNullValues(t *testing.T) {
+	src := `
+a:
+b: ~
+c: value
+`
+	got := mustDecode(t, src).(map[string]any)
+	if got["a"] != nil || got["b"] != nil {
+		t.Fatalf("a/b should be nil: %#v", got)
+	}
+	if got["c"] != "value" {
+		t.Fatalf("c = %v", got["c"])
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"\tkey: value",         // tab indentation
+		"a: 1\na: 2",           // duplicate key
+		"a: [1, 2",             // unterminated flow seq
+		"a: {x: 1",             // unterminated flow map
+		"a: \"unclosed",        // unterminated string
+		"key: ok\n  stray: no", // unexpected indent
+	}
+	for _, src := range cases {
+		if _, err := Decode(src); err == nil {
+			t.Errorf("Decode(%q) should fail", src)
+		}
+	}
+}
+
+func TestDecodeMapRootMismatch(t *testing.T) {
+	if _, err := DecodeMap("- a\n- b"); err == nil {
+		t.Fatal("DecodeMap of a sequence should fail")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	v := map[string]any{
+		"z": int64(1), "a": "x", "m": []any{int64(1), int64(2)},
+	}
+	first := Encode(v)
+	for i := 0; i < 10; i++ {
+		if got := Encode(v); got != first {
+			t.Fatalf("Encode not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+	if !strings.HasPrefix(first, "a: x\n") {
+		t.Fatalf("keys not sorted:\n%s", first)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	v := map[string]any{
+		"name":    "gassyfs",
+		"runs":    int64(10),
+		"ratio":   2.5,
+		"debug":   false,
+		"nothing": nil,
+		"tags":    []any{"fs", "scalability"},
+		"cluster": map[string]any{
+			"nodes":   []any{int64(1), int64(2), int64(4)},
+			"profile": "cloudlab",
+			"opts":    map[string]any{"net": "10g", "numa": true},
+		},
+		"items": []any{
+			map[string]any{"id": int64(1), "cmd": "./run.sh"},
+			map[string]any{"id": int64(2), "cmd": "echo hi"},
+		},
+		"weird":   "needs: quoting",
+		"numeric": "123",
+	}
+	enc := Encode(v)
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode(Encode(v)): %v\n%s", err, enc)
+	}
+	if !reflect.DeepEqual(back, v) {
+		t.Fatalf("round trip mismatch:\nencoded:\n%s\ngot:  %#v\nwant: %#v", enc, back, v)
+	}
+}
+
+func TestEncodeScalarQuoting(t *testing.T) {
+	cases := map[string]any{
+		"true":  "true",  // string that looks like bool must quote
+		"123":   "123",   // string that looks like int must quote
+		"1.5":   "1.5",   // string that looks like float must quote
+		"null":  "null",  // string that looks like null must quote
+		"plain": "plain", // plain strings stay plain
+	}
+	for s := range cases {
+		enc := Encode(map[string]any{"k": s})
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode %q: %v", enc, err)
+		}
+		if got := GetString(back, "k", "<missing>"); got != s {
+			t.Errorf("round trip of string %q gave %q (encoded %q)", s, got, enc)
+		}
+	}
+}
+
+func TestGetPathMisses(t *testing.T) {
+	doc := mustDecode(t, "a:\n  b: [1, 2]")
+	for _, path := range []string{"a.c", "a.b.5", "a.b.x", "a.b.0.z", "q"} {
+		if _, ok := Get(doc, path); ok {
+			t.Errorf("Get(%q) should miss", path)
+		}
+	}
+	if v, ok := Get(doc, "a.b.1"); !ok || v != int64(2) {
+		t.Errorf("Get(a.b.1) = %v, %v", v, ok)
+	}
+}
+
+func TestGetDefaults(t *testing.T) {
+	doc := mustDecode(t, "n: 3\ns: str\nb: true\nf: 2.9")
+	if GetInt(doc, "missing", 7) != 7 {
+		t.Error("GetInt default")
+	}
+	if GetString(doc, "n", "d") != "d" {
+		t.Error("GetString type mismatch should default")
+	}
+	if GetInt(doc, "f", 0) != 2 {
+		t.Error("GetInt should truncate floats")
+	}
+	if !GetBool(doc, "b", false) {
+		t.Error("GetBool")
+	}
+}
+
+// Property: any tree built from the generator round-trips Encode→Decode.
+func TestQuickRoundTrip(t *testing.T) {
+	gen := func(seed int64) bool {
+		v := genValue(seed, 3)
+		enc := Encode(v)
+		back, err := Decode(enc)
+		if err != nil {
+			t.Logf("seed %d: decode error %v on:\n%s", seed, err, enc)
+			return false
+		}
+		if !reflect.DeepEqual(normalize(back), normalize(v)) {
+			t.Logf("seed %d mismatch:\n%s\ngot %#v\nwant %#v", seed, enc, back, v)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// genValue deterministically generates a value tree from a seed.
+func genValue(seed int64, depth int) any {
+	if seed < 0 {
+		seed = -seed
+	}
+	kind := seed % 7
+	if depth == 0 && kind >= 5 {
+		kind = seed % 5
+	}
+	switch kind {
+	case 0:
+		return seed % 1000
+	case 1:
+		return float64(seed%97) + 0.5
+	case 2:
+		return seed%2 == 0
+	case 3:
+		return nil
+	case 4:
+		words := []string{"alpha", "beta", "x y", "with: colon", "123", "true", "-dash"}
+		return words[seed%int64(len(words))]
+	case 5:
+		n := int(seed%3) + 1
+		s := make([]any, n)
+		for i := range s {
+			s[i] = genValue(seed/3+int64(i)*7+1, depth-1)
+		}
+		return s
+	default:
+		n := int(seed%3) + 1
+		m := make(map[string]any, n)
+		for i := 0; i < n; i++ {
+			m["k"+string(rune('a'+i))] = genValue(seed/5+int64(i)*11+3, depth-1)
+		}
+		return m
+	}
+}
+
+// normalize converts ints to int64 so generated trees compare with decoded.
+func normalize(v any) any {
+	switch t := v.(type) {
+	case int:
+		return int64(t)
+	case int64:
+		return t
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = normalize(e)
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, e := range t {
+			out[k] = normalize(e)
+		}
+		return out
+	}
+	return v
+}
+
+func TestTravisStyleFile(t *testing.T) {
+	src := `
+language: go
+go:
+  - 1.22
+script:
+  - ./experiments/gassyfs/run.sh
+  - ./paper/build.sh
+env:
+  matrix:
+    - NODES=1
+    - NODES=4
+notifications:
+  email: false
+`
+	got := mustDecode(t, src)
+	if s := GetString(got, "language", ""); s != "go" {
+		t.Fatalf("language = %q", s)
+	}
+	scripts := GetStringSlice(got, "script")
+	if len(scripts) != 2 || scripts[1] != "./paper/build.sh" {
+		t.Fatalf("script = %v", scripts)
+	}
+	if v := GetBool(got, "notifications.email", true); v {
+		t.Fatal("notifications.email should decode false")
+	}
+}
+
+func TestBlockScalarLiteral(t *testing.T) {
+	src := `
+script: |
+  set -e
+  ./run.sh --nodes 4
+  popper validate
+after: done
+`
+	got := mustDecode(t, src)
+	want := "set -e\n./run.sh --nodes 4\npopper validate\n"
+	if s := GetString(got, "script", ""); s != want {
+		t.Fatalf("literal block = %q, want %q", s, want)
+	}
+	if s := GetString(got, "after", ""); s != "done" {
+		t.Fatalf("after = %q", s)
+	}
+}
+
+func TestBlockScalarFolded(t *testing.T) {
+	src := `
+description: >
+  a long sentence
+  folded across lines
+`
+	got := mustDecode(t, src)
+	if s := GetString(got, "description", ""); s != "a long sentence folded across lines\n" {
+		t.Fatalf("folded = %q", s)
+	}
+}
+
+func TestBlockScalarNestedIndent(t *testing.T) {
+	src := "cmd: |\n  if x; then\n    echo deep\n  fi\n"
+	got := mustDecode(t, src)
+	if s := GetString(got, "cmd", ""); s != "if x; then\n  echo deep\nfi\n" {
+		t.Fatalf("nested indent = %q", s)
+	}
+}
+
+func TestBlockScalarEmpty(t *testing.T) {
+	got := mustDecode(t, "empty: |\nnext: 1\n")
+	m := got.(map[string]any)
+	if m["empty"] != "" {
+		t.Fatalf("empty block = %#v", m["empty"])
+	}
+	if m["next"] != int64(1) {
+		t.Fatalf("next = %#v", m["next"])
+	}
+}
+
+func TestBlockScalarBadDedent(t *testing.T) {
+	src := "k: |\n    four\n  two\nz: 1"
+	if _, err := Decode(src); err == nil {
+		t.Fatal("dedent below block indent inside block must fail")
+	}
+}
+
+func TestQuotedKeys(t *testing.T) {
+	src := `"key: with colon": 1
+'another key': two
+`
+	got := mustDecode(t, src)
+	m := got.(map[string]any)
+	if m["key: with colon"] != int64(1) || m["another key"] != "two" {
+		t.Fatalf("quoted keys = %#v", m)
+	}
+	// quoted keys survive encode/decode
+	enc := Encode(map[string]any{"needs: quote": "v"})
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if GetString(back, "needs: quote", "") != "v" {
+		t.Fatalf("round trip = %s", enc)
+	}
+}
+
+func TestNestedFlowCollections(t *testing.T) {
+	got := mustDecode(t, `m: [1, [2, 3], {k: 4}]`)
+	seq := GetSlice(got, "m")
+	if len(seq) != 3 {
+		t.Fatalf("seq = %#v", seq)
+	}
+	inner, ok := seq[1].([]any)
+	if !ok || inner[1] != int64(3) {
+		t.Fatalf("inner = %#v", seq[1])
+	}
+	if v := GetInt(got, "m.2.k", -1); v != 4 {
+		t.Fatalf("m.2.k = %d", v)
+	}
+}
+
+func TestFlowErrors(t *testing.T) {
+	for _, src := range []string{
+		`a: [1, 2]]`,     // unbalanced close inside
+		`a: ["unclosed]`, // string spans flow end
+		`a: {novalue}`,   // flow map entry without colon
+		`a: {"": 1}`,     // empty quoted key
+	} {
+		if _, err := Decode(src); err == nil {
+			t.Errorf("Decode(%q) should fail", src)
+		}
+	}
+}
+
+func TestEncodeSpecialValues(t *testing.T) {
+	enc := Encode(map[string]any{
+		"f":        1.5,
+		"whole":    2.0, // float encodes with a decimal point to round-trip as float
+		"neg":      int64(-3),
+		"emptyM":   map[string]any{},
+		"emptyL":   []any{},
+		"uncommon": uint8(7), // non-canonical scalar types quote via fmt
+	})
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, enc)
+	}
+	if v, _ := Get(back, "whole"); v != 2.0 {
+		t.Fatalf("whole = %#v (must stay float)", v)
+	}
+	if v, _ := Get(back, "neg"); v != int64(-3) {
+		t.Fatalf("neg = %#v", v)
+	}
+	if v, _ := Get(back, "emptyM"); len(v.(map[string]any)) != 0 {
+		t.Fatalf("emptyM = %#v", v)
+	}
+	if v, _ := Get(back, "emptyL"); len(v.([]any)) != 0 {
+		t.Fatalf("emptyL = %#v", v)
+	}
+	if v := GetString(back, "uncommon", ""); v != "7" {
+		t.Fatalf("uncommon = %q", v)
+	}
+}
+
+func TestEncodeStringEdgeCases(t *testing.T) {
+	for _, s := range []string{
+		" leading", "trailing ", "-dash", "", "with\nnewline", "tab\tin",
+		"hash # inside", "a:b", "ends:",
+	} {
+		enc := Encode(map[string]any{"k": s})
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode %q (from %q): %v", enc, s, err)
+		}
+		if got := GetString(back, "k", "<missing>"); got != s {
+			t.Errorf("round trip %q -> %q (encoded %q)", s, got, enc)
+		}
+	}
+}
