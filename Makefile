@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full verification loop: tier-1 (build + test) plus static
+# analysis and the race detector over the concurrent sweep/cache/Aver
+# paths.
+verify: build vet test race
+
+bench:
+	$(GO) test -bench . -benchmem

@@ -655,3 +655,67 @@ func BenchmarkMetricsPipeline(b *testing.B) {
 		}
 	}
 }
+
+// --- parallel sweep engine & stage cache -----------------------------------
+
+// sweepBenchProject builds a cloverleaf project sized so one
+// configuration takes a measurable (but small) amount of work.
+func sweepBenchProject(b *testing.B) (*core.Project, []map[string]string) {
+	b.Helper()
+	p := core.Init()
+	if err := p.AddExperiment("cloverleaf", "sweep"); err != nil {
+		b.Fatal(err)
+	}
+	p.SetParam("sweep", "nodes", "1,2,4")
+	p.SetParam("sweep", "iterations", "3")
+	p.SetParam("sweep", "problem_size", "16")
+	configs := make([]map[string]string, 8)
+	for i := range configs {
+		configs[i] = map[string]string{"seed": fmt.Sprintf("%d", i+1)}
+	}
+	return p, configs
+}
+
+func runSweepBench(b *testing.B, jobs int, cache *pipeline.Cache) {
+	p, configs := sweepBenchProject(b)
+	sr, err := p.RunSweep("sweep", &core.Env{Seed: 1}, configs, core.SweepOptions{Jobs: jobs, Cache: cache})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sr.Err(); err != nil {
+		b.Fatal(err)
+	}
+	if sr.Results == nil || sr.Results.Len() == 0 {
+		b.Fatal("sweep produced no merged results")
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSweepBench(b, 1, nil)
+	}
+}
+
+func BenchmarkSweepParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSweepBench(b, 8, nil)
+	}
+}
+
+func BenchmarkSweepCached(b *testing.B) {
+	// Warm the cache once; the measured iterations replay every
+	// cacheable stage of every configuration.
+	cache := pipeline.NewCache()
+	runSweepBench(b, 8, cache)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSweepBench(b, 8, cache)
+	}
+	b.StopTimer()
+	hits, misses := cache.Stats()
+	if hits == 0 {
+		b.Fatal("cached sweep produced no cache hits")
+	}
+	b.ReportMetric(float64(hits), "cache-hits")
+	b.ReportMetric(float64(misses), "cache-misses")
+}

@@ -8,6 +8,9 @@
 //	popper check                     audit Popper compliance
 //	popper lint                      parse every experiment's setup.yml
 //	popper run <name> [-seed N]      execute an experiment end to end
+//	                                 (-jobs N parallelizes; sweep.yml
+//	                                 expands into a configuration matrix;
+//	                                 -no-cache disables stage caching)
 //	popper ci                        replay the repo's CI script locally
 //	popper machines                  list simulated machine profiles
 //	popper report                    render report.html from the repo
@@ -27,6 +30,7 @@ import (
 	"popper/internal/cluster"
 	"popper/internal/core"
 	"popper/internal/orchestrate"
+	"popper/internal/pipeline"
 )
 
 func main() {
@@ -40,8 +44,10 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("popper", flag.ContinueOnError)
 	dir := fs.String("C", ".", "repository directory")
 	seed := fs.Int64("seed", 1, "simulation seed for `popper run`")
+	jobs := fs.Int("jobs", 0, "worker pool size for `popper run` (0 = one per CPU, 1 = serial)")
+	noCache := fs.Bool("no-cache", false, "disable content-addressed stage caching in `popper run`")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: popper [-C dir] [-seed n] <command> [args]")
+		fmt.Fprintln(os.Stderr, "usage: popper [-C dir] [-seed n] [-jobs n] [-no-cache] <command> [args]")
 		fmt.Fprintln(os.Stderr, "commands: init, experiment list, add, paper, check, lint, run, ci, machines, report, build-paper")
 		fs.PrintDefaults()
 	}
@@ -116,12 +122,47 @@ func run(args []string) error {
 			return fmt.Errorf("usage: popper run <experiment>")
 		}
 		return withProject(*dir, func(p *core.Project) error {
-			res, err := p.RunExperiment(rest[1], &core.Env{Seed: *seed})
+			name := rest[1]
+			env := &core.Env{Seed: *seed}
+			var cache *pipeline.Cache
+			if !*noCache {
+				cache = pipeline.NewCache()
+			}
+			// A sweep.yml next to vars.yml expands the run into a
+			// configuration matrix driven by the worker pool.
+			if raw, ok := p.ExperimentFile(name, core.SweepFile); ok {
+				configs, err := core.ParseSweep(string(raw))
+				if err != nil {
+					return err
+				}
+				sr, err := p.RunSweep(name, env, configs, core.SweepOptions{Jobs: *jobs, Cache: cache})
+				if err != nil {
+					return err
+				}
+				for _, run := range sr.Runs {
+					status := "passed"
+					if run.Err != nil {
+						status = "FAILED: " + run.Err.Error()
+					}
+					fmt.Printf("-- config %03d (%s): %s\n", run.Index, core.FormatOverrides(run.Overrides), status)
+				}
+				if cache != nil {
+					hits, misses := cache.Stats()
+					fmt.Printf("-- stage cache: %d hits, %d misses\n", hits, misses)
+				}
+				if err := sr.Err(); err != nil {
+					return err
+				}
+				fmt.Printf("-- sweep %q passed: %d configurations (merged results in experiments/%s/results.csv)\n",
+					name, len(sr.Runs), name)
+				return nil
+			}
+			res, err := p.RunExperimentOpts(name, env, core.RunOptions{Cache: cache, Jobs: *jobs})
 			fmt.Print(res.Record.Log)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("-- experiment %q passed (results in experiments/%s/results.csv)\n", rest[1], rest[1])
+			fmt.Printf("-- experiment %q passed (results in experiments/%s/results.csv)\n", name, name)
 			return nil
 		})
 	case "ci":

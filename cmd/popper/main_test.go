@@ -224,3 +224,59 @@ func TestCLIMachines(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCLISweepRun(t *testing.T) {
+	dir := inTemp(t)
+	if err := popper(t, dir, "init"); err != nil {
+		t.Fatal(err)
+	}
+	if err := popper(t, dir, "add", "proteustm", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	sweep := filepath.Join(dir, "experiments/stm/sweep.yml")
+	if err := os.WriteFile(sweep, []byte("seed: [1, 2]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := popper(t, dir, "-jobs", "2", "run", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	// per-configuration outputs land under sweep/<idx>/, merged rows at
+	// the experiment root
+	for _, rel := range []string{
+		"experiments/stm/results.csv",
+		"experiments/stm/sweep/000/results.csv",
+		"experiments/stm/sweep/001/results.csv",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, rel)); err != nil {
+			t.Errorf("%s missing: %v", rel, err)
+		}
+	}
+	merged, err := os.ReadFile(filepath.Join(dir, "experiments/stm/results.csv"))
+	if err != nil || !strings.Contains(string(merged), "seed") {
+		t.Fatalf("merged results missing seed column: %v\n%s", err, merged)
+	}
+	// a repeat run (warm disk state) must still pass, with and without
+	// the stage cache
+	if err := popper(t, dir, "-jobs", "2", "run", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := popper(t, dir, "-no-cache", "run", "stm"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIRunWithJobsAndCacheFlags(t *testing.T) {
+	dir := inTemp(t)
+	if err := popper(t, dir, "init"); err != nil {
+		t.Fatal(err)
+	}
+	if err := popper(t, dir, "add", "proteustm", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := popper(t, dir, "-jobs", "4", "run", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := popper(t, dir, "-no-cache", "-jobs", "1", "run", "stm"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"popper/internal/sched"
 	"popper/internal/table"
 )
 
@@ -29,9 +30,20 @@ type Evaluator struct {
 	// DefaultTol is the tolerance used when an assertion does not pass
 	// one explicitly (scaling tests and constant()).
 	DefaultTol float64
+	// Jobs bounds the evaluator's concurrency: assertions, `when`
+	// groups, and (for large tables) row chunks are checked across a
+	// worker pool of this size. Values <= 1 keep evaluation strictly
+	// serial. Parallel evaluation is deterministic — results, details
+	// and errors are always identical to a serial run.
+	Jobs int
 }
 
-// NewEvaluator returns an evaluator with the default configuration.
+// rowChunkMin is the table size below which row-level comparisons stay
+// serial even when Jobs > 1 — chunking overhead beats the win there.
+const rowChunkMin = 512
+
+// NewEvaluator returns an evaluator with the default configuration
+// (serial evaluation).
 func NewEvaluator() *Evaluator {
 	return &Evaluator{Method: SlopeRegression, DefaultTol: 0.05}
 }
@@ -99,6 +111,31 @@ func (e *Evaluator) Check(a *Assertion, t *table.Table) (Result, error) {
 			Detail: "no rows matched the when clause",
 		}}}, nil
 	}
+	if e.Jobs > 1 && len(groups) > 1 {
+		type outcome struct {
+			passed bool
+			detail string
+		}
+		outs := make([]outcome, len(groups))
+		errs := sched.NewPool(e.Jobs).Each(len(groups), func(i int) error {
+			passed, detail, err := e.evalExpr(a.Expect, groups[i].rows)
+			outs[i] = outcome{passed: passed, detail: detail}
+			return err
+		})
+		for i, g := range groups {
+			if errs[i] != nil {
+				// Match serial semantics: groups before the first
+				// erroring one are reported, the rest dropped.
+				return res, errs[i]
+			}
+			gr := GroupResult{Keys: g.keys, Passed: outs[i].passed, Detail: outs[i].detail}
+			if !gr.Passed {
+				res.Passed = false
+			}
+			res.Groups = append(res.Groups, gr)
+		}
+		return res, nil
+	}
 	for _, g := range groups {
 		passed, detail, err := e.evalExpr(a.Expect, g.rows)
 		if err != nil {
@@ -113,11 +150,27 @@ func (e *Evaluator) Check(a *Assertion, t *table.Table) (Result, error) {
 	return res, nil
 }
 
-// CheckAll evaluates every assertion in a validations file.
+// CheckAll evaluates every assertion in a validations file. With
+// Jobs > 1 the assertions are checked concurrently; results and errors
+// are reported in file order exactly as a serial run would.
 func (e *Evaluator) CheckAll(src string, t *table.Table) ([]Result, error) {
 	asserts, err := ParseFile(src)
 	if err != nil {
 		return nil, err
+	}
+	if e.Jobs > 1 && len(asserts) > 1 {
+		out := make([]Result, len(asserts))
+		errs := sched.NewPool(e.Jobs).Each(len(asserts), func(i int) error {
+			r, err := e.Check(asserts[i], t)
+			out[i] = r
+			return err
+		})
+		for i, err := range errs {
+			if err != nil {
+				return out[:i], err
+			}
+		}
+		return out, nil
 	}
 	out := make([]Result, 0, len(asserts))
 	for _, a := range asserts {
@@ -518,18 +571,65 @@ func (e *Evaluator) evalCompare(c CompareExpr, t *table.Table) (bool, string, er
 	if t.Len() == 0 {
 		return false, "no rows", nil
 	}
+	if e.Jobs > 1 && t.Len() >= rowChunkMin {
+		return e.evalCompareChunked(c, t)
+	}
 	for r := 0; r < t.Len(); r++ {
-		lv, err := e.termRow(c.Left, t, r)
-		if err != nil {
-			return false, "", err
+		ok, detail, err := e.compareRow(c, t, r)
+		if err != nil || !ok {
+			return false, detail, err
 		}
-		rv, err := e.termRow(c.Right, t, r)
-		if err != nil {
-			return false, "", err
+	}
+	return true, fmt.Sprintf("%s %s %s holds for all %d rows",
+		describeTerm(c.Left), c.Op, describeTerm(c.Right), t.Len()), nil
+}
+
+// compareRow evaluates one row of a row-level comparison.
+func (e *Evaluator) compareRow(c CompareExpr, t *table.Table, r int) (bool, string, error) {
+	lv, err := e.termRow(c.Left, t, r)
+	if err != nil {
+		return false, "", err
+	}
+	rv, err := e.termRow(c.Right, t, r)
+	if err != nil {
+		return false, "", err
+	}
+	if !compareFloats(lv, c.Op, rv) {
+		return false, fmt.Sprintf("row %d: %.4g %s %.4g is false", r, lv, c.Op, rv), nil
+	}
+	return true, "", nil
+}
+
+// evalCompareChunked scans the rows of a row-level comparison in
+// parallel chunks. Each chunk stops at its first violation or error;
+// the lowest-row event wins, so the verdict, detail string and error
+// are exactly what a serial scan would report.
+func (e *Evaluator) evalCompareChunked(c CompareExpr, t *table.Table) (bool, string, error) {
+	type event struct {
+		row    int
+		detail string
+		err    error
+	}
+	spans := sched.Chunks(t.Len(), sched.Jobs(e.Jobs))
+	events := make([]*event, len(spans))
+	sched.NewPool(len(spans)).Each(len(spans), func(i int) error {
+		for r := spans[i].Lo; r < spans[i].Hi; r++ {
+			ok, detail, err := e.compareRow(c, t, r)
+			if err != nil || !ok {
+				events[i] = &event{row: r, detail: detail, err: err}
+				return nil
+			}
 		}
-		if !compareFloats(lv, c.Op, rv) {
-			return false, fmt.Sprintf("row %d: %.4g %s %.4g is false", r, lv, c.Op, rv), nil
+		return nil
+	})
+	var first *event
+	for _, ev := range events {
+		if ev != nil && (first == nil || ev.row < first.row) {
+			first = ev
 		}
+	}
+	if first != nil {
+		return false, first.detail, first.err
 	}
 	return true, fmt.Sprintf("%s %s %s holds for all %d rows",
 		describeTerm(c.Left), c.Op, describeTerm(c.Right), t.Len()), nil

@@ -1,0 +1,139 @@
+package aver
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"popper/internal/table"
+)
+
+// bigTable builds a results table large enough to trigger chunked row
+// scans (>= rowChunkMin rows). Row `bad` violates a >= b.
+func bigTable(t *testing.T, rows, bad int) *table.Table {
+	t.Helper()
+	tb := table.New("a", "b")
+	for r := 0; r < rows; r++ {
+		a := 2.0
+		if r == bad {
+			a = 0.5
+		}
+		tb.MustAppend(table.Number(a), table.Number(1))
+	}
+	return tb
+}
+
+func TestParallelCheckAllMatchesSerial(t *testing.T) {
+	tb := gassyfsTable(t)
+	src := `
+when machine=* expect sublinear(nodes, time);
+expect time > 0;
+when machine='ec2' expect decreasing(nodes, time);
+expect time < 100
+`
+	serial := NewEvaluator()
+	serialRes, serialErr := serial.CheckAll(src, tb)
+
+	par := NewEvaluator()
+	par.Jobs = 4
+	parRes, parErr := par.CheckAll(src, tb)
+
+	if (serialErr == nil) != (parErr == nil) {
+		t.Fatalf("error divergence: serial %v, parallel %v", serialErr, parErr)
+	}
+	if FormatResults(serialRes) != FormatResults(parRes) {
+		t.Fatalf("parallel report diverged:\n--- serial\n%s\n--- parallel\n%s",
+			FormatResults(serialRes), FormatResults(parRes))
+	}
+	if AllPassed(parRes) {
+		t.Fatal("time < 100 must fail on t(1) rows")
+	}
+}
+
+func TestParallelCheckAllErrorOrdering(t *testing.T) {
+	tb := gassyfsTable(t)
+	// The second assertion references an unknown column: both modes
+	// must stop there with the same error and report the same prefix.
+	src := `
+expect time > 0;
+expect bogus_column > 0;
+expect nodes > 0
+`
+	serial := NewEvaluator()
+	serialRes, serialErr := serial.CheckAll(src, tb)
+	par := NewEvaluator()
+	par.Jobs = 4
+	parRes, parErr := par.CheckAll(src, tb)
+	if serialErr == nil || parErr == nil {
+		t.Fatalf("unknown column must error: serial %v, parallel %v", serialErr, parErr)
+	}
+	if serialErr.Error() != parErr.Error() {
+		t.Fatalf("error diverged:\nserial:   %v\nparallel: %v", serialErr, parErr)
+	}
+	if len(serialRes) != len(parRes) {
+		t.Fatalf("prefix length diverged: serial %d, parallel %d", len(serialRes), len(parRes))
+	}
+}
+
+func TestChunkedRowCompareMatchesSerial(t *testing.T) {
+	for _, bad := range []int{-1, 0, 700, 1023} {
+		tb := bigTable(t, 1024, bad)
+		serial := NewEvaluator()
+		sr := mustCheckWith(t, serial, "expect a >= b", tb)
+		par := NewEvaluator()
+		par.Jobs = 4
+		pr := mustCheckWith(t, par, "expect a >= b", tb)
+		if sr.Passed != pr.Passed {
+			t.Fatalf("bad=%d: verdict diverged: serial %v, parallel %v", bad, sr.Passed, pr.Passed)
+		}
+		if sr.String() != pr.String() {
+			t.Fatalf("bad=%d: detail diverged:\nserial:   %s\nparallel: %s", bad, sr.String(), pr.String())
+		}
+		if bad >= 0 {
+			if pr.Passed {
+				t.Fatalf("bad=%d: violation missed", bad)
+			}
+			want := fmt.Sprintf("row %d:", bad)
+			if got := pr.String(); !strings.Contains(got, want) {
+				t.Fatalf("bad=%d: detail %q should name the first violating row (%s)", bad, got, want)
+			}
+		} else if !pr.Passed {
+			t.Fatal("clean table must pass")
+		}
+	}
+}
+
+func TestChunkedRowCompareFirstViolationWins(t *testing.T) {
+	// Two violations in different chunks: the lower row must be the one
+	// reported, exactly as a serial scan would.
+	tb := table.New("a", "b")
+	for r := 0; r < 1024; r++ {
+		a := 2.0
+		if r == 100 || r == 900 {
+			a = 0.5
+		}
+		tb.MustAppend(table.Number(a), table.Number(1))
+	}
+	par := NewEvaluator()
+	par.Jobs = 8
+	res := mustCheckWith(t, par, "expect a >= b", tb)
+	if res.Passed {
+		t.Fatal("violations missed")
+	}
+	if !strings.Contains(res.String(), "row 100:") {
+		t.Fatalf("detail %q should report row 100, not a later violation", res.String())
+	}
+}
+
+func mustCheckWith(t *testing.T, e *Evaluator, src string, tb *table.Table) Result {
+	t.Helper()
+	asserts, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Check(asserts[0], tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}

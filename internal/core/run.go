@@ -130,11 +130,33 @@ func (r RunResult) Passed() bool {
 	return !r.Record.Failed() && aver.AllPassed(r.Validation)
 }
 
+// RunOptions tunes one experiment execution.
+type RunOptions struct {
+	// Cache, when set, replays unchanged setup/run stages from the
+	// content-addressed stage cache instead of re-executing them. The
+	// cache key covers the experiment's input files, its parameters and
+	// the environment seed; it assumes the dataset store contents are
+	// stable for the cache's lifetime.
+	Cache *pipeline.Cache
+	// Jobs bounds intra-run concurrency (chunked Aver validation);
+	// values <= 1 keep validation strictly serial.
+	Jobs int
+	// Overrides are parameter overrides applied on top of vars.yml —
+	// one sweep configuration.
+	Overrides map[string]string
+}
+
 // RunExperiment executes one experiment end to end through the staged
 // pipeline: setup (orchestration check + dataset installation), run (the
-// template's executable binding), post-run (write results.csv and
-// figures), validate (Aver over results.csv).
+// template's executable binding, which writes results.csv and figures),
+// post-run (results integrity), validate (Aver over results.csv).
 func (p *Project) RunExperiment(name string, env *Env) (RunResult, error) {
+	return p.RunExperimentOpts(name, env, RunOptions{})
+}
+
+// RunExperimentOpts is RunExperiment with explicit options (stage
+// caching, validation concurrency, parameter overrides).
+func (p *Project) RunExperimentOpts(name string, env *Env, opts RunOptions) (RunResult, error) {
 	if env == nil {
 		env = &Env{Seed: 1}
 	}
@@ -146,6 +168,9 @@ func (p *Project) RunExperiment(name string, env *Env) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	for k, v := range opts.Overrides {
+		params[k] = v
+	}
 	ctx := &pipeline.Context{
 		Params:    params,
 		Workspace: p.Files,
@@ -155,6 +180,11 @@ func (p *Project) RunExperiment(name string, env *Env) (RunResult, error) {
 	var validation []aver.Result
 
 	pl := pipeline.New(name)
+	if opts.Cache != nil {
+		pl.Cache = opts.Cache
+		pl.CacheSalt = fmt.Sprintf("env-seed=%d", env.Seed)
+		pl.CacheFilter = experimentInputFilter(name)
+	}
 	pl.AddStage("setup", func(c *pipeline.Context) error {
 		// Orchestration integrity: the playbook must parse and lint
 		// against a minimal inventory (syntax tier of CI).
@@ -198,20 +228,34 @@ func (p *Project) RunExperiment(name string, env *Env) (RunResult, error) {
 		return nil
 	})
 	pl.AddStage("run", func(c *pipeline.Context) error {
-		return tmpl.run(state)
-	})
-	pl.AddStage("post-run", func(c *pipeline.Context) error {
+		if err := tmpl.run(state); err != nil {
+			return err
+		}
+		// Everything downstream (post-run, validate, cached replay)
+		// reads from the workspace, so the run stage is the single
+		// writer of the experiment's outputs.
 		if state.Results == nil || state.Results.Len() == 0 {
 			return fmt.Errorf("core: experiment %s produced no results", name)
 		}
-		p.Files[expPath(name, "results.csv")] = []byte(state.Results.CSV())
+		c.Workspace[expPath(name, "results.csv")] = []byte(state.Results.CSV())
 		if state.FigureASCII != "" {
-			p.Files[expPath(name, "figure.txt")] = []byte(state.FigureASCII)
+			c.Workspace[expPath(name, "figure.txt")] = []byte(state.FigureASCII)
 		}
 		if state.FigureSVG != "" {
-			p.Files[expPath(name, "figure.svg")] = []byte(state.FigureSVG)
+			c.Workspace[expPath(name, "figure.svg")] = []byte(state.FigureSVG)
 		}
-		c.Logf("results: %d rows", state.Results.Len())
+		return nil
+	})
+	pl.AddStage("post-run", func(c *pipeline.Context) error {
+		raw, ok := c.Workspace[expPath(name, "results.csv")]
+		if !ok {
+			return fmt.Errorf("core: experiment %s produced no results", name)
+		}
+		results, err := table.ParseCSV(string(raw))
+		if err != nil {
+			return fmt.Errorf("core: experiment %s results.csv: %w", name, err)
+		}
+		c.Logf("results: %d rows", results.Len())
 		return nil
 	})
 	pl.AddStage("validate", func(c *pipeline.Context) error {
@@ -220,7 +264,17 @@ func (p *Project) RunExperiment(name string, env *Env) (RunResult, error) {
 			c.Logf("no validations.aver; skipping result validation")
 			return nil
 		}
-		results, err := aver.NewEvaluator().CheckAll(string(raw), state.Results)
+		resRaw, ok := c.Workspace[expPath(name, "results.csv")]
+		if !ok {
+			return fmt.Errorf("core: experiment %s has no results to validate", name)
+		}
+		resultsTable, err := table.ParseCSV(string(resRaw))
+		if err != nil {
+			return err
+		}
+		ev := aver.NewEvaluator()
+		ev.Jobs = opts.Jobs
+		results, err := ev.CheckAll(string(raw), resultsTable)
 		if err != nil {
 			return err
 		}
@@ -232,9 +286,36 @@ func (p *Project) RunExperiment(name string, env *Env) (RunResult, error) {
 		}
 		return nil
 	})
+	// The expensive stages are cacheable; validation always re-checks
+	// (it feeds the RunResult.Validation side channel and embodies the
+	// paper's "assertions are re-checked on every change").
+	pl.CacheStage("setup", "core/setup@v1", []string{"seed"})
+	pl.CacheStage("run", "core/run/"+tmpl.Name+"@v1", nil)
+	pl.CacheStage("post-run", "core/post-run@v1", nil)
 
 	rec := pl.Run(ctx)
 	return RunResult{Record: rec, Validation: validation}, rec.Err
+}
+
+// experimentInputFilter admits the experiment's input files — its
+// convention artifacts and datasets — while excluding generated outputs
+// (results.csv, figures, per-config sweep directories) and every other
+// experiment's files, so a re-run keyed on unchanged inputs replays
+// from cache even after outputs landed in the workspace.
+func experimentInputFilter(name string) func(string) bool {
+	prefix := ExperimentDir + "/" + name + "/"
+	return func(path string) bool {
+		if !strings.HasPrefix(path, prefix) {
+			return false
+		}
+		switch rest := strings.TrimPrefix(path, prefix); {
+		case rest == "results.csv" || rest == "figure.txt" || rest == "figure.svg":
+			return false
+		case strings.HasPrefix(rest, SweepDir+"/"):
+			return false
+		}
+		return true
+	}
 }
 
 // workspaceView exposes one experiment's files with experiment-relative

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"popper/internal/pipeline"
+	"popper/internal/sched"
+	"popper/internal/table"
+	"popper/internal/yamlite"
+)
+
+// SweepDir is the directory under an experiment where per-configuration
+// sweep outputs are stored (experiments/<name>/sweep/<idx>/...).
+const SweepDir = "sweep"
+
+// SweepFile is the optional per-experiment sweep axes declaration; when
+// present, `popper run` expands it into a configuration matrix.
+const SweepFile = "sweep.yml"
+
+// SweepOptions tunes a parameter sweep.
+type SweepOptions struct {
+	// Jobs is the worker-pool bound: how many configurations execute
+	// concurrently. <= 0 means one worker per CPU; 1 is serial.
+	Jobs int
+	// Cache, when set, is shared by every configuration: stages whose
+	// key material is unchanged replay instead of re-executing, both
+	// across configurations (setup) and across repeated sweeps.
+	Cache *pipeline.Cache
+}
+
+// ConfigRun is the outcome of one sweep configuration. Errors are
+// collected per configuration — a failing configuration never aborts
+// the remaining ones.
+type ConfigRun struct {
+	Index     int
+	Overrides map[string]string
+	Result    RunResult
+	Err       error
+}
+
+// SweepResult is the outcome of RunSweep, in configuration (index)
+// order regardless of completion order.
+type SweepResult struct {
+	Experiment string
+	Runs       []ConfigRun
+	// Results is the merged result table: every configuration's rows,
+	// annotated with the swept parameter values. Nil when no
+	// configuration produced results.
+	Results *table.Table
+}
+
+// Passed reports whether every configuration ran and validated.
+func (s SweepResult) Passed() bool {
+	for _, r := range s.Runs {
+		if r.Err != nil || !r.Result.Passed() {
+			return false
+		}
+	}
+	return len(s.Runs) > 0
+}
+
+// Failed lists the configurations that errored.
+func (s SweepResult) Failed() []ConfigRun {
+	var out []ConfigRun
+	for _, r := range s.Runs {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Err aggregates per-configuration failures into one error (nil when
+// every configuration succeeded) — collect-and-report, not fail-fast.
+func (s SweepResult) Err() error {
+	failed := s.Failed()
+	if len(failed) == 0 {
+		return nil
+	}
+	lines := make([]string, 0, len(failed))
+	for _, r := range failed {
+		lines = append(lines, fmt.Sprintf("config %d (%s): %v", r.Index, FormatOverrides(r.Overrides), r.Err))
+	}
+	return fmt.Errorf("core: sweep %s: %d/%d configurations failed:\n  %s",
+		s.Experiment, len(failed), len(s.Runs), strings.Join(lines, "\n  "))
+}
+
+// FormatOverrides renders a configuration's overrides deterministically
+// (sorted key=value pairs).
+func FormatOverrides(overrides map[string]string) string {
+	if len(overrides) == 0 {
+		return "defaults"
+	}
+	keys := make([]string, 0, len(overrides))
+	for k := range overrides {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + overrides[k]
+	}
+	return strings.Join(parts, " ")
+}
+
+// RunSweep executes one experiment once per configuration, fanning the
+// configurations out over a bounded worker pool. Each configuration
+// runs against its own clone of the workspace, so configurations never
+// race on files; outputs are merged back deterministically (index
+// order) under experiments/<name>/sweep/<idx>/, and a combined result
+// table — every configuration's rows annotated with its overrides —
+// lands at experiments/<name>/results.csv.
+//
+// Per-configuration failures are collected in the returned SweepResult
+// (see SweepResult.Err); the error return is reserved for sweep-level
+// problems such as an unknown experiment.
+func (p *Project) RunSweep(name string, env *Env, configs []map[string]string, opts SweepOptions) (SweepResult, error) {
+	if env == nil {
+		env = &Env{Seed: 1}
+	}
+	if _, err := p.TemplateOf(name); err != nil {
+		return SweepResult{}, err
+	}
+	if len(configs) == 0 {
+		configs = []map[string]string{nil}
+	}
+	sr := SweepResult{Experiment: name, Runs: make([]ConfigRun, len(configs))}
+	clones := make([]map[string][]byte, len(configs))
+
+	pool := sched.NewPool(opts.Jobs)
+	pool.Each(len(configs), func(i int) error {
+		files := cloneFiles(p.Files)
+		clones[i] = files
+		proj := &Project{Files: files}
+		res, err := proj.RunExperimentOpts(name, env, RunOptions{
+			Cache:     opts.Cache,
+			Overrides: configs[i],
+		})
+		sr.Runs[i] = ConfigRun{Index: i, Overrides: configs[i], Result: res, Err: err}
+		return err
+	})
+
+	// Deterministic merge: index order, regardless of completion order.
+	prefix := ExperimentDir + "/" + name + "/"
+	var merged *table.Table
+	for i := range configs {
+		run := &sr.Runs[i]
+		if run.Err != nil {
+			continue
+		}
+		for path, content := range clones[i] {
+			if !strings.HasPrefix(path, prefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(path, prefix)
+			if strings.HasPrefix(rest, SweepDir+"/") {
+				continue
+			}
+			if orig, ok := p.Files[path]; ok && bytes.Equal(orig, content) {
+				continue
+			}
+			p.Files[expPath(name, fmt.Sprintf("%s/%03d/%s", SweepDir, i, rest))] = content
+		}
+		raw, ok := clones[i][expPath(name, "results.csv")]
+		if !ok {
+			continue
+		}
+		t, err := table.ParseCSV(string(raw))
+		if err != nil {
+			run.Err = fmt.Errorf("core: sweep config %d results.csv: %w", i, err)
+			continue
+		}
+		var mergeErr error
+		merged, mergeErr = appendConfigRows(merged, t, configs[i])
+		if mergeErr != nil {
+			run.Err = fmt.Errorf("core: sweep config %d: %w", i, mergeErr)
+		}
+	}
+	sr.Results = merged
+	if merged != nil {
+		p.Files[expPath(name, "results.csv")] = []byte(merged.CSV())
+	}
+	return sr, nil
+}
+
+// appendConfigRows folds one configuration's result rows into the
+// merged sweep table, annotating them with the swept parameter values
+// (override keys become columns unless the results already carry them).
+func appendConfigRows(merged, t *table.Table, overrides map[string]string) (*table.Table, error) {
+	var extra []string
+	for k := range overrides {
+		if !t.HasColumn(k) {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	if merged == nil {
+		merged = table.New(append(append([]string(nil), t.Columns()...), extra...)...)
+	}
+	cols := merged.Columns()
+	for r := 0; r < t.Len(); r++ {
+		row := make([]table.Value, 0, len(cols))
+		for _, col := range cols {
+			if t.HasColumn(col) {
+				row = append(row, t.MustCell(r, col))
+			} else if v, ok := overrides[col]; ok {
+				row = append(row, table.String(v))
+			} else {
+				row = append(row, table.String(""))
+			}
+		}
+		if err := merged.Append(row...); err != nil {
+			return merged, err
+		}
+	}
+	return merged, nil
+}
+
+// cloneFiles shallow-copies a workspace: paths are copied, content
+// slices are shared. Stages replace entries rather than mutating bytes
+// in place (the pipeline.Context contract), so clones are safe to run
+// concurrently.
+func cloneFiles(files map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte, len(files))
+	for k, v := range files {
+		out[k] = v
+	}
+	return out
+}
+
+// ParseSweep decodes a sweep.yml document — a mapping from parameter
+// name to the list of values to sweep (scalars mean a single value) —
+// into the cross-product configuration matrix, in deterministic order.
+func ParseSweep(src string) ([]map[string]string, error) {
+	doc, err := yamlite.DecodeMap(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: sweep.yml: %w", err)
+	}
+	if len(doc) == 0 {
+		return nil, fmt.Errorf("core: sweep.yml declares no axes")
+	}
+	axes := make(map[string][]string, len(doc))
+	for key, val := range doc {
+		switch v := val.(type) {
+		case []any:
+			if len(v) == 0 {
+				return nil, fmt.Errorf("core: sweep.yml axis %q has no values", key)
+			}
+			values := make([]string, len(v))
+			for i, e := range v {
+				values[i] = scalarText(e)
+			}
+			axes[key] = values
+		default:
+			axes[key] = []string{scalarText(val)}
+		}
+	}
+	return sched.MatrixFromMap(axes), nil
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"popper/internal/pipeline"
+)
+
+// sweepProject builds a small cloverleaf project cheap enough to run
+// many configurations of.
+func sweepProject(t *testing.T) *Project {
+	t.Helper()
+	p := Init()
+	if err := p.AddExperiment("cloverleaf", "sweep"); err != nil {
+		t.Fatal(err)
+	}
+	p.SetParam("sweep", "nodes", "1,2")
+	p.SetParam("sweep", "iterations", "2")
+	p.SetParam("sweep", "problem_size", "8")
+	return p
+}
+
+func TestRunSweepParallelMatchesSerial(t *testing.T) {
+	configs := []map[string]string{
+		{"seed": "1"}, {"seed": "2"}, {"seed": "3"}, {"seed": "4"},
+	}
+	run := func(jobs int) (*Project, SweepResult) {
+		p := sweepProject(t)
+		sr, err := p.RunSweep("sweep", &Env{Seed: 5}, configs, SweepOptions{Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sr.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return p, sr
+	}
+	pSerial, srSerial := run(1)
+	pParallel, srParallel := run(4)
+	if !srSerial.Passed() || !srParallel.Passed() {
+		t.Fatal("both sweeps must pass")
+	}
+	// Deterministic fan-out: the merged result table is byte-identical
+	// regardless of worker count.
+	serialCSV := string(pSerial.Files[expPath("sweep", "results.csv")])
+	parallelCSV := string(pParallel.Files[expPath("sweep", "results.csv")])
+	if serialCSV != parallelCSV {
+		t.Fatalf("parallel merge diverged from serial:\n--- serial\n%s\n--- parallel\n%s", serialCSV, parallelCSV)
+	}
+	// Per-configuration outputs are namespaced by index.
+	for _, rel := range []string{"sweep/000/results.csv", "sweep/003/results.csv"} {
+		if _, ok := pParallel.Files[expPath("sweep", rel)]; !ok {
+			t.Errorf("missing %s", rel)
+		}
+	}
+	// ResultHashes line up config-by-config.
+	for i := range srSerial.Runs {
+		s, par := srSerial.Runs[i], srParallel.Runs[i]
+		if s.Result.Record.ResultHash != par.Result.Record.ResultHash {
+			t.Fatalf("config %d hash diverged: %s vs %s", i, s.Result.Record.ResultHash, par.Result.Record.ResultHash)
+		}
+	}
+}
+
+func TestRunSweepCollectsErrors(t *testing.T) {
+	p := sweepProject(t)
+	configs := []map[string]string{
+		{"seed": "1"},
+		{"nodes": "bogus"}, // non-integer node list fails the run stage
+		{"seed": "3"},
+	}
+	sr, err := p.RunSweep("sweep", &Env{Seed: 1}, configs, SweepOptions{Jobs: 3})
+	if err != nil {
+		t.Fatalf("per-config failures must not surface as a sweep-level error: %v", err)
+	}
+	if sr.Passed() {
+		t.Fatal("sweep with a failing config must not pass")
+	}
+	failed := sr.Failed()
+	if len(failed) != 1 || failed[0].Index != 1 {
+		t.Fatalf("failed = %+v", failed)
+	}
+	// The other configurations completed and merged.
+	if sr.Runs[0].Err != nil || sr.Runs[2].Err != nil {
+		t.Fatalf("healthy configs aborted: %v / %v", sr.Runs[0].Err, sr.Runs[2].Err)
+	}
+	if sr.Results == nil || sr.Results.Len() == 0 {
+		t.Fatal("surviving configs must still merge results")
+	}
+	aggErr := sr.Err()
+	if aggErr == nil {
+		t.Fatal("aggregate error expected")
+	}
+	msg := aggErr.Error()
+	if !strings.Contains(msg, "1/3 configurations failed") || !strings.Contains(msg, "nodes=bogus") {
+		t.Fatalf("aggregate error = %q", msg)
+	}
+}
+
+func TestRunSweepSharedCache(t *testing.T) {
+	cache := pipeline.NewCache()
+	// Configurations share the seed, so the setup stage (which depends
+	// only on the seed parameter) is computed once and replayed for the
+	// other configurations.
+	configs := []map[string]string{
+		{"iterations": "2"}, {"iterations": "3"},
+	}
+	p := sweepProject(t)
+	sr, err := p.RunSweep("sweep", &Env{Seed: 2}, configs, SweepOptions{Jobs: 1, Cache: cache})
+	if err != nil || sr.Err() != nil {
+		t.Fatalf("first sweep: %v / %v", err, sr.Err())
+	}
+	coldHits, _ := cache.Stats()
+	if coldHits == 0 {
+		t.Fatal("setup stage should replay across same-seed configurations")
+	}
+
+	// An identical sweep replays every cacheable stage.
+	p2 := sweepProject(t)
+	sr2, err := p2.RunSweep("sweep", &Env{Seed: 2}, configs, SweepOptions{Jobs: 2, Cache: cache})
+	if err != nil || sr2.Err() != nil {
+		t.Fatalf("second sweep: %v / %v", err, sr2.Err())
+	}
+	for i, run := range sr2.Runs {
+		if run.Result.Record.CacheHits != 3 {
+			t.Fatalf("config %d: CacheHits = %d, want 3 (setup, run, post-run)\n%s",
+				i, run.Result.Record.CacheHits, run.Result.Record.Log)
+		}
+	}
+	// Cached replay reproduces the original results exactly.
+	for i := range sr.Runs {
+		if sr.Runs[i].Result.Record.ResultHash != sr2.Runs[i].Result.Record.ResultHash {
+			t.Fatalf("config %d: cached replay changed the result hash", i)
+		}
+	}
+	// A different environment seed is a different cache universe.
+	p3 := sweepProject(t)
+	sr3, err := p3.RunSweep("sweep", &Env{Seed: 3}, configs, SweepOptions{Jobs: 1, Cache: cache})
+	if err != nil || sr3.Err() != nil {
+		t.Fatalf("third sweep: %v / %v", err, sr3.Err())
+	}
+	if sr3.Runs[0].Result.Record.CacheHits != 0 {
+		t.Fatal("changed env seed must miss the cache")
+	}
+}
+
+func TestRunSweepMergedAnnotations(t *testing.T) {
+	p := sweepProject(t)
+	configs := []map[string]string{
+		{"problem_size": "8"}, {"problem_size": "12"},
+	}
+	sr, err := p.RunSweep("sweep", &Env{Seed: 1}, configs, SweepOptions{})
+	if err != nil || sr.Err() != nil {
+		t.Fatalf("%v / %v", err, sr.Err())
+	}
+	if sr.Results == nil || !sr.Results.HasColumn("problem_size") {
+		t.Fatalf("merged table must carry the swept parameter: %v", sr.Results.Columns())
+	}
+	// Two configurations x two node counts = four rows.
+	if sr.Results.Len() != 4 {
+		t.Fatalf("merged rows = %d, want 4\n%s", sr.Results.Len(), sr.Results.CSV())
+	}
+	seen := map[string]int{}
+	for r := 0; r < sr.Results.Len(); r++ {
+		seen[sr.Results.MustCell(r, "problem_size").Text()]++
+	}
+	if seen["8"] != 2 || seen["12"] != 2 {
+		t.Fatalf("annotation counts = %v", seen)
+	}
+}
+
+func TestRunSweepDefaults(t *testing.T) {
+	p := sweepProject(t)
+	sr, err := p.RunSweep("sweep", nil, nil, SweepOptions{})
+	if err != nil || sr.Err() != nil {
+		t.Fatalf("%v / %v", err, sr.Err())
+	}
+	if len(sr.Runs) != 1 || FormatOverrides(sr.Runs[0].Overrides) != "defaults" {
+		t.Fatalf("runs = %+v", sr.Runs)
+	}
+	if !sr.Passed() {
+		t.Fatal("default sweep must pass")
+	}
+}
+
+func TestRunSweepUnknownExperiment(t *testing.T) {
+	p := Init()
+	if _, err := p.RunSweep("ghost", &Env{Seed: 1}, nil, SweepOptions{}); err == nil {
+		t.Fatal("unknown experiment must fail at the sweep level")
+	}
+}
+
+func TestParseSweep(t *testing.T) {
+	configs, err := ParseSweep("seed: [1, 2]\nproblem_size: 8\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != 2 {
+		t.Fatalf("configs = %v", configs)
+	}
+	// Deterministic order: axes sorted by name, last axis fastest.
+	if configs[0]["seed"] != "1" || configs[1]["seed"] != "2" {
+		t.Fatalf("configs = %v", configs)
+	}
+	for _, c := range configs {
+		if c["problem_size"] != "8" {
+			t.Fatalf("scalar axis must pin a single value: %v", c)
+		}
+	}
+	for _, bad := range []string{"", "axis: []\n"} {
+		if _, err := ParseSweep(bad); err == nil {
+			t.Fatalf("ParseSweep(%q) should fail", bad)
+		}
+	}
+}
+
+func TestFormatOverrides(t *testing.T) {
+	if got := FormatOverrides(nil); got != "defaults" {
+		t.Fatalf("nil overrides = %q", got)
+	}
+	if got := FormatOverrides(map[string]string{"b": "2", "a": "1"}); got != "a=1 b=2" {
+		t.Fatalf("overrides = %q", got)
+	}
+}

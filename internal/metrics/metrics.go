@@ -47,9 +47,11 @@ type Observation struct {
 	Labels Labels
 }
 
-// Registry collects observations. It is safe for concurrent use.
+// Registry collects observations. It is safe for concurrent use:
+// writers serialize on the lock, readers (Counter, Gauge, Len,
+// Observations, Series, Table, ResultTable) share it.
 type Registry struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	base     Labels
 	obs      []Observation
 	counters map[string]float64
@@ -80,6 +82,16 @@ func (r *Registry) WithLabels(extra Labels) *View {
 	return &View{reg: r, labels: extra.clone()}
 }
 
+// now advances the logical clock under the lock. The default clock is a
+// mutating sequence counter, so every caller outside the write path
+// (timers in particular) must go through here rather than calling
+// r.clock directly.
+func (r *Registry) now() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clock()
+}
+
 // record appends an observation under the lock.
 func (r *Registry) record(name string, v float64, extra Labels) {
 	r.mu.Lock()
@@ -108,8 +120,8 @@ func (r *Registry) Add(name string, delta float64) {
 
 // Counter returns the current value of a counter.
 func (r *Registry) Counter(name string) float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.counters[name]
 }
 
@@ -125,30 +137,30 @@ func (r *Registry) Set(name string, v float64) {
 
 // Gauge returns the current value of a gauge.
 func (r *Registry) Gauge(name string) float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.gauges[name]
 }
 
 // Len returns the number of recorded observations.
 func (r *Registry) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return len(r.obs)
 }
 
 // Observations returns a copy of all recorded observations.
 func (r *Registry) Observations() []Observation {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return append([]Observation(nil), r.obs...)
 }
 
 // Series returns the values of a named metric in record order, filtered
 // by the given label constraints (nil matches everything).
 func (r *Registry) Series(name string, match Labels) []float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var out []float64
 	for _, o := range r.obs {
 		if o.Name != name {
@@ -190,8 +202,8 @@ func (r *Registry) labelKeys() []string {
 // Table exports all observations as a flat table with columns
 // tick, metric, value plus one column per label key.
 func (r *Registry) Table() *table.Table {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	keys := r.labelKeys()
 	cols := append([]string{"tick", "metric", "value"}, keys...)
 	t := table.New(cols...)
@@ -213,8 +225,8 @@ func (r *Registry) Table() *table.Table {
 // one column per metric name (last value wins within a group). This is the
 // "results.csv" shape the Popper convention stores and Aver validates.
 func (r *Registry) ResultTable() *table.Table {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	keys := r.labelKeys()
 	metricSet := make(map[string]bool)
 	for _, o := range r.obs {
@@ -304,12 +316,12 @@ type Timer struct {
 
 // StartTimer begins timing; Stop records the elapsed ticks as a sample.
 func (v *View) StartTimer(name string) *Timer {
-	return &Timer{view: v, name: name, start: v.reg.clock()}
+	return &Timer{view: v, name: name, start: v.reg.now()}
 }
 
 // Stop records the elapsed logical time and returns it.
 func (t *Timer) Stop() float64 {
-	elapsed := float64(t.view.reg.clock() - t.start)
+	elapsed := float64(t.view.reg.now() - t.start)
 	t.view.Observe(t.name, elapsed)
 	return elapsed
 }

@@ -333,3 +333,44 @@ func TestCompareSystemsValidation(t *testing.T) {
 		t.Fatal("bad confidence must fail")
 	}
 }
+
+// TestConcurrentStages drives the registry the way parallel pipeline
+// stages do — timers, counters, gauges and raw samples from many
+// goroutines, with readers interleaved — and relies on the race
+// detector to catch unguarded access (the timer path used to call the
+// mutating logical clock without the lock).
+func TestConcurrentStages(t *testing.T) {
+	r := NewRegistry(Labels{"experiment": "race"}, nil)
+	const workers, rounds = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := r.WithLabels(Labels{"worker": string(rune('a' + w))})
+			for i := 0; i < rounds; i++ {
+				tm := v.StartTimer("stage")
+				r.Add("ops", 1)
+				r.Set("depth", float64(i))
+				v.Observe("sample", float64(i))
+				tm.Stop()
+				// Interleave readers with the writers.
+				_ = r.Counter("ops")
+				_ = r.Len()
+				_ = r.Series("sample", Labels{"worker": string(rune('a' + w))})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("ops"); got != workers*rounds {
+		t.Fatalf("ops counter = %v, want %d", got, workers*rounds)
+	}
+	// timer + counter + gauge + sample per round per worker
+	if got := r.Len(); got != 4*workers*rounds {
+		t.Fatalf("observations = %d, want %d", got, 4*workers*rounds)
+	}
+	if r.Table().Len() != r.Len() {
+		t.Fatal("table export must carry every observation")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"popper/internal/cluster"
+	"popper/internal/sched"
 	"popper/internal/yamlite"
 )
 
@@ -268,9 +269,19 @@ type Runner struct {
 	// SSHLatency is the per-task round-trip cost charged to cluster-node
 	// hosts, seconds. The ablation benchmark varies this.
 	SSHLatency float64
-	// Batched, when true, charges the round trip once per play per host
-	// instead of once per task (the "batched playbook push" design).
+	// Batched, when true, pushes each play to a host as one bundle: the
+	// round trip is charged once per play per host instead of once per
+	// task (the "batched playbook push" side of the ablation).
 	Batched bool
+	// Forks is how many hosts a task is driven on concurrently — the
+	// Ansible "forks" setting. 0 or 1 keeps execution strictly serial.
+	// Hosts have independent state and logical clocks, so forked
+	// execution is deterministic: task results are reported in
+	// inventory order regardless of completion order. The one visible
+	// difference from serial execution: when a task fails on some host,
+	// the task still completes on the play's remaining hosts (their
+	// results are included) before the playbook stops.
+	Forks int
 }
 
 // NewRunner creates a runner with the builtin module set: ping, shell,
@@ -393,11 +404,19 @@ func (r *Runner) Run(pb *Playbook) ([]TaskResult, error) {
 		return nil, err
 	}
 	var results []TaskResult
+	forked := r.Forks > 1
 	for _, play := range pb.Plays {
 		hosts := r.inv.Group(play.HostGroup)
 		if play.GatherFacts {
-			for _, h := range hosts {
-				r.gatherFacts(h)
+			if forked {
+				sched.NewPool(r.Forks).Each(len(hosts), func(i int) error {
+					r.gatherFacts(hosts[i])
+					return nil
+				})
+			} else {
+				for _, h := range hosts {
+					r.gatherFacts(h)
+				}
 			}
 		}
 		if r.Batched {
@@ -409,6 +428,23 @@ func (r *Runner) Run(pb *Playbook) ([]TaskResult, error) {
 			}
 		}
 		for _, task := range play.Tasks {
+			if forked && len(hosts) > 1 {
+				// Fan the task out across hosts; collect in inventory
+				// order so forked runs journal identically.
+				taskResults := make([]TaskResult, len(hosts))
+				sched.NewPool(r.Forks).Each(len(hosts), func(i int) error {
+					taskResults[i] = r.runTask(play, task, hosts[i])
+					return nil
+				})
+				results = append(results, taskResults...)
+				for i, res := range taskResults {
+					if res.Err != nil {
+						return results, fmt.Errorf("orchestrate: play %q task %q failed on %s: %w",
+							play.Name, task.Name, hosts[i].Name, res.Err)
+					}
+				}
+				continue
+			}
 			for _, h := range hosts {
 				res := r.runTask(play, task, h)
 				results = append(results, res)

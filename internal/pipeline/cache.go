@@ -1,0 +1,178 @@
+package pipeline
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"sync"
+)
+
+// Cache is a content-addressed store of stage executions — the memoized
+// half of the paper's run → fix → re-parameterize → re-run loop. A
+// stage's key is the SHA-256 digest of everything that may influence
+// its behavior: the stage name, its declared code identity, the
+// parameters it depends on, the (filtered) workspace it reads, and the
+// pipeline's cache salt. The stored value is the workspace delta the
+// stage produced plus its log output, so an unchanged stage is replayed
+// byte-identically without re-executing.
+//
+// A Cache is safe for concurrent use; a parallel sweep shares one cache
+// across all of its workers. Entries assume stages are deterministic
+// functions of their key material: stages that read state outside the
+// filtered workspace (clocks, RNGs not derived from params/salt,
+// external stores) must not be marked cacheable.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	hits    int
+	misses  int
+}
+
+// cacheEntry is the replayable outcome of one stage execution: the
+// workspace paths it wrote (with content) and removed, plus the log
+// text it emitted.
+type cacheEntry struct {
+	set map[string][]byte
+	del []string
+	log string
+}
+
+// NewCache creates an empty stage cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]cacheEntry)}
+}
+
+// Stats returns the lookup hit/miss counters.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of stored stage outcomes.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// lookup fetches an entry and bumps the hit/miss counters.
+func (c *Cache) lookup(key string) (cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return ent, ok
+}
+
+// store records a stage outcome. Content is copied on the way in so
+// later in-place mutation by the caller cannot corrupt the cache.
+func (c *Cache) store(key string, ent cacheEntry) {
+	copied := cacheEntry{set: make(map[string][]byte, len(ent.set)), del: ent.del, log: ent.log}
+	for p, b := range ent.set {
+		copied.set[p] = append([]byte(nil), b...)
+	}
+	c.mu.Lock()
+	c.entries[key] = copied
+	c.mu.Unlock()
+}
+
+// apply replays the entry's workspace delta. Content is copied on the
+// way out so the live workspace never aliases cache-owned bytes.
+func (ent cacheEntry) apply(ws map[string][]byte) {
+	for p, b := range ent.set {
+		ws[p] = append([]byte(nil), b...)
+	}
+	for _, p := range ent.del {
+		delete(ws, p)
+	}
+}
+
+// snapshotRefs captures the workspace as a path -> content reference
+// map. Stages replace entries rather than mutating content in place
+// (that contract is documented on Context.Workspace), so references
+// suffice for diffing.
+func snapshotRefs(ws map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte, len(ws))
+	for p, b := range ws {
+		out[p] = b
+	}
+	return out
+}
+
+// diffWorkspace computes the delta a stage produced: paths added or
+// changed (with their new content) and paths deleted.
+func diffWorkspace(before, after map[string][]byte) cacheEntry {
+	ent := cacheEntry{set: make(map[string][]byte)}
+	for p, b := range after {
+		if old, ok := before[p]; !ok || !bytes.Equal(old, b) {
+			ent.set[p] = b
+		}
+	}
+	for p := range before {
+		if _, ok := after[p]; !ok {
+			ent.del = append(ent.del, p)
+		}
+	}
+	sort.Strings(ent.del)
+	return ent
+}
+
+// cacheKey digests everything that may influence a cacheable stage.
+func (p *Pipeline) cacheKey(stage, id string, ctx *Context) string {
+	h := sha256.New()
+	sep := []byte{0}
+	write := func(s string) {
+		h.Write([]byte(s))
+		h.Write(sep)
+	}
+	write("popper-stage-cache/v1")
+	write(p.CacheSalt)
+	write(stage)
+	write(id)
+
+	// Parameter material: the stage's declared dependencies, or every
+	// parameter when none were declared (nil deps).
+	deps := p.cacheDeps[stage]
+	var keys []string
+	if deps == nil {
+		keys = make([]string, 0, len(ctx.Params))
+		for k := range ctx.Params {
+			keys = append(keys, k)
+		}
+	} else {
+		keys = append(keys, deps...)
+	}
+	sort.Strings(keys)
+	write("params")
+	for _, k := range keys {
+		v, ok := ctx.Params[k]
+		write(k)
+		if ok {
+			write(v)
+		} else {
+			write("\x01absent")
+		}
+	}
+
+	// Workspace material: every path the filter admits, with content.
+	write("workspace")
+	paths := make([]string, 0, len(ctx.Workspace))
+	for path := range ctx.Workspace {
+		if p.CacheFilter == nil || p.CacheFilter(path) {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		write(path)
+		h.Write(ctx.Workspace[path])
+		h.Write(sep)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

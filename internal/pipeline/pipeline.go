@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"popper/internal/metrics"
 	"popper/internal/table"
@@ -21,6 +22,19 @@ import (
 var StageOrder = []string{"setup", "run", "post-run", "validate", "teardown"}
 
 // Context is passed to every stage.
+//
+// Concurrency contract for fan-out (parallel sweeps, stages that spawn
+// workers): each concurrently running pipeline must own its own Context
+// — Contexts are never shared across pipeline runs. Within one run,
+// worker goroutines spawned by a stage may share the Context under
+// these rules: Logf is safe to call concurrently (the log builder is
+// mutex-guarded); Metrics is safe for concurrent use (the registry is
+// internally locked); Params must be treated as read-only while workers
+// run; Workspace reads/writes require external coordination — stages
+// that fan out should have workers deposit results into caller-owned
+// slots and let the stage goroutine write the Workspace. Stages must
+// replace Workspace entries with fresh slices rather than mutating
+// content in place (the stage cache diffs by reference snapshot).
 type Context struct {
 	// Params are the experiment parameters (vars.yml content).
 	Params map[string]string
@@ -29,12 +43,50 @@ type Context struct {
 	Workspace map[string][]byte
 	// Metrics collects runtime measurements across stages.
 	Metrics *metrics.Registry
-	log     strings.Builder
+
+	logMu sync.Mutex
+	log   strings.Builder
 }
 
-// Logf appends to the execution log.
+// Logf appends to the execution log. Safe for concurrent use by worker
+// goroutines a stage fans out.
 func (c *Context) Logf(format string, args ...any) {
+	c.logMu.Lock()
 	fmt.Fprintf(&c.log, format+"\n", args...)
+	c.logMu.Unlock()
+}
+
+// logString returns the accumulated log.
+func (c *Context) logString() string {
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	return c.log.String()
+}
+
+// logLen returns the current log length (a replay watermark).
+func (c *Context) logLen() int {
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	return c.log.Len()
+}
+
+// logSince returns the log text appended after the watermark.
+func (c *Context) logSince(mark int) string {
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	s := c.log.String()
+	if mark < 0 || mark > len(s) {
+		return ""
+	}
+	return s[mark:]
+}
+
+// appendLog splices previously captured log text (a cached stage's
+// output) into the log.
+func (c *Context) appendLog(s string) {
+	c.logMu.Lock()
+	c.log.WriteString(s)
+	c.logMu.Unlock()
 }
 
 // Param returns a parameter with a default.
@@ -52,11 +104,53 @@ type StageFunc func(*Context) error
 type Pipeline struct {
 	Name   string
 	stages map[string]StageFunc
+
+	// Cache, when set, replays cacheable stages whose key material is
+	// unchanged instead of re-executing them (see Cache and CacheStage).
+	Cache *Cache
+	// CacheSalt is extra key material mixed into every stage key —
+	// typically the execution environment (e.g. the simulation seed)
+	// that influences stage behavior but lives outside Params.
+	CacheSalt string
+	// CacheFilter selects which workspace paths participate in stage
+	// keys; nil admits every path. Callers use it to exclude generated
+	// outputs so a re-run keyed on inputs still hits.
+	CacheFilter func(path string) bool
+
+	cacheIDs  map[string]string
+	cacheDeps map[string][]string
 }
 
 // New creates an empty pipeline.
 func New(name string) *Pipeline {
-	return &Pipeline{Name: name, stages: make(map[string]StageFunc)}
+	return &Pipeline{
+		Name:      name,
+		stages:    make(map[string]StageFunc),
+		cacheIDs:  make(map[string]string),
+		cacheDeps: make(map[string][]string),
+	}
+}
+
+// CacheStage marks a registered stage as cacheable. id is the stage's
+// code identity — bump it whenever the stage implementation changes, so
+// stale outcomes are never replayed. params names the parameters the
+// stage's behavior depends on: nil means "all parameters", an empty
+// non-nil slice means "none". Stages never marked cacheable (such as
+// validation stages that feed side channels) always execute.
+func (p *Pipeline) CacheStage(name, id string, params []string) error {
+	if _, ok := p.stages[name]; !ok {
+		return fmt.Errorf("pipeline: cannot cache unregistered stage %q", name)
+	}
+	if id == "" {
+		return fmt.Errorf("pipeline: stage %q needs a non-empty cache identity", name)
+	}
+	p.cacheIDs[name] = id
+	if params == nil {
+		p.cacheDeps[name] = nil
+	} else {
+		p.cacheDeps[name] = append(make([]string, 0, len(params)), params...)
+	}
+	return nil
 }
 
 // AddStage registers a stage implementation; the name must be one of
@@ -98,6 +192,9 @@ type StageResult struct {
 	Stage string
 	Err   error
 	Ran   bool
+	// Cached reports that the stage was replayed from the content-
+	// addressed stage cache instead of executing.
+	Cached bool
 }
 
 // Record is the outcome of one pipeline execution.
@@ -112,6 +209,9 @@ type Record struct {
 	// ResultHash fingerprints the workspace after execution, so the
 	// journal can tell whether a re-execution reproduced prior outputs.
 	ResultHash string
+	// CacheHits counts the stages replayed from cache this execution —
+	// the journal's record of what the re-run did not have to redo.
+	CacheHits int
 }
 
 // Failed reports whether the execution failed.
@@ -140,6 +240,33 @@ func (p *Pipeline) Run(ctx *Context) Record {
 			rec.Stages = append(rec.Stages, StageResult{Stage: name, Ran: false})
 			continue
 		}
+		id, cacheable := p.cacheIDs[name]
+		if p.Cache != nil && cacheable && !failed {
+			key := p.cacheKey(name, id, ctx)
+			if ent, hit := p.Cache.lookup(key); hit {
+				ctx.Logf("--- stage %s (cached)", name)
+				ent.apply(ctx.Workspace)
+				ctx.appendLog(ent.log)
+				rec.Stages = append(rec.Stages, StageResult{Stage: name, Cached: true})
+				rec.CacheHits++
+				continue
+			}
+			before := snapshotRefs(ctx.Workspace)
+			ctx.Logf("--- stage %s", name)
+			mark := ctx.logLen()
+			err := fn(ctx)
+			rec.Stages = append(rec.Stages, StageResult{Stage: name, Err: err, Ran: true})
+			if err != nil {
+				ctx.Logf("stage %s failed: %v", name, err)
+				rec.Err = fmt.Errorf("pipeline %s: stage %s: %w", p.Name, name, err)
+				failed = true
+				continue
+			}
+			delta := diffWorkspace(before, ctx.Workspace)
+			delta.log = ctx.logSince(mark)
+			p.Cache.store(key, delta)
+			continue
+		}
 		ctx.Logf("--- stage %s", name)
 		err := fn(ctx)
 		rec.Stages = append(rec.Stages, StageResult{Stage: name, Err: err, Ran: true})
@@ -151,7 +278,7 @@ func (p *Pipeline) Run(ctx *Context) Record {
 			failed = true
 		}
 	}
-	rec.Log = ctx.log.String()
+	rec.Log = ctx.logString()
 	rec.ResultHash = hashWorkspace(ctx.Workspace)
 	return rec
 }
@@ -267,7 +394,11 @@ func (j *Journal) Format() string {
 		if r.Failed() {
 			status = "FAILED"
 		}
-		fmt.Fprintf(&sb, "#%-3d %-7s result=%s  %s\n", r.Iteration, status, r.ResultHash, r.Reason)
+		cached := ""
+		if r.CacheHits > 0 {
+			cached = fmt.Sprintf("  [%d cached]", r.CacheHits)
+		}
+		fmt.Fprintf(&sb, "#%-3d %-7s result=%s  %s%s\n", r.Iteration, status, r.ResultHash, r.Reason, cached)
 	}
 	return sb.String()
 }

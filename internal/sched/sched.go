@@ -1,0 +1,180 @@
+// Package sched implements the concurrent fan-out engine behind the
+// Popper toolchain's parameter sweeps: a bounded worker pool with
+// deterministic result ordering, the parameter-matrix expansion that
+// turns sweep axes into concrete configurations, and the chunking
+// helper row-parallel evaluators use.
+//
+// The pool is deliberately tiny and dependency-free so every layer of
+// the stack (core sweeps, Aver validation, orchestration forks) can
+// share it without import cycles. Determinism is the design constraint
+// the paper's re-execution story imposes: results are always delivered
+// in submission (index) order, never completion order, so a parallel
+// sweep journals identically to a serial one.
+package sched
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Jobs normalizes a requested worker count: values <= 0 mean "one
+// worker per available CPU" (GOMAXPROCS).
+func Jobs(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Pool is a bounded worker pool. The zero value is not usable; create
+// one with NewPool. A Pool is stateless between calls and safe for
+// concurrent use.
+type Pool struct {
+	workers int
+}
+
+// NewPool creates a pool with the given concurrency bound (<= 0 means
+// GOMAXPROCS).
+func NewPool(workers int) *Pool { return &Pool{workers: Jobs(workers)} }
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Each runs fn(0) .. fn(n-1) across the pool and returns one error slot
+// per index (nil on success). Every index runs even when earlier ones
+// fail — sweep semantics are collect-and-report, not fail-fast. Slot i
+// of any caller-owned result slice is exclusively owned by call i, so
+// workers need no synchronization to deposit results.
+func (p *Pool) Each(n int, fn func(i int) error) []error {
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+		return errs
+	}
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return errs
+}
+
+// Map fans fn out over the pool and returns the results in index
+// order, plus the per-index error slots (see Each).
+func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, []error) {
+	out := make([]T, n)
+	errs := p.Each(n, func(i int) error {
+		v, err := fn(i)
+		out[i] = v
+		return err
+	})
+	return out, errs
+}
+
+// FirstError returns the lowest-index non-nil error, or nil. Using the
+// lowest index (not completion order) keeps parallel error reporting
+// identical to serial execution.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Axis is one swept parameter: a name and its candidate values.
+type Axis struct {
+	Name   string
+	Values []string
+}
+
+// Matrix expands axes into their cross product of parameter overrides.
+// Axes are ordered by name and the last axis varies fastest, so the
+// configuration order is deterministic regardless of input order. An
+// empty axis list yields a single empty configuration; an axis with no
+// values yields no configurations.
+func Matrix(axes []Axis) []map[string]string {
+	sorted := append([]Axis(nil), axes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	configs := []map[string]string{{}}
+	for _, ax := range sorted {
+		if len(ax.Values) == 0 {
+			return nil
+		}
+		grown := make([]map[string]string, 0, len(configs)*len(ax.Values))
+		for _, base := range configs {
+			for _, v := range ax.Values {
+				cfg := make(map[string]string, len(base)+1)
+				for k, bv := range base {
+					cfg[k] = bv
+				}
+				cfg[ax.Name] = v
+				grown = append(grown, cfg)
+			}
+		}
+		configs = grown
+	}
+	return configs
+}
+
+// MatrixFromMap is Matrix over a name -> values mapping.
+func MatrixFromMap(axes map[string][]string) []map[string]string {
+	list := make([]Axis, 0, len(axes))
+	for name, values := range axes {
+		list = append(list, Axis{Name: name, Values: values})
+	}
+	return Matrix(list)
+}
+
+// Span is a half-open index range [Lo, Hi).
+type Span struct {
+	Lo, Hi int
+}
+
+// Chunks splits n items into at most parts contiguous spans of
+// near-equal size, in index order. Useful for chunked row-parallel
+// scans that must report the same first failure a serial scan would.
+func Chunks(n, parts int) []Span {
+	if n <= 0 || parts <= 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Span, 0, parts)
+	base, rem := n/parts, n%parts
+	lo := 0
+	for i := 0; i < parts; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, Span{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}
