@@ -20,4 +20,4 @@ race:
 verify: build vet test race
 
 bench:
-	$(GO) test -bench . -benchmem
+	$(GO) test -run '^$$' -bench . -benchmem

@@ -641,6 +641,76 @@ func BenchmarkStressNative(b *testing.B) {
 	}
 }
 
+// --- table/Aver hot path: columnar views and vectorized kernels ------------
+
+// benchResultsTable builds a deterministic ~rows-row results table shaped
+// like a large sweep merge: 12 wildcard groups (workload x machine), a
+// nodes axis and a sublinear time metric with mild deterministic noise.
+func benchResultsTable(rows int) *table.Table {
+	workloads := []string{"compile-git", "fsbench", "lulesh", "zlog"}
+	machines := []string{"cloudlab-c220g1", "ec2-m4", "probe-opteron"}
+	nodeAxis := []float64{1, 2, 4, 8}
+	t := table.New("workload", "machine", "nodes", "time")
+	for r := 0; r < rows; r++ {
+		w := workloads[r%len(workloads)]
+		m := machines[(r/len(workloads))%len(machines)]
+		n := nodeAxis[(r/(len(workloads)*len(machines)))%len(nodeAxis)]
+		tm := 100 / math.Pow(n, 0.7) * (1 + 0.02*math.Sin(float64(r)))
+		t.MustAppend(table.String(w), table.String(m), table.Number(n), table.Number(tm))
+	}
+	return t
+}
+
+func BenchmarkTableGroupBy(b *testing.B) {
+	t := benchResultsTable(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := t.GroupBy([]string{"workload", "machine"},
+			table.Agg{Col: "time", Op: "mean"}, table.Agg{Col: "time", Op: "max"})
+		if err != nil || out.Len() != 12 {
+			b.Fatalf("groupby: %v (len %d)", err, out.Len())
+		}
+	}
+}
+
+func BenchmarkTableFilterChain(b *testing.B) {
+	t := benchResultsTable(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := t.Where("machine", table.String("ec2-m4"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		f = f.Filter(func(r int) bool { return f.MustCell(r, "nodes").Num >= 2 })
+		sel, err := f.Select("nodes", "time")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sel.SortBy("nodes", "time"); err != nil {
+			b.Fatal(err)
+		}
+		if sel.Len() == 0 {
+			b.Fatal("empty filter chain result")
+		}
+	}
+}
+
+func BenchmarkAverValidate100k(b *testing.B) {
+	t := benchResultsTable(100_000)
+	src := "when workload=* and machine=* expect sublinear(nodes,time) and time > 0"
+	ev := aver.NewEvaluator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		verdicts, err := ev.CheckAll(src, t)
+		if err != nil || !aver.AllPassed(verdicts) {
+			b.Fatalf("validation failed: %v\n%s", err, aver.FormatResults(verdicts))
+		}
+	}
+}
+
 // --- metrics plumbing under load -------------------------------------------
 
 func BenchmarkMetricsPipeline(b *testing.B) {

@@ -1,0 +1,180 @@
+package aver
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"popper/internal/table"
+)
+
+// Golden equivalence suite: the vectorized evaluator must produce
+// byte-identical reports (verdicts, group keys, detail strings, error
+// messages) to the row-oriented implementation it replaced. Fixtures
+// were captured from that implementation; regenerate with -update only
+// when the report format intentionally changes.
+var update = flag.Bool("update", false, "rewrite golden fixture files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", name, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s diverged from row-oriented golden:\n--- want\n%s\n--- got\n%s", name, want, got)
+	}
+}
+
+// equivTable is a sweep-shaped results table with two wildcard axes,
+// noise, a failing group and string metadata.
+func equivTable() *table.Table {
+	t := table.New("workload", "machine", "nodes", "time", "status")
+	add := func(w, m string, n, tm float64, st string) {
+		t.MustAppend(table.String(w), table.String(m),
+			table.Number(n), table.Number(tm), table.String(st))
+	}
+	for _, w := range []string{"compile", "fsbench"} {
+		for _, m := range []string{"cloudlab", "ec2"} {
+			base := 100.0
+			if m == "ec2" {
+				base = 140
+			}
+			exp := -0.6 // sublinear speedup: time shrinks with nodes
+			if w == "fsbench" && m == "ec2" {
+				exp = 1.3 // superlinear growth: this group fails sublinear()
+			}
+			for _, n := range []float64{1, 2, 4, 8} {
+				add(w, m, n, base*math.Pow(n, exp), "ok")
+			}
+		}
+	}
+	return t
+}
+
+const validationsSrc = `
+# paper-shaped grouped scaling assertion: one group fails
+when workload=* and machine=* expect sublinear(nodes, time, 0.05);
+# grouped monotonicity
+when workload=* and machine=* expect increasing(nodes, time);
+# numeric filter plus row-level arithmetic
+when nodes >= 2 expect time / nodes > 0.1;
+# aggregates and logical combinations
+expect avg(time) > 10 and count(*) = 16 or min(nodes) = 99;
+# string equality over all rows
+expect status = ok;
+# within and constant
+when workload=compile and machine=cloudlab expect within(nodes, 1, 8);
+when nodes=1 and workload=compile expect constant(time, 0.5)
+`
+
+func TestGoldenVerdictsSerial(t *testing.T) {
+	tb := equivTable()
+	res, err := NewEvaluator().CheckAll(validationsSrc, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "verdicts.txt", FormatResults(res))
+}
+
+func TestGoldenVerdictsParallel(t *testing.T) {
+	tb := equivTable()
+	ev := NewEvaluator()
+	ev.Jobs = 4
+	res, err := ev.CheckAll(validationsSrc, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "verdicts.txt", FormatResults(res))
+}
+
+func TestGoldenVerdictsPairwise(t *testing.T) {
+	tb := equivTable()
+	ev := NewEvaluator()
+	ev.Method = SlopePairwise
+	res, err := ev.CheckAll(validationsSrc, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "verdicts_pairwise.txt", FormatResults(res))
+}
+
+// TestGoldenErrors pins error messages (unknown columns, non-numeric
+// cells, empty aggregates, division by zero) to the row-oriented text.
+func TestGoldenErrors(t *testing.T) {
+	tb := equivTable()
+	mixed := table.New("a", "b")
+	mixed.MustAppend(table.Number(1), table.Number(2))
+	mixed.MustAppend(table.String("oops"), table.Number(3))
+
+	cases := []struct {
+		name string
+		tb   *table.Table
+		src  string
+	}{
+		{"unknown-when", tb, "when bogus=* expect time > 0"},
+		{"unknown-col", tb, "expect bogus > 0"},
+		{"unknown-agg-col", tb, "expect avg(bogus) > 0"},
+		{"non-numeric", mixed, "expect a > 0"},
+		{"non-numeric-agg", mixed, "expect avg(a) > 0"},
+		{"div-zero", mixed, "expect b / 0 > 0"},
+		{"scaling-non-numeric", mixed, "expect sublinear(a, b)"},
+	}
+	out := ""
+	for _, c := range cases {
+		_, err := NewEvaluator().CheckAll(c.src, c.tb)
+		out += c.name + ": "
+		if err != nil {
+			out += err.Error()
+		} else {
+			out += "<nil>"
+		}
+		out += "\n"
+	}
+	checkGolden(t, "errors.txt", out)
+}
+
+// TestVerdictsOverSharedViews re-runs the golden validations over
+// filter/where views of a larger table, serially and with Jobs > 1:
+// views must evaluate exactly like materialized tables.
+func TestVerdictsOverSharedViews(t *testing.T) {
+	tb := equivTable()
+	noise := table.New("workload", "machine", "nodes", "time", "status")
+	noise.MustAppend(table.String("other"), table.String("other"),
+		table.Number(1), table.Number(1), table.String("ok"))
+	big := tb.Clone()
+	if err := big.Concat(noise); err != nil {
+		t.Fatal(err)
+	}
+	view := big.Filter(func(r int) bool {
+		return big.MustCell(r, "workload").Text() != "other"
+	})
+	want, err := NewEvaluator().CheckAll(validationsSrc, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{1, 4} {
+		ev := NewEvaluator()
+		ev.Jobs = jobs
+		got, err := ev.CheckAll(validationsSrc, view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if FormatResults(got) != FormatResults(want) {
+			t.Fatalf("jobs=%d: view verdicts diverged:\n--- table\n%s\n--- view\n%s",
+				jobs, FormatResults(want), FormatResults(got))
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"popper/internal/sched"
@@ -24,6 +25,11 @@ const (
 )
 
 // Evaluator checks assertions against result tables.
+//
+// Evaluation is vectorized over the table's columnar storage: `when`
+// filters compute a row mask and wrap it in a zero-copy view, wildcard
+// groups are built in a single hash pass, and aggregate/scaling kernels
+// stream over the float columns — no sub-table is ever materialized.
 type Evaluator struct {
 	// Method selects the slope estimator for scaling tests.
 	Method SlopeMethod
@@ -203,42 +209,116 @@ func FormatResults(results []Result) string {
 	return sb.String()
 }
 
+// strLit is a string literal compiled against a table: equality checks
+// run on interned ids for string cells and on a pre-parsed canonical
+// float for numeric cells (a numeric cell matches when its rendered
+// text would equal the literal), so the row loop never formats or
+// allocates.
+type strLit struct {
+	str   string
+	id    int32 // interned id, valid when found
+	found bool
+	numOK bool // literal is the canonical text of some float
+	num   float64
+	nan   bool
+}
+
+func compileStrLit(c table.Col, s string) strLit {
+	l := strLit{str: s}
+	l.id, l.found = c.Lookup(s)
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		if math.IsNaN(f) {
+			l.numOK, l.nan = s == "NaN", true
+		} else if strconv.FormatFloat(f, 'g', -1, 64) == s {
+			l.numOK, l.num = true, f
+		}
+	}
+	return l
+}
+
+// eqCell reports whether cell i of c renders to exactly the literal.
+func (l strLit) eqCell(c table.Col, i int) bool {
+	if id := c.StrID(i); id >= 0 {
+		return l.found && id == l.id
+	}
+	if !l.numOK {
+		return false
+	}
+	v := c.Num(i)
+	if l.nan {
+		return math.IsNaN(v)
+	}
+	return v == l.num && math.Signbit(v) == math.Signbit(l.num)
+}
+
+// whenFilter is one compiled non-wildcard clause.
+type whenFilter struct {
+	cl  Clause
+	col table.Col
+	lit strLit // string clauses only
+}
+
+func (f *whenFilter) match(i int) bool {
+	if f.cl.IsNum {
+		return f.col.IsNum(i) && compareFloats(f.col.Num(i), f.cl.Op, f.cl.Num)
+	}
+	eq := f.lit.eqCell(f.col, i)
+	switch f.cl.Op {
+	case "=":
+		return eq
+	case "!=":
+		return !eq
+	}
+	return false
+}
+
 // applyWhen filters rows by non-wildcard clauses and collects wildcard
-// column names.
+// column names. All clauses evaluate in one pass over the columnar
+// storage, producing a row mask wrapped in a zero-copy view — the
+// original table is never copied.
 func applyWhen(clauses []Clause, t *table.Table) (*table.Table, []string, error) {
-	cur := t
 	var wildcards []string
+	var filters []whenFilter
 	for _, cl := range clauses {
-		if !cur.HasColumn(cl.Column) {
+		if !t.HasColumn(cl.Column) {
 			return nil, nil, fmt.Errorf("aver: when clause references unknown column %q", cl.Column)
 		}
 		if cl.Wildcard {
 			wildcards = append(wildcards, cl.Column)
 			continue
 		}
-		cl := cl
-		cur = cur.Filter(func(row int) bool {
-			v := cur.MustCell(row, cl.Column)
-			return clauseMatches(cl, v)
-		})
-	}
-	return cur, wildcards, nil
-}
-
-func clauseMatches(cl Clause, v table.Value) bool {
-	if cl.IsNum {
-		if !v.IsNum {
-			return false
+		c, err := t.Col(cl.Column)
+		if err != nil {
+			return nil, nil, err
 		}
-		return compareFloats(v.Num, cl.Op, cl.Num)
+		f := whenFilter{cl: cl, col: c}
+		if !cl.IsNum {
+			f.lit = compileStrLit(c, cl.Str)
+		}
+		filters = append(filters, f)
 	}
-	switch cl.Op {
-	case "=":
-		return v.Text() == cl.Str
-	case "!=":
-		return v.Text() != cl.Str
+	if len(filters) == 0 {
+		return t, wildcards, nil
 	}
-	return false
+	n := t.Len()
+	rows := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		keep := true
+		for fi := range filters {
+			if !filters[fi].match(i) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			rows = append(rows, i)
+		}
+	}
+	view, err := t.View(rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	return view, wildcards, nil
 }
 
 func compareFloats(a float64, op string, b float64) bool {
@@ -264,6 +344,9 @@ type group struct {
 	rows *table.Table
 }
 
+// splitGroups builds every wildcard group in a single hash pass over
+// the columnar key columns (no per-row key strings), returning
+// zero-copy views in first-seen order.
 func splitGroups(t *table.Table, wildcards []string) ([]group, error) {
 	if t.Len() == 0 {
 		return nil, nil
@@ -271,37 +354,53 @@ func splitGroups(t *table.Table, wildcards []string) ([]group, error) {
 	if len(wildcards) == 0 {
 		return []group{{keys: map[string]string{}, rows: t}}, nil
 	}
-	type bucket struct {
-		keys map[string]string
-		idx  []int
+	gid, ngroups, err := t.GroupIDs(wildcards...)
+	if err != nil {
+		return nil, err
 	}
-	var order []string
-	buckets := make(map[string]*bucket)
-	for r := 0; r < t.Len(); r++ {
-		var kb strings.Builder
+	cols := make([]table.Col, len(wildcards))
+	for i, w := range wildcards {
+		c, err := t.Col(w)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	n := t.Len()
+	counts := make([]int32, ngroups)
+	firstRow := make([]int32, ngroups)
+	for i := range firstRow {
+		firstRow[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		g := gid[i]
+		counts[g]++
+		if firstRow[g] < 0 {
+			firstRow[g] = int32(i)
+		}
+	}
+	offsets := make([]int32, ngroups+1)
+	for g := 0; g < ngroups; g++ {
+		offsets[g+1] = offsets[g] + counts[g]
+	}
+	bucketed := make([]int, n)
+	fill := append([]int32(nil), offsets[:ngroups]...)
+	for i := 0; i < n; i++ {
+		g := gid[i]
+		bucketed[fill[g]] = i
+		fill[g]++
+	}
+	out := make([]group, 0, ngroups)
+	for g := 0; g < ngroups; g++ {
 		keys := make(map[string]string, len(wildcards))
-		for _, w := range wildcards {
-			v := t.MustCell(r, w).Text()
-			keys[w] = v
-			kb.WriteString(v)
-			kb.WriteByte(0)
+		for i, w := range wildcards {
+			keys[w] = cols[i].Text(int(firstRow[g]))
 		}
-		b, ok := buckets[kb.String()]
-		if !ok {
-			b = &bucket{keys: keys}
-			buckets[kb.String()] = b
-			order = append(order, kb.String())
+		view, err := t.View(bucketed[offsets[g]:offsets[g+1]])
+		if err != nil {
+			return nil, err
 		}
-		b.idx = append(b.idx, r)
-	}
-	out := make([]group, 0, len(order))
-	for _, k := range order {
-		b := buckets[k]
-		member := make(map[int]bool, len(b.idx))
-		for _, i := range b.idx {
-			member[i] = true
-		}
-		out = append(out, group{keys: b.keys, rows: t.Filter(func(r int) bool { return member[r] })})
+		out = append(out, group{keys: keys, rows: view})
 	}
 	return out, nil
 }
@@ -416,12 +515,12 @@ func (e *Evaluator) evalCall(c CallExpr, t *table.Table) (bool, string, error) {
 		if err != nil {
 			return false, "", err
 		}
-		ys, err := numericColumn(t, ycol)
+		yc, err := numericCol(t, ycol)
 		if err != nil {
 			return false, "", err
 		}
 		tol := e.tol(c.Args, 1)
-		cv := table.CoeffVar(ys)
+		cv := table.CoeffVar(yc.AppendFloats(nil))
 		if math.IsNaN(cv) {
 			return false, fmt.Sprintf("constant(%s): undefined CV (zero mean or empty)", ycol), nil
 		}
@@ -435,16 +534,16 @@ func (e *Evaluator) evalCall(c CallExpr, t *table.Table) (bool, string, error) {
 			return false, "", fmt.Errorf("aver: within bounds must be numbers")
 		}
 		lo, hi := c.Args[1].Num, c.Args[2].Num
-		ys, err := numericColumn(t, ycol)
+		yc, err := numericCol(t, ycol)
 		if err != nil {
 			return false, "", err
 		}
-		for _, y := range ys {
-			if y < lo || y > hi {
+		for i := 0; i < yc.Len(); i++ {
+			if y := yc.Num(i); y < lo || y > hi {
 				return false, fmt.Sprintf("within(%s,%g,%g): value %g out of range", ycol, lo, hi, y), nil
 			}
 		}
-		return true, fmt.Sprintf("within(%s,%g,%g): %d values", ycol, lo, hi, len(ys)), nil
+		return true, fmt.Sprintf("within(%s,%g,%g): %d values", ycol, lo, hi, yc.Len()), nil
 	}
 	return false, "", fmt.Errorf("aver: unknown test function %q", c.Func)
 }
@@ -493,21 +592,23 @@ func (e *Evaluator) scalingSlope(t *table.Table, xcol, ycol string) (float64, er
 	}
 }
 
-// meansByX aggregates mean y per distinct numeric x, sorted by x.
+// meansByX aggregates mean y per distinct numeric x, sorted by x. Both
+// columns stream from the columnar storage.
 func meansByX(t *table.Table, xcol, ycol string) ([]float64, []float64, error) {
-	xs, err := numericColumn(t, xcol)
+	xc, err := numericCol(t, xcol)
 	if err != nil {
 		return nil, nil, err
 	}
-	ys, err := numericColumn(t, ycol)
+	yc, err := numericCol(t, ycol)
 	if err != nil {
 		return nil, nil, err
 	}
 	sums := make(map[float64]float64)
 	counts := make(map[float64]int)
-	for i := range xs {
-		sums[xs[i]] += ys[i]
-		counts[xs[i]]++
+	for i := 0; i < xc.Len(); i++ {
+		x := xc.Num(i)
+		sums[x] += yc.Num(i)
+		counts[x]++
 	}
 	ux := make([]float64, 0, len(sums))
 	for x := range sums {
@@ -521,20 +622,120 @@ func meansByX(t *table.Table, xcol, ycol string) ([]float64, []float64, error) {
 	return ux, uy, nil
 }
 
-func numericColumn(t *table.Table, col string) ([]float64, error) {
+// numericCol returns a zero-copy handle on a column after validating
+// every cell is a non-NaN number (strings and NaN cells both fail, as
+// the row-oriented evaluator's float materialization did).
+func numericCol(t *table.Table, col string) (table.Col, error) {
 	if !t.HasColumn(col) {
-		return nil, fmt.Errorf("aver: unknown column %q", col)
+		return table.Col{}, fmt.Errorf("aver: unknown column %q", col)
 	}
-	vs, err := t.Floats(col)
+	c, err := t.Col(col)
 	if err != nil {
-		return nil, err
+		return table.Col{}, err
 	}
-	for i, v := range vs {
-		if math.IsNaN(v) {
-			return nil, fmt.Errorf("aver: column %q row %d is not numeric", col, i)
+	for i := 0; i < c.Len(); i++ {
+		if math.IsNaN(c.Float(i)) {
+			return table.Col{}, fmt.Errorf("aver: column %q row %d is not numeric", col, i)
 		}
 	}
-	return vs, nil
+	return c, nil
+}
+
+// compiledOperand is an operand resolved against a table: numbers and
+// aggregates collapse to a scalar before the row loop (the row-oriented
+// evaluator recomputed aggregates per row), columns become zero-copy
+// handles.
+type compiledOperand struct {
+	kind OperandKind
+	num  float64   // OpNumber value or precomputed OpAgg result
+	col  table.Col // OpColumn handle
+	name string    // OpColumn name, for error messages
+}
+
+func (e *Evaluator) compileOperand(o Operand, t *table.Table) (compiledOperand, error) {
+	switch o.Kind {
+	case OpNumber:
+		return compiledOperand{kind: OpNumber, num: o.Num}, nil
+	case OpAgg:
+		v, err := e.aggregate(o, t)
+		if err != nil {
+			return compiledOperand{}, err
+		}
+		return compiledOperand{kind: OpNumber, num: v}, nil
+	case OpColumn:
+		if !t.HasColumn(o.Col) {
+			return compiledOperand{}, fmt.Errorf("aver: unknown column %q", o.Col)
+		}
+		c, err := t.Col(o.Col)
+		if err != nil {
+			return compiledOperand{}, err
+		}
+		return compiledOperand{kind: OpColumn, col: c, name: o.Col}, nil
+	}
+	return compiledOperand{}, fmt.Errorf("aver: bad operand")
+}
+
+func (co *compiledOperand) at(row int) (float64, error) {
+	if co.kind != OpColumn {
+		return co.num, nil
+	}
+	if !co.col.IsNum(row) {
+		return 0, fmt.Errorf("aver: column %q row %d is not numeric", co.name, row)
+	}
+	return co.col.Num(row), nil
+}
+
+// compiledTerm is a term with every operand resolved; rowLevel reports
+// whether any operand reads per-row cells.
+type compiledTerm struct {
+	first   compiledOperand
+	factors []struct {
+		op byte
+		cp compiledOperand
+	}
+}
+
+func (e *Evaluator) compileTerm(term Term, t *table.Table) (compiledTerm, error) {
+	ct := compiledTerm{}
+	first, err := e.compileOperand(term.First, t)
+	if err != nil {
+		return ct, err
+	}
+	ct.first = first
+	for _, f := range term.Factors {
+		cp, err := e.compileOperand(f.Operand, t)
+		if err != nil {
+			return ct, err
+		}
+		ct.factors = append(ct.factors, struct {
+			op byte
+			cp compiledOperand
+		}{f.Op, cp})
+	}
+	return ct, nil
+}
+
+func (ct *compiledTerm) at(row int) (float64, error) {
+	v, err := ct.first.at(row)
+	if err != nil {
+		return 0, err
+	}
+	for i := range ct.factors {
+		fv, err := ct.factors[i].cp.at(row)
+		if err != nil {
+			return 0, err
+		}
+		switch ct.factors[i].op {
+		case '*':
+			v *= fv
+		case '/':
+			if fv == 0 {
+				return 0, fmt.Errorf("aver: division by zero in term")
+			}
+			v /= fv
+		}
+	}
+	return v, nil
 }
 
 func (e *Evaluator) evalCompare(c CompareExpr, t *table.Table) (bool, string, error) {
@@ -555,11 +756,19 @@ func (e *Evaluator) evalCompare(c CompareExpr, t *table.Table) (bool, string, er
 	}
 	rowLevel := termHasColumn(c.Left) || termHasColumn(c.Right)
 	if !rowLevel {
-		lv, err := e.termScalar(c.Left, t)
+		lt, err := e.compileTerm(c.Left, t)
 		if err != nil {
 			return false, "", err
 		}
-		rv, err := e.termScalar(c.Right, t)
+		lv, err := lt.at(-1)
+		if err != nil {
+			return false, "", err
+		}
+		rt, err := e.compileTerm(c.Right, t)
+		if err != nil {
+			return false, "", err
+		}
+		rv, err := rt.at(-1)
 		if err != nil {
 			return false, "", err
 		}
@@ -571,11 +780,19 @@ func (e *Evaluator) evalCompare(c CompareExpr, t *table.Table) (bool, string, er
 	if t.Len() == 0 {
 		return false, "no rows", nil
 	}
+	lt, err := e.compileTerm(c.Left, t)
+	if err != nil {
+		return false, "", err
+	}
+	rt, err := e.compileTerm(c.Right, t)
+	if err != nil {
+		return false, "", err
+	}
 	if e.Jobs > 1 && t.Len() >= rowChunkMin {
-		return e.evalCompareChunked(c, t)
+		return e.evalCompareChunked(c, t, &lt, &rt)
 	}
 	for r := 0; r < t.Len(); r++ {
-		ok, detail, err := e.compareRow(c, t, r)
+		ok, detail, err := compareRow(c.Op, &lt, &rt, r)
 		if err != nil || !ok {
 			return false, detail, err
 		}
@@ -584,27 +801,29 @@ func (e *Evaluator) evalCompare(c CompareExpr, t *table.Table) (bool, string, er
 		describeTerm(c.Left), c.Op, describeTerm(c.Right), t.Len()), nil
 }
 
-// compareRow evaluates one row of a row-level comparison.
-func (e *Evaluator) compareRow(c CompareExpr, t *table.Table, r int) (bool, string, error) {
-	lv, err := e.termRow(c.Left, t, r)
+// compareRow evaluates one row of a row-level comparison over the
+// compiled terms.
+func compareRow(op string, lt, rt *compiledTerm, r int) (bool, string, error) {
+	lv, err := lt.at(r)
 	if err != nil {
 		return false, "", err
 	}
-	rv, err := e.termRow(c.Right, t, r)
+	rv, err := rt.at(r)
 	if err != nil {
 		return false, "", err
 	}
-	if !compareFloats(lv, c.Op, rv) {
-		return false, fmt.Sprintf("row %d: %.4g %s %.4g is false", r, lv, c.Op, rv), nil
+	if !compareFloats(lv, op, rv) {
+		return false, fmt.Sprintf("row %d: %.4g %s %.4g is false", r, lv, op, rv), nil
 	}
 	return true, "", nil
 }
 
 // evalCompareChunked scans the rows of a row-level comparison in
-// parallel chunks. Each chunk stops at its first violation or error;
-// the lowest-row event wins, so the verdict, detail string and error
-// are exactly what a serial scan would report.
-func (e *Evaluator) evalCompareChunked(c CompareExpr, t *table.Table) (bool, string, error) {
+// parallel chunks over the shared compiled terms (read-only, so no
+// synchronization is needed). Each chunk stops at its first violation
+// or error; the lowest-row event wins, so the verdict, detail string
+// and error are exactly what a serial scan would report.
+func (e *Evaluator) evalCompareChunked(c CompareExpr, t *table.Table, lt, rt *compiledTerm) (bool, string, error) {
 	type event struct {
 		row    int
 		detail string
@@ -614,7 +833,7 @@ func (e *Evaluator) evalCompareChunked(c CompareExpr, t *table.Table) (bool, str
 	events := make([]*event, len(spans))
 	sched.NewPool(len(spans)).Each(len(spans), func(i int) error {
 		for r := spans[i].Lo; r < spans[i].Hi; r++ {
-			ok, detail, err := e.compareRow(c, t, r)
+			ok, detail, err := compareRow(c.Op, lt, rt, r)
 			if err != nil || !ok {
 				events[i] = &event{row: r, detail: detail, err: err}
 				return nil
@@ -647,47 +866,6 @@ func termHasColumn(t Term) bool {
 	return false
 }
 
-func (e *Evaluator) termScalar(term Term, t *table.Table) (float64, error) {
-	v, err := e.operandScalar(term.First, t)
-	if err != nil {
-		return 0, err
-	}
-	return e.applyFactors(v, term.Factors, t, -1)
-}
-
-func (e *Evaluator) termRow(term Term, t *table.Table, row int) (float64, error) {
-	v, err := e.operandRow(term.First, t, row)
-	if err != nil {
-		return 0, err
-	}
-	return e.applyFactors(v, term.Factors, t, row)
-}
-
-func (e *Evaluator) applyFactors(v float64, factors []Factor, t *table.Table, row int) (float64, error) {
-	for _, f := range factors {
-		var fv float64
-		var err error
-		if row >= 0 {
-			fv, err = e.operandRow(f.Operand, t, row)
-		} else {
-			fv, err = e.operandScalar(f.Operand, t)
-		}
-		if err != nil {
-			return 0, err
-		}
-		switch f.Op {
-		case '*':
-			v *= fv
-		case '/':
-			if fv == 0 {
-				return 0, fmt.Errorf("aver: division by zero in term")
-			}
-			v /= fv
-		}
-	}
-	return v, nil
-}
-
 func describeTerm(t Term) string {
 	s := describe(t.First)
 	for _, f := range t.Factors {
@@ -713,86 +891,53 @@ func (e *Evaluator) evalStringCompare(c CompareExpr, t *table.Table) (bool, stri
 	if t.Len() == 0 {
 		return false, "no rows", nil
 	}
+	cc, err := t.Col(col.Col)
+	if err != nil {
+		return false, "", err
+	}
+	clit := compileStrLit(cc, lit.Str)
 	for r := 0; r < t.Len(); r++ {
-		got := t.MustCell(r, col.Col).Text()
-		ok := got == lit.Str
+		ok := clit.eqCell(cc, r)
 		if c.Op == "!=" {
 			ok = !ok
 		}
 		if !ok {
-			return false, fmt.Sprintf("row %d: %s=%q fails %s %q", r, col.Col, got, c.Op, lit.Str), nil
+			return false, fmt.Sprintf("row %d: %s=%q fails %s %q", r, col.Col, cc.Text(r), c.Op, lit.Str), nil
 		}
 	}
 	return true, fmt.Sprintf("%s %s %q for all rows", col.Col, c.Op, lit.Str), nil
 }
 
-func (e *Evaluator) operandScalar(o Operand, t *table.Table) (float64, error) {
-	switch o.Kind {
-	case OpNumber:
-		return o.Num, nil
-	case OpAgg:
-		return e.aggregate(o, t)
-	}
-	return 0, fmt.Errorf("aver: operand %s is not scalar", describe(o))
-}
-
-func (e *Evaluator) operandRow(o Operand, t *table.Table, row int) (float64, error) {
-	switch o.Kind {
-	case OpNumber:
-		return o.Num, nil
-	case OpAgg:
-		return e.aggregate(o, t)
-	case OpColumn:
-		if !t.HasColumn(o.Col) {
-			return 0, fmt.Errorf("aver: unknown column %q", o.Col)
-		}
-		v := t.MustCell(row, o.Col)
-		if !v.IsNum {
-			return 0, fmt.Errorf("aver: column %q row %d is not numeric", o.Col, row)
-		}
-		return v.Num, nil
-	}
-	return 0, fmt.Errorf("aver: bad operand")
-}
-
+// aggregate computes a scalar aggregate by streaming over the column.
 func (e *Evaluator) aggregate(o Operand, t *table.Table) (float64, error) {
 	if o.Agg == "count" {
 		return float64(t.Len()), nil
 	}
-	ys, err := numericColumn(t, o.Col)
+	c, err := numericCol(t, o.Col)
 	if err != nil {
 		return 0, err
 	}
-	if len(ys) == 0 {
+	n := c.Len()
+	if n == 0 {
 		return 0, fmt.Errorf("aver: %s(%s) over empty group", o.Agg, o.Col)
 	}
 	switch o.Agg {
 	case "avg":
-		return table.Mean(ys), nil
+		return c.Sum() / float64(n), nil
 	case "sum":
-		return table.Sum(ys), nil
+		return c.Sum(), nil
 	case "min":
-		m := ys[0]
-		for _, y := range ys[1:] {
-			if y < m {
-				m = y
-			}
-		}
+		m, _, _ := c.MinMax()
 		return m, nil
 	case "max":
-		m := ys[0]
-		for _, y := range ys[1:] {
-			if y > m {
-				m = y
-			}
-		}
+		_, m, _ := c.MinMax()
 		return m, nil
 	case "median":
-		return table.Median(ys), nil
+		return table.Median(c.AppendFloats(nil)), nil
 	case "stddev":
-		return table.StdDev(ys), nil
+		return table.StdDev(c.AppendFloats(nil)), nil
 	case "cv":
-		return table.CoeffVar(ys), nil
+		return table.CoeffVar(c.AppendFloats(nil)), nil
 	}
 	return 0, fmt.Errorf("aver: unknown aggregate %q", o.Agg)
 }

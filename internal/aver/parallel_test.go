@@ -125,6 +125,56 @@ func TestChunkedRowCompareFirstViolationWins(t *testing.T) {
 	}
 }
 
+// TestConcurrentEvaluatorsShareViews drives several parallel evaluators
+// over zero-copy views of one shared table at once. Views share the
+// parent's columnar storage and string dictionary, so under -race this
+// proves the whole read path (masks, group splitting, compiled row
+// kernels) is synchronization-free safe.
+func TestConcurrentEvaluatorsShareViews(t *testing.T) {
+	tb := bigTable(t, 4096, -1)
+	even := tb.Filter(func(r int) bool { return r%2 == 0 })
+	odd := tb.Filter(func(r int) bool { return r%2 == 1 })
+	src := "expect a >= b; expect avg(a) > 1 and count(*) > 100"
+
+	serial := NewEvaluator()
+	wantEven, err := serial.CheckAll(src, even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOdd, err := serial.CheckAll(src, odd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		view, want := even, FormatResults(wantEven)
+		if w%2 == 1 {
+			view, want = odd, FormatResults(wantOdd)
+		}
+		go func() {
+			ev := NewEvaluator()
+			ev.Jobs = 4
+			res, err := ev.CheckAll(src, view)
+			if err != nil {
+				done <- err
+				return
+			}
+			if got := FormatResults(res); got != want {
+				done <- fmt.Errorf("concurrent verdicts diverged:\n--- got\n%s--- want\n%s", got, want)
+				return
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
 func mustCheckWith(t *testing.T, e *Evaluator, src string, tb *table.Table) Result {
 	t.Helper()
 	asserts, err := ParseFile(src)

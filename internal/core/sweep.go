@@ -200,23 +200,11 @@ func appendConfigRows(merged, t *table.Table, overrides map[string]string) (*tab
 	if merged == nil {
 		merged = table.New(append(append([]string(nil), t.Columns()...), extra...)...)
 	}
-	cols := merged.Columns()
-	for r := 0; r < t.Len(); r++ {
-		row := make([]table.Value, 0, len(cols))
-		for _, col := range cols {
-			if t.HasColumn(col) {
-				row = append(row, t.MustCell(r, col))
-			} else if v, ok := overrides[col]; ok {
-				row = append(row, table.String(v))
-			} else {
-				row = append(row, table.String(""))
-			}
-		}
-		if err := merged.Append(row...); err != nil {
-			return merged, err
-		}
+	fill := make(map[string]table.Value, len(overrides))
+	for k, v := range overrides {
+		fill[k] = table.String(v)
 	}
-	return merged, nil
+	return merged, merged.AppendFrom(t, fill)
 }
 
 // cloneFiles shallow-copies a workspace: paths are copied, content

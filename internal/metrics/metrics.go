@@ -207,12 +207,13 @@ func (r *Registry) Table() *table.Table {
 	keys := r.labelKeys()
 	cols := append([]string{"tick", "metric", "value"}, keys...)
 	t := table.New(cols...)
+	row := make([]table.Value, 0, len(cols))
 	for _, o := range r.obs {
-		row := []table.Value{
+		row = append(row[:0],
 			table.Number(float64(o.Tick)),
 			table.String(o.Name),
 			table.Number(o.Value),
-		}
+		)
 		for _, k := range keys {
 			row = append(row, table.String(o.Labels[k]))
 		}
@@ -242,24 +243,51 @@ func (r *Registry) ResultTable() *table.Table {
 		labels Labels
 		vals   map[string]float64
 	}
-	var order []string
-	groups := make(map[string]*group)
-	for _, o := range r.obs {
-		gk := groupKey(o.Labels, keys)
-		g, ok := groups[gk]
+	// Group observations by their label tuple without building a
+	// composite key string per observation: label values intern to dense
+	// ids and group ids thread through a per-level (parent-group, id)
+	// hash. Groups come out dense in first-seen order, so row order is
+	// deterministic for a given observation sequence.
+	intern := make(map[string]int32)
+	internID := func(s string) int32 {
+		id, ok := intern[s]
 		if !ok {
-			g = &group{labels: o.Labels, vals: make(map[string]float64)}
-			groups[gk] = g
-			order = append(order, gk)
+			id = int32(len(intern))
+			intern[s] = id
 		}
-		g.vals[o.Name] = o.Value
+		return id
+	}
+	type gkey struct {
+		parent int32
+		id     int32
+	}
+	seen := make([]map[gkey]int32, len(keys))
+	for i := range seen {
+		seen[i] = make(map[gkey]int32)
+	}
+	var groups []*group
+	for _, o := range r.obs {
+		g := int32(0)
+		for ki, k := range keys {
+			kk := gkey{parent: g, id: internID(o.Labels[k])}
+			ng, ok := seen[ki][kk]
+			if !ok {
+				ng = int32(len(seen[ki]))
+				seen[ki][kk] = ng
+			}
+			g = ng
+		}
+		if int(g) >= len(groups) {
+			groups = append(groups, &group{labels: o.Labels, vals: make(map[string]float64)})
+		}
+		groups[g].vals[o.Name] = o.Value
 	}
 
 	cols := append(append([]string(nil), keys...), metricNames...)
 	t := table.New(cols...)
-	for _, gk := range order {
-		g := groups[gk]
-		row := make([]table.Value, 0, len(cols))
+	row := make([]table.Value, 0, len(cols))
+	for _, g := range groups {
+		row = row[:0]
 		for _, k := range keys {
 			row = append(row, table.String(g.labels[k]))
 		}
@@ -273,15 +301,6 @@ func (r *Registry) ResultTable() *table.Table {
 		t.MustAppend(row...)
 	}
 	return t
-}
-
-func groupKey(l Labels, keys []string) string {
-	var sb []byte
-	for _, k := range keys {
-		sb = append(sb, l[k]...)
-		sb = append(sb, 0)
-	}
-	return string(sb)
 }
 
 // Reset drops all observations, counters and gauges.

@@ -7,13 +7,31 @@
 // string or a float64. Numeric parsing happens on CSV load, so metric
 // columns can be used directly in computations while categorical columns
 // (workload, machine) stay as strings.
+//
+// # Storage model
+//
+// Storage is typed and columnar: each column is a contiguous []float64
+// for the numeric payload plus a parallel []int32 of interned string
+// ids (negative means "this cell is the number"). String cells share a
+// per-store dictionary, so a categorical column holding a handful of
+// distinct labels costs 12 bytes per cell regardless of label length.
+//
+// Row-subset operations (Filter, Where, Select, View) are zero-copy:
+// they return *views* — tables that share the backing columns and carry
+// only a row-index (and column-reference) slice. SortBy reorders the
+// permutation, never the data. Views follow a copy-on-write contract:
+// mutating a view (Append, AddColumn, Concat) first detaches it into
+// its own storage, so the parent table and sibling views are never
+// affected. Appending to the table a view was taken from is also safe:
+// the view captured its row indices and does not see later rows.
+//
+// A Table is safe for concurrent *reads* (the Aver evaluator checks
+// groups of one table in parallel); mutation requires external
+// synchronization, as before the columnar rebuild.
 package table
 
 import (
-	"encoding/csv"
-	"encoding/json"
 	"fmt"
-	"io"
 	"math"
 	"sort"
 	"strconv"
@@ -82,11 +100,95 @@ func (v Value) Less(o Value) bool {
 	return v.Str < o.Str
 }
 
-// Table is a column-oriented frame with equal-length columns.
+// dict interns the strings of one store. Ids are dense and append-only,
+// so views sharing a store can resolve and compare strings by id.
+type dict struct {
+	ids  map[string]int32
+	strs []string
+}
+
+func newDict() *dict { return &dict{ids: make(map[string]int32)} }
+
+func (d *dict) intern(s string) int32 {
+	if id, ok := d.ids[s]; ok {
+		return id
+	}
+	id := int32(len(d.strs))
+	d.strs = append(d.strs, s)
+	d.ids[s] = id
+	return id
+}
+
+func (d *dict) lookup(s string) (int32, bool) {
+	id, ok := d.ids[s]
+	return id, ok
+}
+
+func (d *dict) str(id int32) string { return d.strs[id] }
+
+func (d *dict) clone() *dict {
+	out := &dict{
+		ids:  make(map[string]int32, len(d.ids)),
+		strs: append([]string(nil), d.strs...),
+	}
+	for s, id := range d.ids {
+		out.ids[s] = id
+	}
+	return out
+}
+
+// column is typed cell storage: ids[r] >= 0 marks a string cell holding
+// that interned id; ids[r] < 0 marks a numeric cell in nums[r].
+type column struct {
+	nums []float64
+	ids  []int32
+}
+
+func (c *column) appendValue(v Value, d *dict) {
+	if v.IsNum {
+		c.nums = append(c.nums, v.Num)
+		c.ids = append(c.ids, -1)
+	} else {
+		c.nums = append(c.nums, 0)
+		c.ids = append(c.ids, d.intern(v.Str))
+	}
+}
+
+func (c *column) grow(hint int) {
+	if hint > 0 && cap(c.nums) == 0 {
+		c.nums = make([]float64, 0, hint)
+		c.ids = make([]int32, 0, hint)
+	}
+}
+
+// store is the shared backing of a table and every view derived from
+// it: the columns plus the string dictionary they intern into.
+type store struct {
+	dict *dict
+	cols []column
+}
+
+func (s *store) length() int {
+	if len(s.cols) == 0 {
+		return 0
+	}
+	return len(s.cols[0].ids)
+}
+
+// Table is a column-oriented frame with equal-length columns. The zero
+// value is not usable; construct with New, ReadCSV or a view-producing
+// method.
+//
+// Invariant: rows == nil means the table is "direct" — it owns its
+// store end-to-end (refs is the identity over every store column) and
+// mutates in place. rows != nil means the table is a view; mutating it
+// detaches it into fresh storage first (copy-on-write).
 type Table struct {
 	cols  []string
 	index map[string]int
-	data  [][]Value // data[c][r]
+	st    *store
+	refs  []int   // visible column -> store column
+	rows  []int32 // nil = all store rows in order
 }
 
 // New creates an empty table with the given column names.
@@ -94,12 +196,91 @@ func New(cols ...string) *Table {
 	t := &Table{
 		cols:  append([]string(nil), cols...),
 		index: make(map[string]int, len(cols)),
-		data:  make([][]Value, len(cols)),
+		st:    &store{dict: newDict(), cols: make([]column, len(cols))},
+		refs:  identity(len(cols)),
 	}
 	for i, c := range cols {
 		t.index[c] = i
 	}
 	return t
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// phys maps a logical row index to its physical store row.
+func (t *Table) phys(i int) int32 {
+	if t.rows != nil {
+		return t.rows[i]
+	}
+	return int32(i)
+}
+
+// allRows materializes the logical->physical row mapping. The result is
+// freshly allocated and owned by the caller.
+func (t *Table) allRows() []int32 {
+	if t.rows != nil {
+		return append([]int32(nil), t.rows...)
+	}
+	n := t.st.length()
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// view builds a table sharing this table's store. rows is owned by the
+// view; names is copied, refs is shared (it is never mutated in place).
+func (t *Table) view(rows []int32, names []string, refs []int) *Table {
+	idx := make(map[string]int, len(names))
+	for i, c := range names {
+		idx[c] = i
+	}
+	return &Table{
+		cols:  append([]string(nil), names...),
+		index: idx,
+		st:    t.st,
+		refs:  refs,
+		rows:  rows,
+	}
+}
+
+// detach is the copy-on-write step: it materializes a view into its own
+// store so it can be mutated without touching the shared columns.
+func (t *Table) detach() {
+	if t.rows == nil {
+		return
+	}
+	nst := &store{dict: t.st.dict.clone(), cols: make([]column, len(t.refs))}
+	n := len(t.rows)
+	for ci, ref := range t.refs {
+		src := &t.st.cols[ref]
+		dst := &nst.cols[ci]
+		dst.nums = make([]float64, n)
+		dst.ids = make([]int32, n)
+		for i, r := range t.rows {
+			dst.nums[i] = src.nums[r]
+			dst.ids[i] = src.ids[r]
+		}
+	}
+	t.st = nst
+	t.refs = identity(len(t.cols))
+	t.rows = nil
+}
+
+// valueAt builds the Value at (visible column ci, physical row r).
+func (t *Table) valueAt(ci int, r int32) Value {
+	c := &t.st.cols[t.refs[ci]]
+	if id := c.ids[r]; id >= 0 {
+		return Value{Str: t.st.dict.str(id)}
+	}
+	return Value{Num: c.nums[r], IsNum: true}
 }
 
 // Columns returns the column names in order.
@@ -110,30 +291,35 @@ func (t *Table) HasColumn(name string) bool { _, ok := t.index[name]; return ok 
 
 // Len returns the number of rows.
 func (t *Table) Len() int {
-	if len(t.data) == 0 {
-		return 0
+	if t.rows != nil {
+		return len(t.rows)
 	}
-	return len(t.data[0])
+	return t.st.length()
 }
 
 // Append adds one row; the number of values must match the column count.
+// Appending to a view detaches it first (copy-on-write).
 func (t *Table) Append(vals ...Value) error {
 	if len(vals) != len(t.cols) {
 		return fmt.Errorf("table: row has %d values, table has %d columns", len(vals), len(t.cols))
 	}
+	t.detach()
 	for i, v := range vals {
-		t.data[i] = append(t.data[i], v)
+		t.st.cols[t.refs[i]].appendValue(v, t.st.dict)
 	}
 	return nil
 }
 
 // AppendRecord adds one row from raw strings, auto-typing each cell.
 func (t *Table) AppendRecord(fields ...string) error {
-	vals := make([]Value, len(fields))
-	for i, f := range fields {
-		vals[i] = Auto(f)
+	if len(fields) != len(t.cols) {
+		return fmt.Errorf("table: row has %d values, table has %d columns", len(fields), len(t.cols))
 	}
-	return t.Append(vals...)
+	t.detach()
+	for i, f := range fields {
+		t.st.cols[t.refs[i]].appendValue(Auto(f), t.st.dict)
+	}
+	return nil
 }
 
 // MustAppend is Append that panics on arity mismatch; for test fixtures
@@ -153,7 +339,7 @@ func (t *Table) Cell(row int, col string) (Value, error) {
 	if row < 0 || row >= t.Len() {
 		return Value{}, fmt.Errorf("table: row %d out of range [0,%d)", row, t.Len())
 	}
-	return t.data[ci][row], nil
+	return t.valueAt(ci, t.phys(row)), nil
 }
 
 // MustCell is Cell that panics on error.
@@ -171,18 +357,24 @@ func (t *Table) Column(col string) ([]Value, error) {
 	if !ok {
 		return nil, fmt.Errorf("table: no column %q", col)
 	}
-	return append([]Value(nil), t.data[ci]...), nil
+	n := t.Len()
+	out := make([]Value, n)
+	for i := 0; i < n; i++ {
+		out[i] = t.valueAt(ci, t.phys(i))
+	}
+	return out, nil
 }
 
 // Floats returns a column as float64s; string cells become NaN.
 func (t *Table) Floats(col string) ([]float64, error) {
-	vs, err := t.Column(col)
+	c, err := t.Col(col)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(vs))
-	for i, v := range vs {
-		out[i] = v.Float()
+	n := c.Len()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = c.Float(i)
 	}
 	return out, nil
 }
@@ -190,288 +382,144 @@ func (t *Table) Floats(col string) ([]float64, error) {
 // Row returns a copy of one row in column order.
 func (t *Table) Row(i int) []Value {
 	out := make([]Value, len(t.cols))
+	r := t.phys(i)
 	for c := range t.cols {
-		out[c] = t.data[c][i]
+		out[c] = t.valueAt(c, r)
 	}
 	return out
 }
 
 // AddColumn appends a new column computed from each row. The compute
-// function receives the row index.
+// function receives the row index. On a view this detaches first.
 func (t *Table) AddColumn(name string, f func(row int) Value) error {
 	if t.HasColumn(name) {
 		return fmt.Errorf("table: column %q already exists", name)
 	}
-	col := make([]Value, t.Len())
-	for i := range col {
-		col[i] = f(i)
+	t.detach()
+	var col column
+	n := t.Len()
+	col.grow(n)
+	for i := 0; i < n; i++ {
+		col.appendValue(f(i), t.st.dict)
 	}
 	t.index[name] = len(t.cols)
 	t.cols = append(t.cols, name)
-	t.data = append(t.data, col)
+	t.refs = append(append([]int(nil), t.refs...), len(t.st.cols))
+	t.st.cols = append(t.st.cols, col)
 	return nil
 }
 
-// Select returns a new table with only the named columns, in order.
+// Select returns a zero-copy view with only the named columns, in order.
 func (t *Table) Select(cols ...string) (*Table, error) {
-	out := New(cols...)
-	idx := make([]int, len(cols))
+	refs := make([]int, len(cols))
 	for i, c := range cols {
 		ci, ok := t.index[c]
 		if !ok {
 			return nil, fmt.Errorf("table: no column %q", c)
 		}
-		idx[i] = ci
+		refs[i] = t.refs[ci]
 	}
-	for i, ci := range idx {
-		out.data[i] = append([]Value(nil), t.data[ci]...)
-	}
-	return out, nil
+	return t.view(t.allRows(), cols, refs), nil
 }
 
-// Filter returns the rows for which keep returns true.
+// Filter returns a zero-copy view of the rows for which keep returns true.
 func (t *Table) Filter(keep func(row int) bool) *Table {
-	out := New(t.cols...)
-	for r := 0; r < t.Len(); r++ {
-		if keep(r) {
-			for c := range t.cols {
-				out.data[c] = append(out.data[c], t.data[c][r])
-			}
+	n := t.Len()
+	rows := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if keep(i) {
+			rows = append(rows, t.phys(i))
 		}
 	}
-	return out
+	return t.view(rows, t.cols, t.refs)
 }
 
-// Where filters rows whose column equals the given value.
+// Where returns a zero-copy view of the rows whose column equals the
+// given value. The scan is vectorized: string probes compare interned
+// ids, numeric probes compare the float column directly.
 func (t *Table) Where(col string, v Value) (*Table, error) {
 	ci, ok := t.index[col]
 	if !ok {
 		return nil, fmt.Errorf("table: no column %q", col)
 	}
-	return t.Filter(func(r int) bool { return t.data[ci][r].Equal(v) }), nil
+	c := &t.st.cols[t.refs[ci]]
+	n := t.Len()
+	rows := make([]int32, 0, n)
+	if v.IsNum {
+		nan := math.IsNaN(v.Num)
+		for i := 0; i < n; i++ {
+			r := t.phys(i)
+			if c.ids[r] < 0 && (c.nums[r] == v.Num || (nan && math.IsNaN(c.nums[r]))) {
+				rows = append(rows, r)
+			}
+		}
+	} else if id, found := t.st.dict.lookup(v.Str); found {
+		for i := 0; i < n; i++ {
+			r := t.phys(i)
+			if c.ids[r] == id {
+				rows = append(rows, r)
+			}
+		}
+	}
+	return t.view(rows, t.cols, t.refs), nil
 }
 
-// SortBy sorts rows by the given columns ascending (stable).
+// View returns a zero-copy view of the given rows (indices relative to
+// this table), in the given order. Rows may repeat.
+func (t *Table) View(rows []int) (*Table, error) {
+	n := t.Len()
+	phys := make([]int32, len(rows))
+	for i, r := range rows {
+		if r < 0 || r >= n {
+			return nil, fmt.Errorf("table: row %d out of range [0,%d)", r, n)
+		}
+		phys[i] = t.phys(r)
+	}
+	return t.view(phys, t.cols, t.refs), nil
+}
+
+// SortBy sorts rows by the given columns ascending (stable). The sort
+// permutes the table's row view; column storage is never rewritten.
 func (t *Table) SortBy(cols ...string) error {
-	idx := make([]int, len(cols))
+	keyRefs := make([]int, len(cols))
 	for i, c := range cols {
 		ci, ok := t.index[c]
 		if !ok {
 			return fmt.Errorf("table: no column %q", c)
 		}
-		idx[i] = ci
+		keyRefs[i] = t.refs[ci]
 	}
-	order := make([]int, t.Len())
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ra, rb := order[a], order[b]
-		for _, ci := range idx {
-			va, vb := t.data[ci][ra], t.data[ci][rb]
-			if !va.Equal(vb) {
-				return va.Less(vb)
+	rows := t.allRows()
+	d := t.st.dict
+	sort.SliceStable(rows, func(a, b int) bool {
+		ra, rb := rows[a], rows[b]
+		for _, ref := range keyRefs {
+			c := &t.st.cols[ref]
+			ida, idb := c.ids[ra], c.ids[rb]
+			switch {
+			case ida < 0 && idb < 0: // both numeric
+				na, nb := c.nums[ra], c.nums[rb]
+				if na == nb || (math.IsNaN(na) && math.IsNaN(nb)) {
+					continue
+				}
+				return na < nb
+			case ida >= 0 && idb >= 0: // both strings
+				if ida == idb {
+					continue
+				}
+				return d.str(ida) < d.str(idb)
+			default: // mixed: numbers order before strings
+				return ida < 0
 			}
 		}
 		return false
 	})
-	for c := range t.data {
-		col := make([]Value, len(order))
-		for i, r := range order {
-			col[i] = t.data[c][r]
-		}
-		t.data[c] = col
-	}
+	t.rows = rows
 	return nil
 }
 
-// Unique returns the distinct values of a column in first-seen order.
-func (t *Table) Unique(col string) ([]Value, error) {
-	vs, err := t.Column(col)
-	if err != nil {
-		return nil, err
-	}
-	seen := make(map[string]bool)
-	var out []Value
-	for _, v := range vs {
-		key := fmt.Sprintf("%t|%s", v.IsNum, v.Text())
-		if !seen[key] {
-			seen[key] = true
-			out = append(out, v)
-		}
-	}
-	return out, nil
-}
-
-// Agg names an aggregation over a column within a group.
-type Agg struct {
-	Col string // source column
-	Op  string // one of: mean, sum, min, max, count, median, stddev, first
-	As  string // output column name; defaults to Op+"_"+Col
-}
-
-func (a Agg) name() string {
-	if a.As != "" {
-		return a.As
-	}
-	return a.Op + "_" + a.Col
-}
-
-// GroupBy groups rows by key columns and computes the aggregations.
-// Groups appear in first-seen order.
-func (t *Table) GroupBy(keys []string, aggs ...Agg) (*Table, error) {
-	keyIdx := make([]int, len(keys))
-	for i, k := range keys {
-		ci, ok := t.index[k]
-		if !ok {
-			return nil, fmt.Errorf("table: no column %q", k)
-		}
-		keyIdx[i] = ci
-	}
-	for _, a := range aggs {
-		if !t.HasColumn(a.Col) {
-			return nil, fmt.Errorf("table: no column %q", a.Col)
-		}
-		switch a.Op {
-		case "mean", "sum", "min", "max", "count", "median", "stddev", "first":
-		default:
-			return nil, fmt.Errorf("table: unknown aggregation %q", a.Op)
-		}
-	}
-	outCols := append([]string(nil), keys...)
-	for _, a := range aggs {
-		outCols = append(outCols, a.name())
-	}
-	out := New(outCols...)
-
-	type group struct {
-		keyVals []Value
-		rows    []int
-	}
-	var groups []*group
-	byKey := make(map[string]*group)
-	for r := 0; r < t.Len(); r++ {
-		var sb strings.Builder
-		kv := make([]Value, len(keyIdx))
-		for i, ci := range keyIdx {
-			kv[i] = t.data[ci][r]
-			sb.WriteString(kv[i].Text())
-			sb.WriteByte(0)
-		}
-		g, ok := byKey[sb.String()]
-		if !ok {
-			g = &group{keyVals: kv}
-			byKey[sb.String()] = g
-			groups = append(groups, g)
-		}
-		g.rows = append(g.rows, r)
-	}
-	for _, g := range groups {
-		row := append([]Value(nil), g.keyVals...)
-		for _, a := range aggs {
-			ci := t.index[a.Col]
-			row = append(row, aggregate(a.Op, t.data[ci], g.rows))
-		}
-		if err := out.Append(row...); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
-
-func aggregate(op string, col []Value, rows []int) Value {
-	if op == "count" {
-		return Number(float64(len(rows)))
-	}
-	if op == "first" {
-		if len(rows) == 0 {
-			return String("")
-		}
-		return col[rows[0]]
-	}
-	nums := make([]float64, 0, len(rows))
-	for _, r := range rows {
-		if col[r].IsNum {
-			nums = append(nums, col[r].Num)
-		}
-	}
-	if len(nums) == 0 {
-		return Number(math.NaN())
-	}
-	switch op {
-	case "sum":
-		return Number(Sum(nums))
-	case "mean":
-		return Number(Mean(nums))
-	case "min":
-		m := nums[0]
-		for _, n := range nums[1:] {
-			if n < m {
-				m = n
-			}
-		}
-		return Number(m)
-	case "max":
-		m := nums[0]
-		for _, n := range nums[1:] {
-			if n > m {
-				m = n
-			}
-		}
-		return Number(m)
-	case "median":
-		return Number(Median(nums))
-	case "stddev":
-		return Number(StdDev(nums))
-	}
-	return Number(math.NaN())
-}
-
-// Join performs an inner join on equal values of the named column.
-// Right-hand columns that collide are suffixed with "_r".
-func (t *Table) Join(right *Table, on string) (*Table, error) {
-	li, ok := t.index[on]
-	if !ok {
-		return nil, fmt.Errorf("table: left has no column %q", on)
-	}
-	ri, ok := right.index[on]
-	if !ok {
-		return nil, fmt.Errorf("table: right has no column %q", on)
-	}
-	outCols := append([]string(nil), t.cols...)
-	var rightKeep []int
-	for ci, c := range right.cols {
-		if ci == ri {
-			continue
-		}
-		rightKeep = append(rightKeep, ci)
-		if t.HasColumn(c) {
-			c += "_r"
-		}
-		outCols = append(outCols, c)
-	}
-	out := New(outCols...)
-	// Hash the right side.
-	rIndex := make(map[string][]int)
-	for r := 0; r < right.Len(); r++ {
-		k := right.data[ri][r].Text()
-		rIndex[k] = append(rIndex[k], r)
-	}
-	for lr := 0; lr < t.Len(); lr++ {
-		for _, rr := range rIndex[t.data[li][lr].Text()] {
-			row := t.Row(lr)
-			for _, ci := range rightKeep {
-				row = append(row, right.data[ci][rr])
-			}
-			if err := out.Append(row...); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return out, nil
-}
-
 // Concat appends the rows of other; column sets must match exactly.
+// On a view this detaches first.
 func (t *Table) Concat(other *Table) error {
 	if len(t.cols) != len(other.cols) {
 		return fmt.Errorf("table: concat column count mismatch %d vs %d", len(t.cols), len(other.cols))
@@ -481,190 +529,83 @@ func (t *Table) Concat(other *Table) error {
 			return fmt.Errorf("table: concat column mismatch %q vs %q", c, other.cols[i])
 		}
 	}
-	for c := range t.data {
-		t.data[c] = append(t.data[c], other.data[c]...)
+	t.detach()
+	n := other.Len()
+	sameDict := t.st.dict == other.st.dict
+	for ci := range t.cols {
+		dst := &t.st.cols[t.refs[ci]]
+		src := &other.st.cols[other.refs[ci]]
+		if sameDict {
+			// Fast path: ids are valid across views of one store.
+			for i := 0; i < n; i++ {
+				r := other.phys(i)
+				dst.nums = append(dst.nums, src.nums[r])
+				dst.ids = append(dst.ids, src.ids[r])
+			}
+			continue
+		}
+		for i := 0; i < n; i++ {
+			dst.appendValue(other.valueAt(ci, other.phys(i)), t.st.dict)
+		}
 	}
 	return nil
 }
 
-// Clone deep-copies the table.
+// AppendFrom bulk-appends every row of other. Columns the two tables
+// share are copied column-wise (interned ids move directly when the
+// tables share a dictionary); columns other lacks are filled from fill,
+// defaulting to the empty string. Source columns t lacks are ignored.
+func (t *Table) AppendFrom(other *Table, fill map[string]Value) error {
+	t.detach()
+	n := other.Len()
+	sameDict := t.st.dict == other.st.dict
+	for ci, name := range t.cols {
+		dst := &t.st.cols[t.refs[ci]]
+		oci, ok := other.index[name]
+		if !ok {
+			v, okf := fill[name]
+			if !okf {
+				v = String("")
+			}
+			for i := 0; i < n; i++ {
+				dst.appendValue(v, t.st.dict)
+			}
+			continue
+		}
+		src := &other.st.cols[other.refs[oci]]
+		if sameDict {
+			for i := 0; i < n; i++ {
+				r := other.phys(i)
+				dst.nums = append(dst.nums, src.nums[r])
+				dst.ids = append(dst.ids, src.ids[r])
+			}
+			continue
+		}
+		for i := 0; i < n; i++ {
+			dst.appendValue(other.valueAt(oci, other.phys(i)), t.st.dict)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the table into fully independent storage.
 func (t *Table) Clone() *Table {
 	out := New(t.cols...)
-	for c := range t.data {
-		out.data[c] = append([]Value(nil), t.data[c]...)
+	n := t.Len()
+	for ci := range t.cols {
+		dst := &out.st.cols[ci]
+		dst.nums = make([]float64, n)
+		dst.ids = make([]int32, n)
+		src := &t.st.cols[t.refs[ci]]
+		for i := 0; i < n; i++ {
+			r := t.phys(i)
+			dst.nums[i] = src.nums[r]
+			if id := src.ids[r]; id >= 0 {
+				dst.ids[i] = out.st.dict.intern(t.st.dict.str(id))
+			} else {
+				dst.ids[i] = -1
+			}
+		}
 	}
 	return out
-}
-
-// ReadCSV loads a table from CSV with a header row; cells are auto-typed.
-func ReadCSV(r io.Reader) (*Table, error) {
-	cr := csv.NewReader(r)
-	cr.TrimLeadingSpace = true
-	header, err := cr.Read()
-	if err == io.EOF {
-		return nil, fmt.Errorf("table: empty CSV input")
-	}
-	if err != nil {
-		return nil, fmt.Errorf("table: reading CSV header: %w", err)
-	}
-	for i := range header {
-		header[i] = strings.TrimSpace(header[i])
-	}
-	t := New(header...)
-	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("table: reading CSV row: %w", err)
-		}
-		if err := t.AppendRecord(rec...); err != nil {
-			return nil, err
-		}
-	}
-	return t, nil
-}
-
-// ParseCSV is ReadCSV over a string.
-func ParseCSV(s string) (*Table, error) { return ReadCSV(strings.NewReader(s)) }
-
-// WriteCSV renders the table as CSV with a header row.
-func (t *Table) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(t.cols); err != nil {
-		return err
-	}
-	rec := make([]string, len(t.cols))
-	for r := 0; r < t.Len(); r++ {
-		for c := range t.cols {
-			rec[c] = t.data[c][r].Text()
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
-}
-
-// CSV renders the table as a CSV string.
-func (t *Table) CSV() string {
-	var sb strings.Builder
-	_ = t.WriteCSV(&sb)
-	return sb.String()
-}
-
-// MarshalJSON encodes the table as a list of row objects.
-func (t *Table) MarshalJSON() ([]byte, error) {
-	rows := make([]map[string]any, t.Len())
-	for r := 0; r < t.Len(); r++ {
-		m := make(map[string]any, len(t.cols))
-		for c, name := range t.cols {
-			v := t.data[c][r]
-			if v.IsNum {
-				m[name] = v.Num
-			} else {
-				m[name] = v.Str
-			}
-		}
-		rows[r] = m
-	}
-	return json.Marshal(rows)
-}
-
-// Format renders a human-readable aligned text table (for CLI output).
-func (t *Table) Format() string {
-	widths := make([]int, len(t.cols))
-	for c, name := range t.cols {
-		widths[c] = len(name)
-		for r := 0; r < t.Len(); r++ {
-			if n := len(t.data[c][r].Text()); n > widths[c] {
-				widths[c] = n
-			}
-		}
-	}
-	var sb strings.Builder
-	writeRow := func(cells []string) {
-		for c, cell := range cells {
-			if c > 0 {
-				sb.WriteString("  ")
-			}
-			sb.WriteString(cell)
-			for i := len(cell); i < widths[c]; i++ {
-				sb.WriteByte(' ')
-			}
-		}
-		sb.WriteByte('\n')
-	}
-	writeRow(t.cols)
-	sep := make([]string, len(t.cols))
-	for c := range sep {
-		sep[c] = strings.Repeat("-", widths[c])
-	}
-	writeRow(sep)
-	cells := make([]string, len(t.cols))
-	for r := 0; r < t.Len(); r++ {
-		for c := range t.cols {
-			cells[c] = t.data[c][r].Text()
-		}
-		writeRow(cells)
-	}
-	return sb.String()
-}
-
-// Statistics helpers shared across the toolchain.
-
-// Sum returns the sum of xs.
-func Sum(xs []float64) float64 {
-	s := 0.0
-	for _, x := range xs {
-		s += x
-	}
-	return s
-}
-
-// Mean returns the arithmetic mean, or NaN for empty input.
-func Mean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return math.NaN()
-	}
-	return Sum(xs) / float64(len(xs))
-}
-
-// Median returns the median, or NaN for empty input.
-func Median(xs []float64) float64 {
-	if len(xs) == 0 {
-		return math.NaN()
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	n := len(s)
-	if n%2 == 1 {
-		return s[n/2]
-	}
-	return (s[n/2-1] + s[n/2]) / 2
-}
-
-// StdDev returns the sample standard deviation (n-1), 0 for n<2.
-func StdDev(xs []float64) float64 {
-	if len(xs) < 2 {
-		return 0
-	}
-	m := Mean(xs)
-	ss := 0.0
-	for _, x := range xs {
-		d := x - m
-		ss += d * d
-	}
-	return math.Sqrt(ss / float64(len(xs)-1))
-}
-
-// CoeffVar returns the coefficient of variation (stddev/mean).
-func CoeffVar(xs []float64) float64 {
-	m := Mean(xs)
-	if m == 0 {
-		return math.NaN()
-	}
-	return StdDev(xs) / m
 }

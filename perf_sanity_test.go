@@ -1,0 +1,64 @@
+package popper
+
+import (
+	"testing"
+
+	"popper/internal/aver"
+	"popper/internal/table"
+)
+
+// The columnar table rewrite is allocation-bounded: grouping, view
+// chains and Aver validation allocate per *group* (or per view), never
+// per row. The row-oriented implementation allocated hundreds of
+// thousands of times on these workloads (≈300k for GroupBy, ≈400k for
+// Aver validation at 100k rows); the bounds below leave generous
+// headroom over the measured columnar counts (≈66, ≈20 and ≈330) while
+// still failing loudly if a per-row allocation sneaks back in.
+func TestAllocationBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is slow")
+	}
+	tbl := benchResultsTable(20000)
+
+	check := func(name string, got, bound float64) {
+		t.Helper()
+		if got > bound {
+			t.Errorf("%s: %v allocs/op, want <= %v — a per-row allocation crept back in", name, got, bound)
+		}
+	}
+
+	check("GroupBy", testing.AllocsPerRun(3, func() {
+		out, err := tbl.GroupBy(
+			[]string{"workload", "machine"},
+			table.Agg{Col: "time", Op: "mean"},
+			table.Agg{Col: "time", Op: "max"},
+		)
+		if err != nil || out.Len() != 12 {
+			t.Fatalf("groupby: %v rows, err=%v", out.Len(), err)
+		}
+	}), 500)
+
+	check("FilterChain", testing.AllocsPerRun(3, func() {
+		v, err := tbl.Where("machine", table.String("ec2-m4"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v = v.Filter(func(r int) bool { return v.MustCell(r, "nodes").Num >= 2 })
+		v, err = v.Select("nodes", "time")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.SortBy("nodes", "time"); err != nil {
+			t.Fatal(err)
+		}
+	}), 100)
+
+	ev := aver.NewEvaluator()
+	asserts := `when workload=* and machine=* expect sublinear(nodes,time) and time > 0`
+	check("AverValidate", testing.AllocsPerRun(3, func() {
+		results, err := ev.CheckAll(asserts, tbl)
+		if err != nil || !aver.AllPassed(results) {
+			t.Fatalf("validate: passed=%v err=%v", aver.AllPassed(results), err)
+		}
+	}), 1500)
+}
