@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race verify bench bench-gassyfs
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,8 @@ verify: build vet test race
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem
+
+# The scale-out data path ablations: serial vs parallel compile drive,
+# concurrent cached reads, scalar vs vectored RDMA.
+bench-gassyfs:
+	$(GO) test -run '^$$' -bench 'BenchmarkGassyfsCompileGit|BenchmarkGassyfsReadParallel|BenchmarkGasnetGetv' -benchmem

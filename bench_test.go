@@ -214,6 +214,141 @@ func BenchmarkAverValidation(b *testing.B) {
 	}
 }
 
+// --- the scale-out GassyFS data path: host parallelism ablations --------
+
+func mountCompileFS(b *testing.B, ranks int, spec workload.CompileSpec, opts gassyfs.Options) *gassyfs.FS {
+	b.Helper()
+	c := cluster.New(42 + int64(ranks))
+	nodes, err := c.Provision("cloudlab-c220g1", ranks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	world, err := gasnet.New(nodes, cluster.NewNetwork(0), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := world.AttachAll(128 << 20); err != nil {
+		b.Fatal(err)
+	}
+	fs, err := gassyfs.Mount(world, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, _ := fs.Client(0)
+	if err := workload.GenerateTree(cl, spec); err != nil {
+		b.Fatal(err)
+	}
+	return fs
+}
+
+// BenchmarkGassyfsCompileGit compares host wall-clock for the same
+// simulated multi-client build driven serially (HostJobs=1) and with one
+// goroutine per rank. The simulated results are bit-identical (see
+// TestCompileParallelMatchesSerialGolden); only the host time differs.
+func BenchmarkGassyfsCompileGit(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		jobs int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			spec := workload.GitCompileSpec()
+			spec.Sources = 96
+			spec.HostJobs = bc.jobs
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fs := mountCompileFS(b, 8, spec, gassyfs.Options{})
+				b.StartTimer()
+				if _, err := workload.CompileOnCluster(fs, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGassyfsReadParallel hammers the cached zero-copy read path
+// from GOMAXPROCS goroutines, each with its own client (and cache), all
+// reading the same warmed multi-block file.
+func BenchmarkGassyfsReadParallel(b *testing.B) {
+	spec := workload.GitCompileSpec()
+	spec.Sources = 1
+	fs := mountCompileFS(b, 4, spec, gassyfs.Options{CacheBlocks: 256})
+	cl0, _ := fs.Client(0)
+	big := make([]byte, 64*fs.BlockSize())
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := cl0.WriteFile("/big", big); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(big)))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cl, err := fs.Client(0)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for pb.Next() {
+			if _, err := cl.ReadFile("/big"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkGasnetGetv compares the scalar per-block GetInto loop against
+// one vectored Getv moving the same 64 blocks: the vectored op batches
+// the lock, clock, and metric bookkeeping.
+func BenchmarkGasnetGetv(b *testing.B) {
+	const blocks, bs = 64, int64(8 << 10)
+	c := cluster.New(42)
+	nodes, err := c.Provision("cloudlab-c220g1", 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	world, err := gasnet.New(nodes, cluster.NewNetwork(0), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := world.AttachAll(1 << 20); err != nil {
+		b.Fatal(err)
+	}
+	addrs := make([]gasnet.Addr, blocks)
+	out := make([]byte, blocks*bs)
+	bufs := make([][]byte, blocks)
+	for i := range addrs {
+		addrs[i] = gasnet.Addr{Rank: 1, Offset: int64(i) * bs}
+		bufs[i] = out[int64(i)*bs : int64(i+1)*bs]
+		if err := world.PutFrom(0, addrs[i], bufs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(out)))
+		for i := 0; i < b.N; i++ {
+			for j := range addrs {
+				if err := world.GetInto(0, addrs[j], bufs[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("vectored", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(out)))
+		for i := 0; i < b.N; i++ {
+			if _, err := world.Getv(0, addrs, bufs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- E7: the MPI noisy-neighbour figure ---------------------------------
 
 func BenchmarkFigMPIVariability(b *testing.B) {

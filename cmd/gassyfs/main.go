@@ -35,6 +35,7 @@ func run(args []string) error {
 	segMB := fs.Int64("segment-mb", 256, "GASNet segment size per node (MiB)")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	local := fs.Bool("local-first", false, "use local-first block placement instead of round robin")
+	jobs := fs.Int("jobs", 0, "host goroutines driving clients concurrently (<=0 = all CPUs, 1 = serial; results identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,6 +51,7 @@ func run(args []string) error {
 	spec := workload.GitCompileSpec()
 	spec.Sources = *sources
 	spec.Seed = *seed
+	spec.HostJobs = *jobs
 	policy := gassyfs.AllocRoundRobin
 	if *local {
 		policy = gassyfs.AllocLocalFirst

@@ -305,15 +305,25 @@ func (net *Network) Send(src, dst *Node, bytes int64) float64 {
 	return arrival
 }
 
+// RDMACost returns the virtual seconds a one-sided transfer of `bytes`
+// between the two nodes takes, without advancing any clock. The cost is
+// a pure function of the endpoints and the size (no RNG, no congestion
+// state), which is what lets parallel engines compute transfer costs on
+// worker goroutines and apply them to clocks later in a deterministic
+// order.
+func (net *Network) RDMACost(caller, target *Node, bytes int64) float64 {
+	if caller == target {
+		return float64(bytes) / caller.profile.MemBWBps
+	}
+	rtt := 2 * (caller.profile.NICLatS + target.profile.NICLatS)
+	bw := math.Min(caller.profile.NICBWBps, target.profile.NICBWBps)
+	return rtt + float64(bytes)/bw
+}
+
 // RDMARead models a one-sided get: the caller blocks for a round trip
 // plus payload; the target's clock is untouched (one-sided semantics).
 func (net *Network) RDMARead(caller, target *Node, bytes int64) float64 {
-	rtt := 2 * (caller.profile.NICLatS + target.profile.NICLatS)
-	bw := math.Min(caller.profile.NICBWBps, target.profile.NICBWBps)
-	t := rtt + float64(bytes)/bw
-	if caller == target {
-		t = float64(bytes) / caller.profile.MemBWBps
-	}
+	t := net.RDMACost(caller, target, bytes)
 	caller.Advance(t)
 	return t
 }

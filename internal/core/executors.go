@@ -11,6 +11,7 @@ import (
 	"popper/internal/mpi"
 	"popper/internal/ndarray"
 	"popper/internal/plot"
+	"popper/internal/sched"
 	"popper/internal/table"
 	"popper/internal/torpor"
 	"popper/internal/weather"
@@ -37,9 +38,20 @@ func runGassyfs(x *ExecState) error {
 	if err != nil {
 		return err
 	}
+	jobs, err := x.IntParam("jobs", 0)
+	if err != nil {
+		return err
+	}
 	spec := workload.GitCompileSpec()
 	spec.Sources = sources
 	spec.Seed = x.Seed()
+	// One shared host worker pool drives the per-rank clients of every
+	// node count concurrently (jobs <= 0 means one worker per host CPU).
+	// Simulated clocks, the results table and Aver verdicts are identical
+	// for any jobs value — determinism is proven by the golden
+	// equivalence tests in internal/workload and internal/core.
+	pool := sched.NewPool(jobs)
+	spec.Pool = pool
 
 	results := table.New("workload", "machine", "nodes", "time", "compile_time", "link_time")
 	var xs, ys []float64
@@ -59,7 +71,7 @@ func runGassyfs(x *ExecState) error {
 		if err := world.AttachAll(int64(segMB) << 20); err != nil {
 			return err
 		}
-		fs, err := gassyfs.Mount(world, gassyfs.Options{CacheBlocks: cacheBlocks})
+		fs, err := gassyfs.Mount(world, gassyfs.Options{CacheBlocks: cacheBlocks, Jobs: jobs})
 		if err != nil {
 			return err
 		}

@@ -12,10 +12,22 @@
 // makes the GassyFS scalability experiment (Figure gassyfs-git) behave
 // sublinearly, so the fidelity of this layer is what the reproduction of
 // that figure rests on.
+//
+// The data path is built for host parallelism: segment bytes live in
+// fixed-size chunks each guarded by its own mutex, so concurrent
+// accesses to disjoint block ranges never contend on a lock. Zero-copy
+// variants (GetInto/PutFrom) move bytes through caller-owned buffers,
+// and vectored variants (Getv/Putv) batch the per-block clock, lock and
+// metric bookkeeping of a multi-block transfer into a single call. The
+// *DeferClock vectored forms additionally return the transfer cost
+// instead of advancing the caller's clock, so parallel engines can fan
+// transfers out across goroutines and apply the clock charges serially
+// in a deterministic order (see docs/SUBSTRATES.md).
 package gasnet
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"popper/internal/cluster"
@@ -28,46 +40,121 @@ type Addr struct {
 	Offset int64
 }
 
-// segment is one rank's registered memory. The backing buffer grows
-// lazily toward the registered size: simulated segments are often huge
-// (gigabytes of aggregate memory) while experiments touch only a small
-// prefix, and eagerly zeroing the full registration would dominate host
-// time without changing any simulated behaviour. Reads beyond the
-// high-water mark observe zeros, exactly as freshly registered memory
-// would.
-type segment struct {
+// Segments are backed by fixed-size chunks, each with its own lock and a
+// lazily materialized buffer. Striping the locks lets concurrent clients
+// touch disjoint block ranges without contention, and lazy
+// materialization keeps huge registrations (gigabytes of aggregate
+// simulated memory) cheap when experiments touch only a small subset.
+const (
+	chunkShift = 18 // 256 KiB chunks
+	chunkSize  = int64(1) << chunkShift
+)
+
+type segChunk struct {
 	mu   sync.Mutex
-	size int64 // registered size (bounds checking, RAM accounting)
-	data []byte
+	data []byte // nil until first write; reads of nil observe zeros
 }
 
-// caller holds s.mu.
-func (s *segment) ensure(n int64) {
-	if int64(len(s.data)) >= n {
-		return
+// segment is one rank's registered memory. size is immutable after
+// attachment; all byte access goes through the per-chunk locks.
+type segment struct {
+	size   int64
+	chunks []segChunk
+}
+
+func newSegment(size int64) *segment {
+	n := (size + chunkSize - 1) >> chunkShift
+	return &segment{size: size, chunks: make([]segChunk, n)}
+}
+
+// span returns the byte range [lo, hi) covered by chunk c.
+func (s *segment) span(c int) (lo, hi int64) {
+	lo = int64(c) << chunkShift
+	hi = lo + chunkSize
+	if hi > s.size {
+		hi = s.size
 	}
-	newLen := int64(cap(s.data)) * 2
-	if newLen < n {
-		newLen = n
+	return lo, hi
+}
+
+// writeAt copies data into the segment at off. Bounds are validated by
+// the caller; only the chunks overlapping the range are locked, one at a
+// time.
+func (s *segment) writeAt(off int64, data []byte) {
+	for len(data) > 0 {
+		c := int(off >> chunkShift)
+		lo, hi := s.span(c)
+		n := hi - off
+		if int64(len(data)) < n {
+			n = int64(len(data))
+		}
+		ch := &s.chunks[c]
+		ch.mu.Lock()
+		if ch.data == nil {
+			ch.data = make([]byte, hi-lo)
+		}
+		copy(ch.data[off-lo:], data[:n])
+		ch.mu.Unlock()
+		off += n
+		data = data[n:]
 	}
-	if newLen > s.size {
-		newLen = s.size
+}
+
+// readAt fills out with the segment bytes at off. Unmaterialized chunks
+// read as zeros, exactly as freshly registered memory would.
+func (s *segment) readAt(off int64, out []byte) {
+	for len(out) > 0 {
+		c := int(off >> chunkShift)
+		lo, hi := s.span(c)
+		n := hi - off
+		if int64(len(out)) < n {
+			n = int64(len(out))
+		}
+		ch := &s.chunks[c]
+		ch.mu.Lock()
+		if ch.data == nil {
+			clear(out[:n])
+		} else {
+			copy(out[:n], ch.data[off-lo:])
+		}
+		ch.mu.Unlock()
+		off += n
+		out = out[n:]
 	}
-	grown := make([]byte, newLen)
-	copy(grown, s.data)
-	s.data = grown
+}
+
+// opKeys holds the metric names for one operation direction, precomputed
+// at World construction so the hot path never concatenates strings.
+type opKeys struct {
+	opsLocal    string
+	opsRemote   string
+	bytesLocal  string
+	bytesRemote string
+	seconds     string
+}
+
+func newOpKeys(op string) opKeys {
+	return opKeys{
+		opsLocal:    "gasnet_" + op + "_ops_local",
+		opsRemote:   "gasnet_" + op + "_ops_remote",
+		bytesLocal:  "gasnet_" + op + "_bytes_local",
+		bytesRemote: "gasnet_" + op + "_bytes_remote",
+		seconds:     "gasnet_" + op + "_seconds",
+	}
 }
 
 // World is a GASNet job: ranks pinned to cluster nodes sharing a network.
 // Concurrent Put/Get from multiple goroutines (multi-client filesystems)
-// are safe: segment attachment is guarded by mu, and each segment
-// serializes access to its bytes.
+// are safe: segment attachment is guarded by mu, and segment bytes are
+// guarded by per-chunk locks.
 type World struct {
 	mu       sync.RWMutex // guards segment attachment
 	nodes    []*cluster.Node
 	net      *cluster.Network
 	segments []*segment
 	reg      *metrics.Registry
+	putKeys  opKeys
+	getKeys  opKeys
 }
 
 // New creates a world over the given nodes. The metrics registry is
@@ -84,6 +171,8 @@ func New(nodes []*cluster.Node, net *cluster.Network, reg *metrics.Registry) (*W
 		net:      net,
 		segments: make([]*segment, len(nodes)),
 		reg:      reg,
+		putKeys:  newOpKeys("put"),
+		getKeys:  newOpKeys("get"),
 	}, nil
 }
 
@@ -116,16 +205,34 @@ func (w *World) AttachSegment(rank int, size int64) error {
 	if err := node.Alloc(size); err != nil {
 		return fmt.Errorf("gasnet: attaching segment: %w", err)
 	}
-	w.segments[rank] = &segment{size: size}
+	w.segments[rank] = newSegment(size)
 	return nil
 }
 
-// AttachAll attaches equal segments on every rank.
+// AttachAll attaches equal segments on every rank. Ranks attach
+// concurrently, and every rank is attempted even if some fail; failures
+// are aggregated into one error naming each failing rank (the same
+// all-indexes-run contract sched.Pool.Each gives).
 func (w *World) AttachAll(size int64) error {
+	errs := make([]error, len(w.nodes))
+	var wg sync.WaitGroup
+	wg.Add(len(w.nodes))
 	for r := range w.nodes {
-		if err := w.AttachSegment(r, size); err != nil {
-			return err
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = w.AttachSegment(r, size)
+		}(r)
+	}
+	wg.Wait()
+	var failed []string
+	for r, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Sprintf("rank %d: %v", r, err))
 		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("gasnet: attach failed on %d/%d ranks: %s",
+			len(failed), len(w.nodes), strings.Join(failed, "; "))
 	}
 	return nil
 }
@@ -154,17 +261,12 @@ func (w *World) TotalMemory() int64 {
 	return total
 }
 
-// checkAccess validates the access and returns the target segment.
-func (w *World) checkAccess(caller int, target Addr, n int64) (*segment, error) {
-	if caller < 0 || caller >= len(w.nodes) {
-		return nil, fmt.Errorf("gasnet: caller rank %d out of range", caller)
-	}
+// checkAccessLocked validates target bounds; caller holds w.mu (either side).
+func (w *World) checkAccessLocked(target Addr, n int64) (*segment, error) {
 	if target.Rank < 0 || target.Rank >= len(w.nodes) {
 		return nil, fmt.Errorf("gasnet: target rank %d out of range", target.Rank)
 	}
-	w.mu.RLock()
 	seg := w.segments[target.Rank]
-	w.mu.RUnlock()
 	if seg == nil {
 		return nil, fmt.Errorf("gasnet: rank %d has no segment", target.Rank)
 	}
@@ -175,55 +277,163 @@ func (w *World) checkAccess(caller int, target Addr, n int64) (*segment, error) 
 	return seg, nil
 }
 
+// checkAccess validates the access and returns the target segment.
+func (w *World) checkAccess(caller int, target Addr, n int64) (*segment, error) {
+	if caller < 0 || caller >= len(w.nodes) {
+		return nil, fmt.Errorf("gasnet: caller rank %d out of range", caller)
+	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.checkAccessLocked(target, n)
+}
+
 // Put writes data into the target segment with one-sided semantics; the
-// caller's clock advances by the transfer cost.
+// caller's clock advances by the transfer cost. The data buffer stays
+// owned by the caller (the world never retains it).
 func (w *World) Put(caller int, target Addr, data []byte) error {
+	return w.PutFrom(caller, target, data)
+}
+
+// PutFrom is the zero-copy put: bytes move straight from the caller's
+// buffer into the segment chunks, with exactly one copy and no
+// intermediate allocation.
+func (w *World) PutFrom(caller int, target Addr, data []byte) error {
 	seg, err := w.checkAccess(caller, target, int64(len(data)))
 	if err != nil {
 		return err
 	}
 	elapsed := w.net.RDMAWrite(w.nodes[caller], w.nodes[target.Rank], int64(len(data)))
-	seg.mu.Lock()
-	seg.ensure(target.Offset + int64(len(data)))
-	copy(seg.data[target.Offset:], data)
-	seg.mu.Unlock()
-	w.observe(caller, target.Rank, "put", len(data), elapsed)
+	seg.writeAt(target.Offset, data)
+	w.observe(&w.putKeys, caller == target.Rank, 1, int64(len(data)), elapsed)
 	return nil
 }
 
 // Get reads n bytes from the target segment into a fresh buffer; the
-// caller's clock advances by the transfer cost.
+// caller's clock advances by the transfer cost. The returned buffer is
+// an isolated copy the caller owns.
 func (w *World) Get(caller int, target Addr, n int64) ([]byte, error) {
-	seg, err := w.checkAccess(caller, target, n)
-	if err != nil {
+	if _, err := w.checkAccess(caller, target, n); err != nil {
 		return nil, err
 	}
-	elapsed := w.net.RDMARead(w.nodes[caller], w.nodes[target.Rank], n)
 	out := make([]byte, n)
-	seg.mu.Lock()
-	if target.Offset < int64(len(seg.data)) {
-		end := target.Offset + n
-		if end > int64(len(seg.data)) {
-			end = int64(len(seg.data))
-		}
-		copy(out, seg.data[target.Offset:end])
+	if err := w.GetInto(caller, target, out); err != nil {
+		return nil, err
 	}
-	seg.mu.Unlock()
-	w.observe(caller, target.Rank, "get", int(n), elapsed)
 	return out, nil
 }
 
-func (w *World) observe(caller, target int, op string, bytes int, elapsed float64) {
+// GetInto is the zero-copy get: len(buf) bytes land directly in the
+// caller-owned buffer, with exactly one copy and no allocation.
+func (w *World) GetInto(caller int, target Addr, buf []byte) error {
+	seg, err := w.checkAccess(caller, target, int64(len(buf)))
+	if err != nil {
+		return err
+	}
+	elapsed := w.net.RDMARead(w.nodes[caller], w.nodes[target.Rank], int64(len(buf)))
+	seg.readAt(target.Offset, buf)
+	w.observe(&w.getKeys, caller == target.Rank, 1, int64(len(buf)), elapsed)
+	return nil
+}
+
+// Getv is the vectored get: bufs[i] is filled from addrs[i], the
+// caller's clock advances once by the summed transfer cost, and metric
+// bookkeeping is batched into one update per key. Returns the elapsed
+// virtual time. Bounds are validated for every block before any byte
+// moves.
+func (w *World) Getv(caller int, addrs []Addr, bufs [][]byte) (float64, error) {
+	return w.vectored(caller, addrs, bufs, true, true)
+}
+
+// GetvDeferClock is Getv without the clock advance: it returns the cost
+// so a deterministic engine can apply charges in a fixed order after
+// fanning transfers out across goroutines.
+func (w *World) GetvDeferClock(caller int, addrs []Addr, bufs [][]byte) (float64, error) {
+	return w.vectored(caller, addrs, bufs, true, false)
+}
+
+// Putv is the vectored put: bufs[i] is written to addrs[i] with one
+// clock advance and batched metric bookkeeping. Returns the elapsed
+// virtual time.
+func (w *World) Putv(caller int, addrs []Addr, bufs [][]byte) (float64, error) {
+	return w.vectored(caller, addrs, bufs, false, true)
+}
+
+// PutvDeferClock is Putv without the clock advance (see GetvDeferClock).
+func (w *World) PutvDeferClock(caller int, addrs []Addr, bufs [][]byte) (float64, error) {
+	return w.vectored(caller, addrs, bufs, false, false)
+}
+
+func (w *World) vectored(caller int, addrs []Addr, bufs [][]byte, isGet, advance bool) (float64, error) {
+	if len(addrs) != len(bufs) {
+		return 0, fmt.Errorf("gasnet: vectored op: %d addrs but %d buffers", len(addrs), len(bufs))
+	}
+	if caller < 0 || caller >= len(w.nodes) {
+		return 0, fmt.Errorf("gasnet: caller rank %d out of range", caller)
+	}
+	if len(addrs) == 0 {
+		return 0, nil
+	}
+	callerNode := w.nodes[caller]
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	for i, a := range addrs {
+		if _, err := w.checkAccessLocked(a, int64(len(bufs[i]))); err != nil {
+			return 0, err
+		}
+	}
+	var elapsed float64
+	var localOps, remoteOps int64
+	var localBytes, remoteBytes int64
+	for i, a := range addrs {
+		n := int64(len(bufs[i]))
+		elapsed += w.net.RDMACost(callerNode, w.nodes[a.Rank], n)
+		if a.Rank == caller {
+			localOps++
+			localBytes += n
+		} else {
+			remoteOps++
+			remoteBytes += n
+		}
+		seg := w.segments[a.Rank]
+		if isGet {
+			seg.readAt(a.Offset, bufs[i])
+		} else {
+			seg.writeAt(a.Offset, bufs[i])
+		}
+	}
+	if advance {
+		callerNode.Advance(elapsed)
+	}
+	keys := &w.putKeys
+	if isGet {
+		keys = &w.getKeys
+	}
+	if w.reg != nil {
+		if localOps > 0 {
+			w.reg.Add(keys.opsLocal, float64(localOps))
+			w.reg.Add(keys.bytesLocal, float64(localBytes))
+		}
+		if remoteOps > 0 {
+			w.reg.Add(keys.opsRemote, float64(remoteOps))
+			w.reg.Add(keys.bytesRemote, float64(remoteBytes))
+		}
+		w.reg.Observe(keys.seconds, elapsed)
+	}
+	return elapsed, nil
+}
+
+func (w *World) observe(keys *opKeys, local bool, ops, bytes int64, elapsed float64) {
 	if w.reg == nil {
 		return
 	}
-	kind := "local"
-	if caller != target {
-		kind = "remote"
+	if local {
+		w.reg.Add(keys.opsLocal, float64(ops))
+		w.reg.Add(keys.bytesLocal, float64(bytes))
+	} else {
+		w.reg.Add(keys.opsRemote, float64(ops))
+		w.reg.Add(keys.bytesRemote, float64(bytes))
 	}
-	w.reg.Add("gasnet_"+op+"_ops_"+kind, 1)
-	w.reg.Add("gasnet_"+op+"_bytes_"+kind, float64(bytes))
-	w.reg.Observe("gasnet_"+op+"_seconds", elapsed)
+	w.reg.Observe(keys.seconds, elapsed)
 }
 
 // Barrier synchronizes every rank's clock.

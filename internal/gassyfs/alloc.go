@@ -1,0 +1,127 @@
+package gassyfs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"popper/internal/gasnet"
+)
+
+// allocator is the striped block allocator behind a mounted filesystem.
+// Each rank's segment is one stripe with its own lock (a bump pointer
+// plus a LIFO free list), so concurrent writers on different ranks never
+// contend.
+//
+// Placement is deterministic under host parallelism by construction:
+// round-robin placement derives the target rank from a per-writer cursor
+// (writer r's k-th allocation starts its search at rank (r+k) mod n)
+// instead of from a global least-loaded scan, so the rank a block lands
+// on depends only on the writer's own allocation sequence — never on how
+// concurrent writers' allocations interleave. Free-list reuse is the one
+// order-dependent part: freeing is deterministic as long as concurrent
+// clients do not free blocks (the compile workload frees none), or
+// freeing ops are serialized.
+type allocator struct {
+	bs      int64
+	stripes []allocStripe
+	cursors []atomic.Int64 // per-writer-rank round-robin cursor
+}
+
+type allocStripe struct {
+	mu    sync.Mutex
+	next  int64   // bump pointer (bytes)
+	limit int64   // segment size (bytes)
+	free  []int64 // LIFO free list of block offsets
+}
+
+func newAllocator(bs int64, segSizes []int64) *allocator {
+	a := &allocator{
+		bs:      bs,
+		stripes: make([]allocStripe, len(segSizes)),
+		cursors: make([]atomic.Int64, len(segSizes)),
+	}
+	for i, s := range segSizes {
+		a.stripes[i].limit = s
+	}
+	return a
+}
+
+// tryRank attempts to reserve one block on rank r.
+func (a *allocator) tryRank(r int) (int64, bool) {
+	st := &a.stripes[r]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if k := len(st.free); k > 0 {
+		off := st.free[k-1]
+		st.free = st.free[:k-1]
+		return off, true
+	}
+	if st.next+a.bs <= st.limit {
+		off := st.next
+		st.next += a.bs
+		return off, true
+	}
+	return 0, false
+}
+
+// alloc reserves one block for a writer on `writer` per the policy,
+// falling through to the next rank (mod n) when a stripe is full.
+func (a *allocator) alloc(writer int, policy AllocPolicy) (gasnet.Addr, bool) {
+	n := len(a.stripes)
+	start := writer
+	if policy == AllocRoundRobin {
+		k := a.cursors[writer].Add(1) - 1
+		start = (writer + int(k%int64(n))) % n
+	}
+	for i := 0; i < n; i++ {
+		r := (start + i) % n
+		if off, ok := a.tryRank(r); ok {
+			return gasnet.Addr{Rank: r, Offset: off}, true
+		}
+	}
+	return gasnet.Addr{}, false
+}
+
+// freeBlock returns a block to its stripe's free list.
+func (a *allocator) freeBlock(addr gasnet.Addr) {
+	st := &a.stripes[addr.Rank]
+	st.mu.Lock()
+	st.free = append(st.free, addr.Offset)
+	st.mu.Unlock()
+}
+
+// used reports allocated (non-free) blocks per rank.
+func (a *allocator) used() []int {
+	out := make([]int, len(a.stripes))
+	for r := range a.stripes {
+		st := &a.stripes[r]
+		st.mu.Lock()
+		out[r] = int(st.next/a.bs) - len(st.free)
+		st.mu.Unlock()
+	}
+	return out
+}
+
+// nextOffs snapshots the per-rank bump pointers (for fsck).
+func (a *allocator) nextOffs() []int64 {
+	out := make([]int64, len(a.stripes))
+	for r := range a.stripes {
+		st := &a.stripes[r]
+		st.mu.Lock()
+		out[r] = st.next
+		st.mu.Unlock()
+	}
+	return out
+}
+
+// freeSnapshot copies the per-rank free lists (for fsck).
+func (a *allocator) freeSnapshot() [][]int64 {
+	out := make([][]int64, len(a.stripes))
+	for r := range a.stripes {
+		st := &a.stripes[r]
+		st.mu.Lock()
+		out[r] = append([]int64(nil), st.free...)
+		st.mu.Unlock()
+	}
+	return out
+}

@@ -1,8 +1,6 @@
 package gassyfs
 
 import (
-	"container/list"
-
 	"popper/internal/gasnet"
 )
 
@@ -14,86 +12,167 @@ import (
 // clients do not invalidate it — close-to-open coherence, like the
 // original prototype, so enable caching only for single-writer or
 // read-mostly workloads.
+//
+// The cache is deliberately unsynchronized: a Client is single-goroutine
+// by contract (see FS.Client), so the hot read path takes no lock and
+// does no allocation. Entries and the address map are reused across
+// epoch flushes, and evicted block buffers are recycled through the
+// filesystem's buffer pool.
 
-// blockCache is an LRU of block contents keyed by global address.
+// blockCache is an LRU of block contents keyed by global address. The
+// LRU is intrusive (prev/next pointers inside cacheEntry) so a cache hit
+// allocates nothing.
 type blockCache struct {
 	capacity int
 	epoch    uint64
-	lru      *list.List // of *cacheEntry, front = most recent
-	byAddr   map[gasnet.Addr]*list.Element
+	byAddr   map[gasnet.Addr]*cacheEntry
+	head     *cacheEntry // most recently used
+	tail     *cacheEntry // least recently used
+	spare    *cacheEntry // freelist of detached entries, linked by next
 	hits     int64
 	misses   int64
+	release  func([]byte) // recycles block buffers (may be nil)
 }
 
 type cacheEntry struct {
-	addr gasnet.Addr
-	data []byte
+	addr       gasnet.Addr
+	data       []byte
+	prev, next *cacheEntry
 }
 
-func newBlockCache(capacity int) *blockCache {
+func newBlockCache(capacity int, release func([]byte)) *blockCache {
 	return &blockCache{
 		capacity: capacity,
-		lru:      list.New(),
-		byAddr:   make(map[gasnet.Addr]*list.Element),
+		byAddr:   make(map[gasnet.Addr]*cacheEntry, capacity),
+		release:  release,
 	}
 }
 
-// sync flushes the cache when the filesystem epoch moved.
+// detach unlinks e from the LRU list.
+func (c *blockCache) detach(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront links e as the most recently used entry.
+func (c *blockCache) pushFront(e *cacheEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// drop removes e entirely, recycling its buffer and keeping the entry on
+// the spare list for reuse.
+func (c *blockCache) drop(e *cacheEntry) {
+	c.detach(e)
+	delete(c.byAddr, e.addr)
+	if c.release != nil && e.data != nil {
+		c.release(e.data)
+	}
+	e.data = nil
+	e.next = c.spare
+	c.spare = e
+}
+
+// sync flushes the cache when the filesystem epoch moved. The address
+// map and entry structs are retained and reused across epochs.
 func (c *blockCache) sync(epoch uint64) {
-	if c.epoch != epoch {
-		c.lru.Init()
-		c.byAddr = make(map[gasnet.Addr]*list.Element)
-		c.epoch = epoch
+	if c.epoch == epoch {
+		return
+	}
+	for c.head != nil {
+		c.drop(c.head)
+	}
+	c.epoch = epoch
+}
+
+// reset unconditionally empties the cache (restore paths).
+func (c *blockCache) reset() {
+	for c.head != nil {
+		c.drop(c.head)
 	}
 }
 
-// get returns a cached block copy.
+// get returns a read-only view of a cached block.
+//
+// Aliasing contract: the returned slice aliases the cache's internal
+// buffer. It is valid only until the client's next cache-mutating
+// operation (a write to the block, any read that misses, an epoch
+// flush); callers must consume or copy it before then, and must never
+// write through it.
 func (c *blockCache) get(addr gasnet.Addr) ([]byte, bool) {
-	el, ok := c.byAddr[addr]
+	e, ok := c.byAddr[addr]
 	if !ok {
 		c.misses++
 		return nil, false
 	}
 	c.hits++
-	c.lru.MoveToFront(el)
-	data := el.Value.(*cacheEntry).data
-	return append([]byte(nil), data...), true
+	if e != c.head {
+		c.detach(e)
+		c.pushFront(e)
+	}
+	return e.data, true
 }
 
-// put stores a block copy, evicting the least recently used.
+// put stores a block, evicting the least recently used. Ownership of
+// data transfers to the cache: the caller must not reuse the buffer
+// after the call (it will be recycled on eviction).
 func (c *blockCache) put(addr gasnet.Addr, data []byte) {
 	if c.capacity <= 0 {
 		return
 	}
-	if el, ok := c.byAddr[addr]; ok {
-		el.Value.(*cacheEntry).data = append([]byte(nil), data...)
-		c.lru.MoveToFront(el)
+	if e, ok := c.byAddr[addr]; ok {
+		if c.release != nil && e.data != nil {
+			c.release(e.data)
+		}
+		e.data = data
+		if e != c.head {
+			c.detach(e)
+			c.pushFront(e)
+		}
 		return
 	}
-	for c.lru.Len() >= c.capacity {
-		oldest := c.lru.Back()
-		c.lru.Remove(oldest)
-		delete(c.byAddr, oldest.Value.(*cacheEntry).addr)
+	for len(c.byAddr) >= c.capacity && c.tail != nil {
+		c.drop(c.tail)
 	}
-	c.byAddr[addr] = c.lru.PushFront(&cacheEntry{
-		addr: addr, data: append([]byte(nil), data...),
-	})
+	e := c.spare
+	if e != nil {
+		c.spare = e.next
+		e.next = nil
+	} else {
+		e = new(cacheEntry)
+	}
+	e.addr, e.data = addr, data
+	c.byAddr[addr] = e
+	c.pushFront(e)
 }
 
 // patch applies a local write to a cached block (write-through).
 func (c *blockCache) patch(addr gasnet.Addr, off int64, data []byte) {
-	el, ok := c.byAddr[addr]
+	e, ok := c.byAddr[addr]
 	if !ok {
 		return
 	}
-	buf := el.Value.(*cacheEntry).data
-	if off < 0 || off+int64(len(data)) > int64(len(buf)) {
+	if off < 0 || off+int64(len(data)) > int64(len(e.data)) {
 		// partial coverage beyond the cached copy: drop the entry
-		c.lru.Remove(el)
-		delete(c.byAddr, addr)
+		c.drop(e)
 		return
 	}
-	copy(buf[off:], data)
+	copy(e.data[off:], data)
 }
 
 // CacheStats reports a client's cache effectiveness.
@@ -107,5 +186,5 @@ func (c *Client) CacheStats() CacheStats {
 	if c.cache == nil {
 		return CacheStats{}
 	}
-	return CacheStats{Hits: c.cache.hits, Misses: c.cache.misses, Blocks: c.cache.lru.Len()}
+	return CacheStats{Hits: c.cache.hits, Misses: c.cache.misses, Blocks: len(c.cache.byAddr)}
 }

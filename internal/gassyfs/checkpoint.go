@@ -6,47 +6,130 @@ import (
 	"strings"
 
 	"popper/internal/cluster"
+	"popper/internal/gasnet"
+	"popper/internal/sched"
 )
 
 // Checkpoint captures the entire filesystem into stable storage — the
 // paper's durability story for GassyFS ("support for checkpointing ...
 // to persistent storage"). The checkpointing client reads every file
 // (paying RDMA costs) and then streams the archive to its node's disk.
+//
+// Save and restore fan the block transfers out over the filesystem's
+// host worker pool (Options.Jobs) in three phases: a serial metadata
+// phase in sorted path order, a parallel transfer phase using the
+// deferred-clock vectored GASNet ops, and a serial phase that applies
+// the clock charges in path order. Because the transfer costs are pure
+// functions of endpoints and sizes, the client's simulated clock comes
+// out bit-identical for every pool size. Checkpoint reads stream
+// directly from the block store, bypassing the client's block cache.
 type Checkpoint struct {
 	Files map[string][]byte // file path -> contents
 	Dirs  []string          // directory paths, sorted
 }
 
+// fileSnap is a consistent (size, block list) snapshot of one file.
+type fileSnap struct {
+	path   string
+	size   int64
+	blocks []gasnet.Addr
+}
+
+// blockSpans appends the (addr, buffer) pairs covering data laid out
+// over the file's blocks.
+func blockSpans(bs int64, f fileSnap, data []byte, addrs []gasnet.Addr, bufs [][]byte) ([]gasnet.Addr, [][]byte) {
+	for pos := int64(0); pos < int64(len(data)); {
+		chunk := bs
+		if rem := int64(len(data)) - pos; rem < chunk {
+			chunk = rem
+		}
+		addrs = append(addrs, f.blocks[pos/bs])
+		bufs = append(bufs, data[pos:pos+chunk])
+		pos += chunk
+	}
+	return addrs, bufs
+}
+
 // Checkpoint dumps the filesystem through the given client.
 func (c *Client) Checkpoint() (*Checkpoint, error) {
+	fs := c.fs
 	ck := &Checkpoint{Files: make(map[string][]byte)}
-	err := c.Walk("/", func(st Stat) error {
-		if st.IsDir {
-			if st.Path != "/" {
-				ck.Dirs = append(ck.Dirs, st.Path)
+
+	// Phase 1 (serial): walk the namespace in sorted path order,
+	// charging metadata costs and snapshotting each file's (size,
+	// blocks) pair under its inode lock. Entries removed while we walk
+	// are skipped — the checkpoint is a consistent-per-file snapshot.
+	fs.nsMu.RLock()
+	paths := make([]string, 0, len(fs.inodes))
+	for p := range fs.inodes {
+		paths = append(paths, p)
+	}
+	fs.nsMu.RUnlock()
+	sort.Strings(paths)
+	var files []fileSnap
+	for _, p := range paths {
+		c.metaCost() // the walk's stat
+		ino, ok := fs.lookup(p)
+		if !ok {
+			continue
+		}
+		if ino.isDir {
+			if p != "/" {
+				ck.Dirs = append(ck.Dirs, p)
 			}
-			return nil
+			continue
 		}
-		data, err := c.ReadFile(st.Path)
-		if err != nil {
-			return err
+		c.metaCost() // the read's open
+		ino.mu.RLock()
+		files = append(files, fileSnap{
+			path:   p,
+			size:   ino.size,
+			blocks: append([]gasnet.Addr(nil), ino.blocks...),
+		})
+		ino.mu.RUnlock()
+	}
+
+	// Phase 2 (parallel): fetch file contents over the worker pool with
+	// deferred-clock vectored gets; costs come back per file.
+	costs := make([]float64, len(files))
+	datas := make([][]byte, len(files))
+	errs := fs.pool.Each(len(files), func(i int) error {
+		f := files[i]
+		data := make([]byte, f.size)
+		if f.size > 0 {
+			nb := int((f.size + fs.opts.BlockSize - 1) / fs.opts.BlockSize)
+			addrs := make([]gasnet.Addr, 0, nb)
+			bufs := make([][]byte, 0, nb)
+			addrs, bufs = blockSpans(fs.opts.BlockSize, f, data, addrs, bufs)
+			cost, err := fs.world.GetvDeferClock(c.rank, addrs, bufs)
+			if err != nil {
+				return fmt.Errorf("gassyfs: checkpoint %s: %w", f.path, err)
+			}
+			costs[i] = cost
 		}
-		ck.Files[st.Path] = data
+		datas[i] = data
 		return nil
 	})
-	if err != nil {
+	if err := sched.FirstError(errs); err != nil {
 		return nil, err
 	}
-	sort.Strings(ck.Dirs)
-	// Stream the archive to local disk.
-	node, _ := c.fs.world.Node(c.rank)
+
+	// Phase 3 (serial): apply the deferred clock charges and record the
+	// read metrics in path order, then stream the archive to disk.
+	node, _ := fs.world.Node(c.rank)
 	var total int64
-	for _, d := range ck.Files {
-		total += int64(len(d))
+	for i, f := range files {
+		node.Advance(costs[i])
+		ck.Files[f.path] = datas[i]
+		total += int64(len(datas[i]))
+		if fs.reg != nil {
+			fs.reg.Add("gassyfs_read_ops", 1)
+			fs.reg.Add("gassyfs_read_bytes", float64(len(datas[i])))
+		}
 	}
 	node.Run(cluster.Work{DiskBytes: float64(total), DiskOps: float64(len(ck.Files))})
-	if c.fs.reg != nil {
-		c.fs.reg.Add("gassyfs_checkpoint_bytes", float64(total))
+	if fs.reg != nil {
+		fs.reg.Add("gassyfs_checkpoint_bytes", float64(total))
 	}
 	return ck, nil
 }
@@ -56,14 +139,23 @@ func (c *Client) Restore(ck *Checkpoint) error {
 	if ck == nil {
 		return fmt.Errorf("gassyfs: nil checkpoint")
 	}
+	fs := c.fs
 	// Read the archive from disk first.
-	node, _ := c.fs.world.Node(c.rank)
+	node, _ := fs.world.Node(c.rank)
 	var total int64
 	for _, d := range ck.Files {
 		total += int64(len(d))
 	}
 	node.Run(cluster.Work{DiskBytes: float64(total), DiskOps: float64(len(ck.Files))})
 
+	// Restore writes bypass the client cache's write-through path; drop
+	// any cached blocks so later reads cannot serve stale bytes.
+	if c.cache != nil {
+		c.cache.reset()
+	}
+
+	// Phase 1 (serial): create directories and files in sorted path
+	// order, charging metadata costs and reserving each file's blocks.
 	for _, d := range ck.Dirs {
 		if err := c.MkdirAll(d); err != nil {
 			return err
@@ -74,6 +166,7 @@ func (c *Client) Restore(ck *Checkpoint) error {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
+	files := make([]fileSnap, 0, len(paths))
 	for _, p := range paths {
 		dir := p[:strings.LastIndex(p, "/")]
 		if dir != "" {
@@ -81,8 +174,57 @@ func (c *Client) Restore(ck *Checkpoint) error {
 				return err
 			}
 		}
-		if err := c.WriteFile(p, ck.Files[p]); err != nil {
+		if err := c.Create(p); err != nil {
 			return err
+		}
+		c.metaCost() // the write's metadata op
+		ino, ok := fs.lookup(p)
+		if !ok {
+			return fmt.Errorf("gassyfs: restore: %s vanished", p)
+		}
+		size := int64(len(ck.Files[p]))
+		ino.mu.Lock()
+		if err := fs.extendLocked(ino, c.rank, size); err != nil {
+			ino.mu.Unlock()
+			return err
+		}
+		ino.size = size
+		blocks := append([]gasnet.Addr(nil), ino.blocks...)
+		ino.mu.Unlock()
+		files = append(files, fileSnap{path: p, size: size, blocks: blocks})
+	}
+
+	// Phase 2 (parallel): push file contents with deferred-clock
+	// vectored puts.
+	costs := make([]float64, len(files))
+	errs := fs.pool.Each(len(files), func(i int) error {
+		f := files[i]
+		data := ck.Files[f.path]
+		if len(data) == 0 {
+			return nil
+		}
+		nb := int((f.size + fs.opts.BlockSize - 1) / fs.opts.BlockSize)
+		addrs := make([]gasnet.Addr, 0, nb)
+		bufs := make([][]byte, 0, nb)
+		addrs, bufs = blockSpans(fs.opts.BlockSize, f, data, addrs, bufs)
+		cost, err := fs.world.PutvDeferClock(c.rank, addrs, bufs)
+		if err != nil {
+			return fmt.Errorf("gassyfs: restore %s: %w", f.path, err)
+		}
+		costs[i] = cost
+		return nil
+	})
+	if err := sched.FirstError(errs); err != nil {
+		return err
+	}
+
+	// Phase 3 (serial): apply clock charges and write metrics in path
+	// order.
+	for i, f := range files {
+		node.Advance(costs[i])
+		if fs.reg != nil {
+			fs.reg.Add("gassyfs_write_ops", 1)
+			fs.reg.Add("gassyfs_write_bytes", float64(f.size))
 		}
 	}
 	return nil

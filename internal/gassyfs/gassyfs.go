@@ -11,6 +11,16 @@
 // compile-Git workload scale sublinearly in Figure gassyfs-git. Like the
 // paper's prototype, the store is volatile: durability comes from
 // explicit checkpoint/restore to stable storage.
+//
+// Concurrency: clients on different goroutines run filesystem
+// operations in parallel. There is no global lock — the namespace
+// (path→inode map) has a read-write lock, each inode has its own lock,
+// and the block allocator and segment bytes are striped per rank. The
+// lock hierarchy is namespace → inode → allocator stripe → segment
+// chunk; see docs/SUBSTRATES.md for the full concurrency and
+// determinism contract. A single Client is not safe for concurrent use
+// (its block cache is unsynchronized by design); parallelism comes from
+// one client per goroutine.
 package gassyfs
 
 import (
@@ -19,10 +29,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"popper/internal/cluster"
 	"popper/internal/gasnet"
 	"popper/internal/metrics"
+	"popper/internal/sched"
 )
 
 // AllocPolicy selects where new blocks are placed.
@@ -52,27 +64,39 @@ type Options struct {
 	// any block is freed, but writes by other clients are not observed
 	// until then (close-to-open semantics).
 	CacheBlocks int
+	// Jobs bounds the host-side worker pool that parallel engines
+	// (checkpoint save/restore) fan out on; <= 0 means one worker per
+	// host CPU. Simulated results are identical for every value.
+	Jobs int
 	// Registry receives operation metrics (optional).
 	Registry *metrics.Registry
 }
 
 // FS is a mounted GassyFS instance.
 type FS struct {
-	mu     sync.Mutex
-	world  *gasnet.World
-	opts   Options
+	world *gasnet.World
+	opts  Options
+
+	// nsMu guards the path→inode map: lookups take the read side,
+	// namespace mutations (create/mkdir/remove/rename) the write side.
+	// Inode contents (size, block list) are guarded by the per-inode
+	// lock, acquired strictly after nsMu in the hierarchy.
+	nsMu   sync.RWMutex
 	inodes map[string]*inode
-	// per-rank block allocator
-	nextOff  []int64
-	freeList [][]int64
+
+	alloc *allocator
 	// epoch increments whenever a block is freed, flushing client caches
 	// before a reused block could serve stale bytes.
-	epoch uint64
+	epoch atomic.Uint64
+	pool  *sched.Pool
 	reg   *metrics.Registry
+	// bufs recycles block-size buffers for the cached read path.
+	bufs sync.Pool
 }
 
 type inode struct {
-	isDir  bool
+	mu     sync.RWMutex
+	isDir  bool // immutable after creation
 	size   int64
 	blocks []gasnet.Addr
 }
@@ -88,19 +112,26 @@ func Mount(world *gasnet.World, opts Options) (*FS, error) {
 	if opts.MetadataRank < 0 || opts.MetadataRank >= world.Size() {
 		return nil, fmt.Errorf("gassyfs: metadata rank %d out of range", opts.MetadataRank)
 	}
+	segSizes := make([]int64, world.Size())
 	for r := 0; r < world.Size(); r++ {
-		if world.SegmentSize(r) < opts.BlockSize {
+		segSizes[r] = world.SegmentSize(r)
+		if segSizes[r] < opts.BlockSize {
 			return nil, fmt.Errorf("gassyfs: rank %d segment (%d bytes) smaller than a block",
-				r, world.SegmentSize(r))
+				r, segSizes[r])
 		}
 	}
 	fs := &FS{
-		world:    world,
-		opts:     opts,
-		inodes:   map[string]*inode{"/": {isDir: true}},
-		nextOff:  make([]int64, world.Size()),
-		freeList: make([][]int64, world.Size()),
-		reg:      opts.Registry,
+		world:  world,
+		opts:   opts,
+		inodes: map[string]*inode{"/": {isDir: true}},
+		alloc:  newAllocator(opts.BlockSize, segSizes),
+		pool:   sched.NewPool(opts.Jobs),
+		reg:    opts.Registry,
+	}
+	bs := opts.BlockSize
+	fs.bufs.New = func() any {
+		b := make([]byte, bs)
+		return &b
 	}
 	return fs, nil
 }
@@ -112,16 +143,30 @@ func (fs *FS) World() *gasnet.World { return fs.world }
 func (fs *FS) BlockSize() int64 { return fs.opts.BlockSize }
 
 // Client returns a handle bound to a rank; all costs of its operations
-// land on that rank's node clock.
+// land on that rank's node clock. A Client must be used from one
+// goroutine at a time; mount one client per goroutine for parallelism.
 func (fs *FS) Client(rank int) (*Client, error) {
 	if _, err := fs.world.Node(rank); err != nil {
 		return nil, err
 	}
 	cl := &Client{fs: fs, rank: rank}
 	if fs.opts.CacheBlocks > 0 {
-		cl.cache = newBlockCache(fs.opts.CacheBlocks)
+		cl.cache = newBlockCache(fs.opts.CacheBlocks, fs.putBlockBuf)
 	}
 	return cl, nil
+}
+
+// getBlockBuf returns a block-size buffer from the pool.
+func (fs *FS) getBlockBuf() []byte {
+	return *(fs.bufs.Get().(*[]byte))
+}
+
+// putBlockBuf recycles a block-size buffer.
+func (fs *FS) putBlockBuf(b []byte) {
+	if int64(cap(b)) == fs.opts.BlockSize {
+		b = b[:cap(b)]
+		fs.bufs.Put(&b)
+	}
 }
 
 // clean canonicalizes a path; returns an error for escapes and empties.
@@ -129,7 +174,16 @@ func clean(p string) (string, error) {
 	if p == "" {
 		return "", fmt.Errorf("gassyfs: empty path")
 	}
-	for _, seg := range strings.Split(p, "/") {
+	// Reject ".." segments with a scan (no per-call split allocation —
+	// this runs on every filesystem operation).
+	for i := 0; i < len(p); {
+		j := strings.IndexByte(p[i:], '/')
+		var seg string
+		if j < 0 {
+			seg, i = p[i:], len(p)
+		} else {
+			seg, i = p[i:i+j], i+j+1
+		}
 		if seg == ".." {
 			return "", fmt.Errorf("gassyfs: invalid path %q", p)
 		}
@@ -144,48 +198,19 @@ func clean(p string) (string, error) {
 	return c, nil
 }
 
-// allocBlock reserves one block for a writer on `rank` per the policy.
-// Caller holds fs.mu.
-func (fs *FS) allocBlock(rank int) (gasnet.Addr, error) {
-	order := make([]int, 0, fs.world.Size())
-	n := fs.world.Size()
-	switch fs.opts.Policy {
-	case AllocLocalFirst:
-		order = append(order, rank)
-		for i := 1; i < n; i++ {
-			order = append(order, (rank+i)%n)
-		}
-	default: // round-robin: start from the globally least-loaded rank
-		start := 0
-		var best int64 = 1<<62 - 1
-		for r := 0; r < n; r++ {
-			used := fs.nextOff[r] - int64(len(fs.freeList[r]))*fs.opts.BlockSize
-			if used < best {
-				best, start = used, r
-			}
-		}
-		for i := 0; i < n; i++ {
-			order = append(order, (start+i)%n)
-		}
-	}
-	for _, r := range order {
-		if k := len(fs.freeList[r]); k > 0 {
-			off := fs.freeList[r][k-1]
-			fs.freeList[r] = fs.freeList[r][:k-1]
-			return gasnet.Addr{Rank: r, Offset: off}, nil
-		}
-		if fs.nextOff[r]+fs.opts.BlockSize <= fs.world.SegmentSize(r) {
-			off := fs.nextOff[r]
-			fs.nextOff[r] += fs.opts.BlockSize
-			return gasnet.Addr{Rank: r, Offset: off}, nil
-		}
-	}
-	return gasnet.Addr{}, fmt.Errorf("gassyfs: out of space (%d bytes aggregated)", fs.world.TotalMemory())
+// lookup resolves a path under the namespace read lock.
+func (fs *FS) lookup(cp string) (*inode, bool) {
+	fs.nsMu.RLock()
+	ino, ok := fs.inodes[cp]
+	fs.nsMu.RUnlock()
+	return ino, ok
 }
 
+// freeBlock returns a block to the allocator and bumps the cache epoch.
+// Callers hold whatever lock protects the referencing block list.
 func (fs *FS) freeBlock(a gasnet.Addr) {
-	fs.freeList[a.Rank] = append(fs.freeList[a.Rank], a.Offset)
-	fs.epoch++
+	fs.alloc.freeBlock(a)
+	fs.epoch.Add(1)
 }
 
 // Fsck verifies the filesystem's structural invariants:
@@ -197,11 +222,14 @@ func (fs *FS) freeBlock(a gasnet.Addr) {
 //  4. every non-root inode has an existing directory as parent.
 //
 // It is the correctness oracle for the property tests and a debugging
-// aid for downstream users.
+// aid for downstream users. Fsck takes a whole-namespace snapshot; run
+// it when no mutators are in flight (global invariants are not
+// meaningful mid-operation).
 func (fs *FS) Fsck() error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.nsMu.Lock()
+	defer fs.nsMu.Unlock()
 	bs := fs.opts.BlockSize
+	nextOff := fs.alloc.nextOffs()
 	seen := make(map[gasnet.Addr]string)
 	checkAddr := func(owner string, a gasnet.Addr) error {
 		if a.Rank < 0 || a.Rank >= fs.world.Size() {
@@ -210,7 +238,7 @@ func (fs *FS) Fsck() error {
 		if a.Offset < 0 || a.Offset%bs != 0 || a.Offset+bs > fs.world.SegmentSize(a.Rank) {
 			return fmt.Errorf("gassyfs: fsck: %s references misaligned/out-of-segment block %+v", owner, a)
 		}
-		if a.Offset >= fs.nextOff[a.Rank] {
+		if a.Offset >= nextOff[a.Rank] {
 			return fmt.Errorf("gassyfs: fsck: %s references never-allocated block %+v", owner, a)
 		}
 		if prev, dup := seen[a]; dup {
@@ -220,17 +248,21 @@ func (fs *FS) Fsck() error {
 		return nil
 	}
 	for path, ino := range fs.inodes {
-		if ino.isDir {
-			if len(ino.blocks) != 0 || ino.size != 0 {
+		ino.mu.RLock()
+		isDir, size := ino.isDir, ino.size
+		blocks := append([]gasnet.Addr(nil), ino.blocks...)
+		ino.mu.RUnlock()
+		if isDir {
+			if len(blocks) != 0 || size != 0 {
 				return fmt.Errorf("gassyfs: fsck: directory %s has data", path)
 			}
 		} else {
-			need := int((ino.size + bs - 1) / bs)
-			if len(ino.blocks) < need {
+			need := int((size + bs - 1) / bs)
+			if len(blocks) < need {
 				return fmt.Errorf("gassyfs: fsck: %s has %d blocks for %d bytes (need %d)",
-					path, len(ino.blocks), ino.size, need)
+					path, len(blocks), size, need)
 			}
-			for _, b := range ino.blocks {
+			for _, b := range blocks {
 				if err := checkAddr(path, b); err != nil {
 					return err
 				}
@@ -247,7 +279,7 @@ func (fs *FS) Fsck() error {
 			}
 		}
 	}
-	for r, frees := range fs.freeList {
+	for r, frees := range fs.alloc.freeSnapshot() {
 		for _, off := range frees {
 			if err := checkAddr(fmt.Sprintf("freelist[%d]", r), gasnet.Addr{Rank: r, Offset: off}); err != nil {
 				return err
@@ -260,16 +292,11 @@ func (fs *FS) Fsck() error {
 // UsedBlocks reports allocated (non-free) blocks per rank — the data-
 // placement observable the ablation benchmark asserts on.
 func (fs *FS) UsedBlocks() []int {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	out := make([]int, fs.world.Size())
-	for r := range out {
-		out[r] = int(fs.nextOff[r]/fs.opts.BlockSize) - len(fs.freeList[r])
-	}
-	return out
+	return fs.alloc.used()
 }
 
-// Client is a per-rank mount handle.
+// Client is a per-rank mount handle. Not safe for concurrent use by
+// multiple goroutines (see FS.Client).
 type Client struct {
 	fs    *FS
 	rank  int
@@ -281,10 +308,7 @@ func (c *Client) syncCache() {
 	if c.cache == nil {
 		return
 	}
-	c.fs.mu.Lock()
-	epoch := c.fs.epoch
-	c.fs.mu.Unlock()
-	c.cache.sync(epoch)
+	c.cache.sync(c.fs.epoch.Load())
 }
 
 // Rank returns the client's rank.
@@ -317,10 +341,22 @@ func (c *Client) Mkdir(p string) error {
 		return err
 	}
 	c.metaCost()
-	fs := c.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if _, exists := fs.inodes[cp]; exists {
+	return c.fs.mkdir(cp, false)
+}
+
+// mkdir inserts a directory inode under the namespace write lock. With
+// ifMissing, an existing directory is not an error (mkdir -p semantics,
+// atomic under concurrent creators).
+func (fs *FS) mkdir(cp string, ifMissing bool) error {
+	fs.nsMu.Lock()
+	defer fs.nsMu.Unlock()
+	if existing, exists := fs.inodes[cp]; exists {
+		if ifMissing && existing.isDir {
+			return nil
+		}
+		if ifMissing {
+			return fmt.Errorf("gassyfs: %s exists and is a file", cp)
+		}
 		return fmt.Errorf("gassyfs: %s already exists", cp)
 	}
 	parent := path.Dir(cp)
@@ -332,29 +368,35 @@ func (c *Client) Mkdir(p string) error {
 	return nil
 }
 
-// MkdirAll creates a directory and any missing parents.
+// MkdirAll creates a directory and any missing parents. Each path
+// segment is created atomically (check and insert under one lock), so
+// concurrent MkdirAll calls over shared prefixes are safe.
 func (c *Client) MkdirAll(p string) error {
 	cp, err := clean(p)
 	if err != nil {
 		return err
 	}
-	segs := strings.Split(strings.TrimPrefix(cp, "/"), "/")
 	cur := ""
-	for _, s := range segs {
-		if s == "" {
+	rest := strings.TrimPrefix(cp, "/")
+	for rest != "" {
+		seg := rest
+		if j := strings.IndexByte(rest, '/'); j >= 0 {
+			seg, rest = rest[:j], rest[j+1:]
+		} else {
+			rest = ""
+		}
+		if seg == "" {
 			continue
 		}
-		cur += "/" + s
-		c.fs.mu.Lock()
-		node, exists := c.fs.inodes[cur]
-		c.fs.mu.Unlock()
-		if exists {
-			if !node.isDir {
+		cur += "/" + seg
+		if ino, ok := c.fs.lookup(cur); ok {
+			if !ino.isDir {
 				return fmt.Errorf("gassyfs: %s exists and is a file", cur)
 			}
 			continue
 		}
-		if err := c.Mkdir(cur); err != nil {
+		c.metaCost()
+		if err := c.fs.mkdir(cur, true); err != nil {
 			return err
 		}
 	}
@@ -370,17 +412,19 @@ func (c *Client) Create(p string) error {
 	}
 	c.metaCost()
 	fs := c.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.nsMu.Lock()
+	defer fs.nsMu.Unlock()
 	if existing, ok := fs.inodes[cp]; ok {
 		if existing.isDir {
 			return fmt.Errorf("gassyfs: %s is a directory", cp)
 		}
+		existing.mu.Lock()
 		for _, b := range existing.blocks {
 			fs.freeBlock(b)
 		}
 		existing.blocks = nil
 		existing.size = 0
+		existing.mu.Unlock()
 		return nil
 	}
 	parent := path.Dir(cp)
@@ -407,14 +451,14 @@ func (c *Client) Stat(p string) (Stat, error) {
 		return Stat{}, err
 	}
 	c.metaCost()
-	fs := c.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	ino, ok := fs.inodes[cp]
+	ino, ok := c.fs.lookup(cp)
 	if !ok {
 		return Stat{}, fmt.Errorf("gassyfs: %s: no such file or directory", cp)
 	}
-	return Stat{Path: cp, IsDir: ino.isDir, Size: ino.size, Blocks: len(ino.blocks)}, nil
+	ino.mu.RLock()
+	st := Stat{Path: cp, IsDir: ino.isDir, Size: ino.size, Blocks: len(ino.blocks)}
+	ino.mu.RUnlock()
+	return st, nil
 }
 
 // Readdir lists the immediate children of a directory, sorted.
@@ -425,8 +469,8 @@ func (c *Client) Readdir(p string) ([]Stat, error) {
 	}
 	c.metaCost()
 	fs := c.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.nsMu.RLock()
+	defer fs.nsMu.RUnlock()
 	dir, ok := fs.inodes[cp]
 	if !ok || !dir.isDir {
 		return nil, fmt.Errorf("gassyfs: %s is not a directory", cp)
@@ -444,10 +488,26 @@ func (c *Client) Readdir(p string) ([]Stat, error) {
 		if strings.Contains(rest, "/") {
 			continue
 		}
+		ino.mu.RLock()
 		out = append(out, Stat{Path: ip, IsDir: ino.isDir, Size: ino.size, Blocks: len(ino.blocks)})
+		ino.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
+}
+
+// extendLocked grows ino's block list to cover [0, end). Caller holds
+// ino.mu.
+func (fs *FS) extendLocked(ino *inode, writer int, end int64) error {
+	needed := int((end + fs.opts.BlockSize - 1) / fs.opts.BlockSize)
+	for len(ino.blocks) < needed {
+		addr, ok := fs.alloc.alloc(writer, fs.opts.Policy)
+		if !ok {
+			return fmt.Errorf("gassyfs: out of space (%d bytes aggregated)", fs.world.TotalMemory())
+		}
+		ino.blocks = append(ino.blocks, addr)
+	}
+	return nil
 }
 
 // WriteAt writes data at a byte offset, extending the file as needed.
@@ -461,55 +521,55 @@ func (c *Client) WriteAt(p string, off int64, data []byte) error {
 	}
 	c.metaCost()
 	fs := c.fs
-	fs.mu.Lock()
-	ino, ok := fs.inodes[cp]
+	ino, ok := fs.lookup(cp)
 	if !ok {
-		fs.mu.Unlock()
 		return fmt.Errorf("gassyfs: %s: no such file", cp)
-	}
-	if ino.isDir {
-		fs.mu.Unlock()
-		return fmt.Errorf("gassyfs: %s is a directory", cp)
 	}
 	bs := fs.opts.BlockSize
 	end := off + int64(len(data))
-	// grow the block list to cover [0, end)
-	needed := int((end + bs - 1) / bs)
-	for len(ino.blocks) < needed {
-		addr, err := fs.allocBlock(c.rank)
-		if err != nil {
-			fs.mu.Unlock()
-			return err
-		}
-		ino.blocks = append(ino.blocks, addr)
+	ino.mu.Lock()
+	if ino.isDir {
+		ino.mu.Unlock()
+		return fmt.Errorf("gassyfs: %s is a directory", cp)
+	}
+	if err := fs.extendLocked(ino, c.rank, end); err != nil {
+		ino.mu.Unlock()
+		return err
 	}
 	if end > ino.size {
 		ino.size = end
 	}
 	blocks := append([]gasnet.Addr(nil), ino.blocks...)
-	fs.mu.Unlock()
+	ino.mu.Unlock()
 
-	// Write block by block (RDMA puts outside the lock; the world layer
-	// does its own bounds checking).
+	// One vectored put moves all spans (RDMA outside any fs lock, with a
+	// single clock advance and one batch of metric bookkeeping).
 	c.syncCache()
-	pos := off
-	remaining := data
-	for len(remaining) > 0 {
-		bi := pos / bs
-		inBlock := pos % bs
-		n := bs - inBlock
-		if int64(len(remaining)) < n {
-			n = int64(len(remaining))
+	if len(data) > 0 {
+		spans := int((end-1)/bs) - int(off/bs) + 1
+		addrs := make([]gasnet.Addr, 0, spans)
+		bufs := make([][]byte, 0, spans)
+		pos := off
+		remaining := data
+		for len(remaining) > 0 {
+			bi := pos / bs
+			inBlock := pos % bs
+			n := bs - inBlock
+			if int64(len(remaining)) < n {
+				n = int64(len(remaining))
+			}
+			b := blocks[bi]
+			addrs = append(addrs, gasnet.Addr{Rank: b.Rank, Offset: b.Offset + inBlock})
+			bufs = append(bufs, remaining[:n])
+			if c.cache != nil {
+				c.cache.patch(b, inBlock, remaining[:n])
+			}
+			pos += n
+			remaining = remaining[n:]
 		}
-		b := blocks[bi]
-		if err := fs.world.Put(c.rank, gasnet.Addr{Rank: b.Rank, Offset: b.Offset + inBlock}, remaining[:n]); err != nil {
+		if _, err := fs.world.Putv(c.rank, addrs, bufs); err != nil {
 			return err
 		}
-		if c.cache != nil {
-			c.cache.patch(b, inBlock, remaining[:n])
-		}
-		pos += n
-		remaining = remaining[n:]
 	}
 	if fs.reg != nil {
 		fs.reg.Add("gassyfs_write_ops", 1)
@@ -530,60 +590,79 @@ func (c *Client) ReadAt(p string, off, n int64) ([]byte, error) {
 	}
 	c.metaCost()
 	fs := c.fs
-	fs.mu.Lock()
-	ino, ok := fs.inodes[cp]
+	ino, ok := fs.lookup(cp)
 	if !ok {
-		fs.mu.Unlock()
 		return nil, fmt.Errorf("gassyfs: %s: no such file", cp)
 	}
+	ino.mu.RLock()
 	if ino.isDir {
-		fs.mu.Unlock()
+		ino.mu.RUnlock()
 		return nil, fmt.Errorf("gassyfs: %s is a directory", cp)
 	}
 	if off >= ino.size {
-		fs.mu.Unlock()
+		ino.mu.RUnlock()
 		return nil, nil
 	}
 	if off+n > ino.size {
 		n = ino.size - off
 	}
 	blocks := append([]gasnet.Addr(nil), ino.blocks...)
-	fs.mu.Unlock()
+	ino.mu.RUnlock()
 
 	bs := fs.opts.BlockSize
 	c.syncCache()
-	out := make([]byte, 0, n)
-	pos := off
-	for int64(len(out)) < n {
-		bi := pos / bs
-		inBlock := pos % bs
-		chunk := bs - inBlock
-		if rem := n - int64(len(out)); rem < chunk {
-			chunk = rem
+	out := make([]byte, n)
+	if c.cache == nil {
+		// Uncached: one vectored get lands every span directly in the
+		// output buffer (zero copies beyond the RDMA itself).
+		spans := int((off+n-1)/bs) - int(off/bs) + 1
+		addrs := make([]gasnet.Addr, 0, spans)
+		bufs := make([][]byte, 0, spans)
+		pos, idx := off, int64(0)
+		for idx < n {
+			bi := pos / bs
+			inBlock := pos % bs
+			chunk := bs - inBlock
+			if rem := n - idx; rem < chunk {
+				chunk = rem
+			}
+			b := blocks[bi]
+			addrs = append(addrs, gasnet.Addr{Rank: b.Rank, Offset: b.Offset + inBlock})
+			bufs = append(bufs, out[idx:idx+chunk])
+			pos += chunk
+			idx += chunk
 		}
-		b := blocks[bi]
-		if c.cache != nil {
-			// whole-block caching, page-cache style: a miss fetches the
-			// full block; a hit serves locally with no network cost.
-			full, hit := c.cache.get(b)
+		if _, err := fs.world.Getv(c.rank, addrs, bufs); err != nil {
+			return nil, err
+		}
+	} else {
+		// Cached: whole-block caching, page-cache style. A hit serves a
+		// zero-copy view of the cached block (no network cost, no
+		// allocation); a miss fetches the full block into a pooled
+		// buffer the cache takes ownership of.
+		pos, idx := off, int64(0)
+		for idx < n {
+			bi := pos / bs
+			inBlock := pos % bs
+			chunk := bs - inBlock
+			if rem := n - idx; rem < chunk {
+				chunk = rem
+			}
+			b := blocks[bi]
+			view, hit := c.cache.get(b)
 			if !hit {
-				var err error
-				full, err = fs.world.Get(c.rank, b, bs)
-				if err != nil {
+				full := fs.getBlockBuf()
+				if err := fs.world.GetInto(c.rank, b, full); err != nil {
+					fs.putBlockBuf(full)
 					return nil, err
 				}
 				c.cache.put(b, full)
+				view = full
 			}
-			out = append(out, full[inBlock:inBlock+chunk]...)
+			copy(out[idx:idx+chunk], view[inBlock:inBlock+chunk])
 			pos += chunk
-			continue
+			idx += chunk
 		}
-		buf, err := fs.world.Get(c.rank, gasnet.Addr{Rank: b.Rank, Offset: b.Offset + inBlock}, chunk)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, buf...)
-		pos += chunk
 	}
 	if fs.reg != nil {
 		fs.reg.Add("gassyfs_read_ops", 1)
@@ -633,10 +712,13 @@ func (c *Client) Truncate(p string, size int64) error {
 	}
 	c.metaCost()
 	fs := c.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	ino, ok := fs.inodes[cp]
-	if !ok || ino.isDir {
+	ino, ok := fs.lookup(cp)
+	if !ok {
+		return fmt.Errorf("gassyfs: %s: not a file", cp)
+	}
+	ino.mu.Lock()
+	defer ino.mu.Unlock()
+	if ino.isDir {
 		return fmt.Errorf("gassyfs: %s: not a file", cp)
 	}
 	bs := fs.opts.BlockSize
@@ -647,12 +729,8 @@ func (c *Client) Truncate(p string, size int64) error {
 		}
 		ino.blocks = ino.blocks[:keep]
 	}
-	for len(ino.blocks) < keep {
-		addr, err := fs.allocBlock(c.rank)
-		if err != nil {
-			return err
-		}
-		ino.blocks = append(ino.blocks, addr)
+	if err := fs.extendLocked(ino, c.rank, size); err != nil {
+		return err
 	}
 	ino.size = size
 	return nil
@@ -669,8 +747,8 @@ func (c *Client) Remove(p string) error {
 	}
 	c.metaCost()
 	fs := c.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.nsMu.Lock()
+	defer fs.nsMu.Unlock()
 	ino, ok := fs.inodes[cp]
 	if !ok {
 		return fmt.Errorf("gassyfs: %s: no such file or directory", cp)
@@ -683,9 +761,12 @@ func (c *Client) Remove(p string) error {
 			}
 		}
 	}
+	ino.mu.Lock()
 	for _, b := range ino.blocks {
 		fs.freeBlock(b)
 	}
+	ino.blocks = nil
+	ino.mu.Unlock()
 	delete(fs.inodes, cp)
 	return nil
 }
@@ -705,8 +786,8 @@ func (c *Client) Rename(oldp, newp string) error {
 	}
 	c.metaCost()
 	fs := c.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.nsMu.Lock()
+	defer fs.nsMu.Unlock()
 	ino, ok := fs.inodes[co]
 	if !ok {
 		return fmt.Errorf("gassyfs: %s: no such file or directory", co)
@@ -747,14 +828,14 @@ func (c *Client) Walk(root string, visit func(Stat) error) error {
 		return err
 	}
 	fs := c.fs
-	fs.mu.Lock()
+	fs.nsMu.RLock()
 	var paths []string
 	for ip := range fs.inodes {
 		if ip == cr || strings.HasPrefix(ip, strings.TrimSuffix(cr, "/")+"/") {
 			paths = append(paths, ip)
 		}
 	}
-	fs.mu.Unlock()
+	fs.nsMu.RUnlock()
 	if len(paths) == 0 {
 		return fmt.Errorf("gassyfs: %s: no such file or directory", cr)
 	}

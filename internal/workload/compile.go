@@ -11,6 +11,7 @@ import (
 
 	"popper/internal/cluster"
 	"popper/internal/gassyfs"
+	"popper/internal/sched"
 )
 
 // CompileSpec describes a synthetic source tree and build cost model,
@@ -30,6 +31,16 @@ type CompileSpec struct {
 	LinkOpsPerByte float64
 	// JobsPerNode bounds per-node build parallelism (make -j).
 	JobsPerNode int
+
+	// HostJobs bounds the host goroutines driving the per-rank clients
+	// concurrently; <= 0 means one per host CPU, 1 runs ranks serially.
+	// Simulated results are bit-identical for every value — each rank's
+	// client runs on its own goroutine with its own clock, and block
+	// placement is interleaving-independent (see docs/SUBSTRATES.md).
+	HostJobs int
+	// Pool, when set, supplies the worker pool (so a sweep can share one
+	// across runs); otherwise one is created from HostJobs.
+	Pool *sched.Pool
 }
 
 // GitCompileSpec returns a spec shaped like building Git from source:
@@ -110,10 +121,57 @@ type CompileResult struct {
 	ObjectBytes int64
 }
 
+// compileShard runs one rank's share of the build: read the shared
+// headers, compile the rank's round-robin slice of sources into object
+// files, then charge the shard's compute. All costs land on the rank's
+// own node clock and every filesystem op goes through the rank's own
+// client, so the shard's simulated behaviour is independent of how
+// shards interleave on the host.
+func compileShard(fs *gassyfs.FS, spec CompileSpec, rank int) error {
+	world := fs.World()
+	cl, err := fs.Client(rank)
+	if err != nil {
+		return err
+	}
+	node, _ := world.Node(rank)
+	// Each rank reads the shared headers once (they stay in page cache).
+	var headerBytes int64
+	for h := 0; h < spec.Headers; h++ {
+		data, err := cl.ReadFile(hdrPath(h))
+		if err != nil {
+			return fmt.Errorf("workload: reading header: %w", err)
+		}
+		headerBytes += int64(len(data))
+	}
+	var shardCPU float64
+	n := world.Size()
+	for i := rank; i < spec.Sources; i += n {
+		src, err := cl.ReadFile(srcPath(i))
+		if err != nil {
+			return fmt.Errorf("workload: reading source: %w", err)
+		}
+		unitBytes := float64(len(src)) + float64(headerBytes)
+		shardCPU += unitBytes * spec.CompileOpsPerByte
+		obj := make([]byte, int(float64(len(src))*spec.ObjRatio))
+		if err := cl.WriteFile(objPath(i), obj); err != nil {
+			return fmt.Errorf("workload: writing object: %w", err)
+		}
+	}
+	// The shard's compute parallelizes across local cores (make -j).
+	node.RunParallel(cluster.Work{CPUOps: shardCPU, MemBytes: shardCPU / 20}, spec.JobsPerNode, 0.02)
+	return nil
+}
+
 // CompileOnCluster builds the tree on every rank of the filesystem's
 // world: sources are sharded round-robin across ranks, each rank compiles
 // its shard with JobsPerNode-way parallelism, and rank 0 links. This is
 // the paper's Figure gassyfs-git workload.
+//
+// Ranks are driven concurrently on host goroutines (one per rank,
+// bounded by HostJobs/Pool). The simulated result is bit-identical to a
+// serial drive: each rank only ever advances its own logical clock, and
+// the striped allocator places each writer's blocks independently of
+// scheduling.
 func CompileOnCluster(fs *gassyfs.FS, spec CompileSpec) (CompileResult, error) {
 	if err := spec.validate(); err != nil {
 		return CompileResult{}, err
@@ -122,37 +180,16 @@ func CompileOnCluster(fs *gassyfs.FS, spec CompileSpec) (CompileResult, error) {
 	n := world.Size()
 	start := world.Barrier()
 
-	// --- parallel compile phase ---
-	for rank := 0; rank < n; rank++ {
-		cl, err := fs.Client(rank)
-		if err != nil {
-			return CompileResult{}, err
-		}
-		node, _ := world.Node(rank)
-		// Each rank reads the shared headers once (they stay in page cache).
-		var headerBytes int64
-		for h := 0; h < spec.Headers; h++ {
-			data, err := cl.ReadFile(hdrPath(h))
-			if err != nil {
-				return CompileResult{}, fmt.Errorf("workload: reading header: %w", err)
-			}
-			headerBytes += int64(len(data))
-		}
-		var shardCPU float64
-		for i := rank; i < spec.Sources; i += n {
-			src, err := cl.ReadFile(srcPath(i))
-			if err != nil {
-				return CompileResult{}, fmt.Errorf("workload: reading source: %w", err)
-			}
-			unitBytes := float64(len(src)) + float64(headerBytes)
-			shardCPU += unitBytes * spec.CompileOpsPerByte
-			obj := make([]byte, int(float64(len(src))*spec.ObjRatio))
-			if err := cl.WriteFile(objPath(i), obj); err != nil {
-				return CompileResult{}, fmt.Errorf("workload: writing object: %w", err)
-			}
-		}
-		// The shard's compute parallelizes across local cores (make -j).
-		node.RunParallel(cluster.Work{CPUOps: shardCPU, MemBytes: shardCPU / 20}, spec.JobsPerNode, 0.02)
+	// --- parallel compile phase: one goroutine per rank ---
+	pool := spec.Pool
+	if pool == nil {
+		pool = sched.NewPool(spec.HostJobs)
+	}
+	errs := pool.Each(n, func(rank int) error {
+		return compileShard(fs, spec, rank)
+	})
+	if err := sched.FirstError(errs); err != nil {
+		return CompileResult{}, err
 	}
 	compileEnd := world.Barrier()
 

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"popper/internal/sched"
+)
+
+// Golden equivalence for the concurrent compile driver: running the
+// per-rank shards on one host goroutine or eight must produce the same
+// CompileResult bit for bit, the same per-node clocks, the same block
+// placement, and the same linked binary.
+func TestCompileParallelMatchesSerialGolden(t *testing.T) {
+	run := func(hostJobs int) (CompileResult, []float64, []int, []byte) {
+		fs := buildFS(t, 4, 7)
+		cl, err := fs.Client(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := smallSpec()
+		spec.HostJobs = hostJobs
+		if err := GenerateTree(cl, spec); err != nil {
+			t.Fatal(err)
+		}
+		res, err := CompileOnCluster(fs, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		world := fs.World()
+		clocks := make([]float64, world.Size())
+		for r := range clocks {
+			node, _ := world.Node(r)
+			clocks[r] = node.Now()
+		}
+		bin, err := cl.ReadFile("/src/bin/git")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, clocks, fs.UsedBlocks(), bin
+	}
+
+	resS, clkS, usedS, binS := run(1)
+	resP, clkP, usedP, binP := run(8)
+
+	if resS != resP {
+		t.Errorf("CompileResult differs:\n  serial   %+v\n  parallel %+v", resS, resP)
+	}
+	for r := range clkS {
+		if clkS[r] != clkP[r] {
+			t.Errorf("rank %d clock: serial %.18g parallel %.18g", r, clkS[r], clkP[r])
+		}
+	}
+	for r := range usedS {
+		if usedS[r] != usedP[r] {
+			t.Errorf("rank %d used blocks: serial %d parallel %d", r, usedS[r], usedP[r])
+		}
+	}
+	if !bytes.Equal(binS, binP) {
+		t.Error("linked binary differs between serial and parallel drives")
+	}
+	if resP.Nodes != 4 || resP.Elapsed <= 0 {
+		t.Fatalf("implausible result: %+v", resP)
+	}
+}
+
+// A caller-supplied shared pool must behave exactly like a per-call one.
+func TestCompileSharedPool(t *testing.T) {
+	run := func(pool *sched.Pool) CompileResult {
+		fs := buildFS(t, 2, 7)
+		cl, err := fs.Client(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := smallSpec()
+		spec.Pool = pool
+		if err := GenerateTree(cl, spec); err != nil {
+			t.Fatal(err)
+		}
+		res, err := CompileOnCluster(fs, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	shared := sched.NewPool(4)
+	a := run(shared)
+	b := run(shared) // reuse across runs, as the sweep executor does
+	c := run(nil)
+	if a != b || a != c {
+		t.Fatalf("pool sharing changed results:\n  %+v\n  %+v\n  %+v", a, b, c)
+	}
+}
