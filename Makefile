@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-gassyfs
+# Seed matrix for the chaos suite; override with CHAOS_SEEDS="1 2 3".
+CHAOS_SEEDS ?= 42 7 1337
+
+.PHONY: build test vet race verify bench bench-gassyfs chaos
 
 build:
 	$(GO) build ./...
@@ -15,9 +18,24 @@ race:
 	$(GO) test -race ./...
 
 # The full verification loop: tier-1 (build + test) plus static
-# analysis and the race detector over the concurrent sweep/cache/Aver
-# paths.
-verify: build vet test race
+# analysis, the race detector over the concurrent sweep/cache/Aver
+# paths, and the seeded chaos suite.
+verify: build vet test race chaos
+
+# Chaos determinism suite: the fault-injection golden tests under the
+# race detector, once per seed in the matrix. Each seed is a different
+# deterministic failure universe; byte-identity of sweep artifacts
+# across -jobs levels and across interrupt/resume must hold in all of
+# them (see docs/RESILIENCE.md).
+chaos:
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "-- chaos suite, seed $$seed"; \
+		CHAOS_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'Chaos|Fault|Retry|Quarantine|Resilien|Partition|Crash|Deadline|FailFast|Resume' \
+			./internal/fault/ ./internal/sched/ ./internal/pipeline/ \
+			./internal/core/ ./internal/orchestrate/ ./internal/gasnet/ ./internal/gassyfs/ \
+			|| exit 1; \
+	done
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem

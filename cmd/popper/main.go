@@ -10,7 +10,12 @@
 //	popper run <name> [-seed N]      execute an experiment end to end
 //	                                 (-jobs N parallelizes; sweep.yml
 //	                                 expands into a configuration matrix;
-//	                                 -no-cache disables stage caching)
+//	                                 -no-cache disables stage caching;
+//	                                 -faults faults.yml injects a seeded
+//	                                 chaos schedule; -max-retries N
+//	                                 retries failing configurations;
+//	                                 -resume finishes an interrupted
+//	                                 sweep from its journal)
 //	popper ci                        replay the repo's CI script locally
 //	popper machines                  list simulated machine profiles
 //	popper report                    render report.html from the repo
@@ -29,6 +34,7 @@ import (
 	"popper/internal/ci"
 	"popper/internal/cluster"
 	"popper/internal/core"
+	"popper/internal/fault"
 	"popper/internal/orchestrate"
 	"popper/internal/pipeline"
 )
@@ -46,8 +52,11 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "simulation seed for `popper run`")
 	jobs := fs.Int("jobs", 0, "worker pool size for `popper run` (0 = one per CPU, 1 = serial)")
 	noCache := fs.Bool("no-cache", false, "disable content-addressed stage caching in `popper run`")
+	faultsFile := fs.String("faults", "", "faults.yml chaos schedule for `popper run` (path relative to the repository)")
+	maxRetries := fs.Int("max-retries", 0, "retry failing sweep configurations up to N times in `popper run`")
+	resume := fs.Bool("resume", false, "resume an interrupted sweep from its journal in `popper run`")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: popper [-C dir] [-seed n] [-jobs n] [-no-cache] <command> [args]")
+		fmt.Fprintln(os.Stderr, "usage: popper [-C dir] [-seed n] [-jobs n] [-no-cache] [-faults f] [-max-retries n] [-resume] <command> [args]")
 		fmt.Fprintln(os.Stderr, "commands: init, experiment list, add, paper, check, lint, run, ci, machines, report, build-paper")
 		fs.PrintDefaults()
 	}
@@ -128,6 +137,23 @@ func run(args []string) error {
 			if !*noCache {
 				cache = pipeline.NewCache()
 			}
+			// A -faults schedule makes the run a chaos run: the seeded
+			// injector drives deterministic failures through every layer.
+			var injector *fault.Injector
+			retry := fault.Retry{Max: *maxRetries, Backoff: 0.5, Jitter: 0.25}
+			if *faultsFile != "" {
+				raw, ok := p.Files[*faultsFile]
+				if !ok {
+					return fmt.Errorf("faults file %q not found in repository", *faultsFile)
+				}
+				spec, err := fault.ParseSpec(string(raw))
+				if err != nil {
+					return err
+				}
+				injector = spec.Injector()
+				fmt.Printf("-- chaos run: %d fault rules, seed %d (fingerprint %s)\n",
+					len(spec.Rules), spec.Seed, injector.Fingerprint())
+			}
 			// A sweep.yml next to vars.yml expands the run into a
 			// configuration matrix driven by the worker pool.
 			if raw, ok := p.ExperimentFile(name, core.SweepFile); ok {
@@ -135,14 +161,24 @@ func run(args []string) error {
 				if err != nil {
 					return err
 				}
-				sr, err := p.RunSweep(name, env, configs, core.SweepOptions{Jobs: *jobs, Cache: cache})
+				sr, err := p.RunSweep(name, env, configs, core.SweepOptions{
+					Jobs: *jobs, Cache: cache,
+					Faults: injector, Retry: retry, Resume: *resume,
+				})
 				if err != nil {
 					return err
 				}
 				for _, run := range sr.Runs {
 					status := "passed"
-					if run.Err != nil {
-						status = "FAILED: " + run.Err.Error()
+					switch {
+					case run.Skipped:
+						status = "pending (re-run with -resume)"
+					case run.Err != nil:
+						status = "QUARANTINED: " + run.Err.Error()
+					case run.Resumed:
+						status = "passed (resumed from journal)"
+					case run.Attempts > 1:
+						status = fmt.Sprintf("passed after %d attempts", run.Attempts)
 					}
 					fmt.Printf("-- config %03d (%s): %s\n", run.Index, core.FormatOverrides(run.Overrides), status)
 				}
@@ -151,13 +187,17 @@ func run(args []string) error {
 					fmt.Printf("-- stage cache: %d hits, %d misses\n", hits, misses)
 				}
 				if err := sr.Err(); err != nil {
+					fmt.Printf("-- quarantined configurations recorded in experiments/%s/%s\n", name, core.FailuresFile)
 					return err
 				}
 				fmt.Printf("-- sweep %q passed: %d configurations (merged results in experiments/%s/results.csv)\n",
 					name, len(sr.Runs), name)
 				return nil
 			}
-			res, err := p.RunExperimentOpts(name, env, core.RunOptions{Cache: cache, Jobs: *jobs})
+			res, err := p.RunExperimentOpts(name, env, core.RunOptions{
+				Cache: cache, Jobs: *jobs,
+				Faults: injector, Retry: retry,
+			})
 			fmt.Print(res.Record.Log)
 			if err != nil {
 				return err

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"popper/internal/fault"
+)
+
+// chaosSeed returns the fault seed for golden chaos tests. `make chaos`
+// re-runs the suite across a seed matrix via CHAOS_SEED; the default
+// keeps plain `go test` deterministic.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	raw := os.Getenv("CHAOS_SEED")
+	if raw == "" {
+		return 42
+	}
+	seed, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		t.Fatalf("CHAOS_SEED=%q is not an integer", raw)
+	}
+	return seed
+}
+
+// chaosSpec is the canonical faults.yml used by the golden suite: a mix
+// of retryable stage errors, a crash that permanently quarantines one
+// configuration, and latency on another.
+const chaosSpec = `
+faults:
+  - site: pipeline/sweep/001/run
+    kind: error
+    times: 2
+    msg: flaky stage on config 001
+  - site: sweep/sweep/config/003
+    kind: crash
+    msg: host for config 003 died
+  - site: pipeline/sweep/004/run
+    kind: latency
+    delay: 0.5
+    times: 1
+  - site: pipeline/sweep/005/setup
+    kind: error
+    prob: 1
+    msg: setup always fails on config 005
+`
+
+func chaosInjector(t *testing.T) *fault.Injector {
+	t.Helper()
+	spec, err := fault.ParseSpec(chaosSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Seed = chaosSeed(t)
+	return spec.Injector()
+}
+
+func chaosConfigs() []map[string]string {
+	configs := make([]map[string]string, 6)
+	for i := range configs {
+		configs[i] = map[string]string{"seed": fmt.Sprintf("%d", i+1)}
+	}
+	return configs
+}
+
+// chaosArtifacts are the files whose byte-identity the resilience
+// contract guarantees across Jobs levels and interruptions.
+var chaosArtifacts = []string{"results.csv", FailuresFile, SweepJournalFile}
+
+func runChaosSweep(t *testing.T, jobs int, opts SweepOptions) (*Project, SweepResult) {
+	t.Helper()
+	p := sweepProject(t)
+	opts.Jobs = jobs
+	if opts.Faults == nil {
+		opts.Faults = chaosInjector(t)
+	}
+	sr, err := p.RunSweep("sweep", &Env{Seed: 5}, chaosConfigs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, sr
+}
+
+func chaosFiles(t *testing.T, p *Project) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(chaosArtifacts))
+	for _, rel := range chaosArtifacts {
+		out[rel] = string(p.Files[expPath("sweep", rel)])
+	}
+	return out
+}
+
+// TestChaosSweepGoldenDeterminism is the golden chaos suite: the same
+// seeded fault spec produces byte-identical results.csv, failures.csv
+// and sweep journal whether the sweep runs serially or on eight
+// workers.
+func TestChaosSweepGoldenDeterminism(t *testing.T) {
+	retry := fault.Retry{Max: 3, Backoff: 0.25, Jitter: 0.5}
+	pSerial, srSerial := runChaosSweep(t, 1, SweepOptions{Retry: retry})
+	pParallel, srParallel := runChaosSweep(t, 8, SweepOptions{Retry: retry})
+
+	// The retryable configs recovered; the crash and the always-failing
+	// setup are quarantined.
+	if srSerial.Passed() {
+		t.Fatal("sweep with quarantined configs must not pass")
+	}
+	failed := srSerial.Failed()
+	if len(failed) != 2 {
+		t.Fatalf("failed = %d configs, want 2 (crash + persistent setup): %v", len(failed), srSerial.Err())
+	}
+	for _, r := range failed {
+		if !r.Quarantined {
+			t.Fatalf("config %d failed but was not quarantined", r.Index)
+		}
+	}
+	if !fault.IsCrash(srSerial.Runs[3].Err) {
+		t.Fatalf("config 3 must fail with the injected crash: %v", srSerial.Runs[3].Err)
+	}
+	if srSerial.Runs[3].Attempts != 1 {
+		t.Fatalf("crash must be terminal: attempts = %d", srSerial.Runs[3].Attempts)
+	}
+	if got := srSerial.Runs[1].Attempts; got != 3 {
+		t.Fatalf("config 1 attempts = %d, want 3 (two injected errors absorbed)", got)
+	}
+	if srSerial.Runs[1].BackoffSeconds <= 0 {
+		t.Fatal("retried config must accumulate virtual backoff")
+	}
+	if got := srSerial.Runs[5].Attempts; got != retry.Max+1 {
+		t.Fatalf("config 5 attempts = %d, want %d (retries exhausted)", got, retry.Max+1)
+	}
+
+	// Byte-identity across Jobs levels — the paper's re-execution
+	// contract extended to chaos runs.
+	serial, parallel := chaosFiles(t, pSerial), chaosFiles(t, pParallel)
+	for _, rel := range chaosArtifacts {
+		if serial[rel] != parallel[rel] {
+			t.Fatalf("%s diverged between jobs=1 and jobs=8:\n--- serial\n%s\n--- parallel\n%s",
+				rel, serial[rel], parallel[rel])
+		}
+	}
+	if serial[FailuresFile] == "" {
+		t.Fatal("failures.csv must be written when configs are quarantined")
+	}
+	// Per-run metadata also matches.
+	for i := range srSerial.Runs {
+		s, par := srSerial.Runs[i], srParallel.Runs[i]
+		if s.Attempts != par.Attempts || s.Quarantined != par.Quarantined ||
+			s.BackoffSeconds != par.BackoffSeconds {
+			t.Fatalf("config %d metadata diverged: serial %+v vs parallel %+v", i, s, par)
+		}
+	}
+}
+
+// TestChaosSweepResumeByteIdentical interrupts a seeded chaos sweep
+// mid-run (Limit) and resumes it; the final artifacts must be
+// byte-identical to an uninterrupted run, at serial and parallel Jobs
+// levels. This is the headline acceptance criterion of the resilience
+// substrate.
+func TestChaosSweepResumeByteIdentical(t *testing.T) {
+	retry := fault.Retry{Max: 3, Backoff: 0.25, Jitter: 0.5}
+	for _, jobs := range []int{1, 8} {
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			pFull, _ := runChaosSweep(t, jobs, SweepOptions{Retry: retry})
+			want := chaosFiles(t, pFull)
+
+			// Interrupted run: only the first three configurations
+			// complete before the sweep stops.
+			p := sweepProject(t)
+			sr1, err := p.RunSweep("sweep", &Env{Seed: 5}, chaosConfigs(), SweepOptions{
+				Jobs: jobs, Retry: retry, Faults: chaosInjector(t), Limit: 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(sr1.Pending()); got != 3 {
+				t.Fatalf("pending after interruption = %d, want 3", got)
+			}
+			if sr1.Passed() {
+				t.Fatal("interrupted sweep must not pass")
+			}
+
+			// Resume with a fresh injector (same spec): per-site fault
+			// streams restart at occurrence zero, exactly as an
+			// uninterrupted run saw them, and completed configs are
+			// adopted from the journal.
+			sr2, err := p.RunSweep("sweep", &Env{Seed: 5}, chaosConfigs(), SweepOptions{
+				Jobs: jobs, Retry: retry, Faults: chaosInjector(t), Resume: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(sr2.Pending()); got != 0 {
+				t.Fatalf("pending after resume = %d, want 0", got)
+			}
+			resumed := 0
+			for _, r := range sr2.Runs {
+				if r.Resumed {
+					resumed++
+					if r.Attempts != 0 {
+						t.Fatalf("resumed config %d re-ran (attempts=%d)", r.Index, r.Attempts)
+					}
+				}
+			}
+			if resumed != 3 {
+				t.Fatalf("resumed = %d configs, want 3", resumed)
+			}
+			got := chaosFiles(t, p)
+			for _, rel := range chaosArtifacts {
+				if got[rel] != want[rel] {
+					t.Fatalf("%s after interrupt+resume diverged from uninterrupted run:\n--- uninterrupted\n%s\n--- resumed\n%s",
+						rel, want[rel], got[rel])
+				}
+			}
+		})
+	}
+}
+
+// TestSweepResumeSkipsCompletedWork re-running a fully journaled sweep
+// with Resume executes nothing and reproduces the artifacts.
+func TestSweepResumeSkipsCompletedWork(t *testing.T) {
+	retry := fault.Retry{Max: 3, Backoff: 0.25}
+	p := sweepProject(t)
+	if _, err := p.RunSweep("sweep", &Env{Seed: 5}, chaosConfigs(), SweepOptions{
+		Retry: retry, Faults: chaosInjector(t),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := chaosFiles(t, p)
+	sr, err := p.RunSweep("sweep", &Env{Seed: 5}, chaosConfigs(), SweepOptions{
+		Retry: retry, Faults: chaosInjector(t), Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sr.Runs {
+		if !r.Resumed || r.Attempts != 0 {
+			t.Fatalf("config %d was re-run on a fully journaled resume: %+v", r.Index, r)
+		}
+	}
+	if got := chaosFiles(t, p); got[SweepJournalFile] != want[SweepJournalFile] ||
+		got["results.csv"] != want["results.csv"] || got[FailuresFile] != want[FailuresFile] {
+		t.Fatal("fully resumed sweep must reproduce artifacts byte-identically")
+	}
+}
+
+// TestSweepResumeRerunsChangedParams a journal entry whose parameters no
+// longer match the configuration matrix is stale and must re-run.
+func TestSweepResumeRerunsChangedParams(t *testing.T) {
+	p := sweepProject(t)
+	configs := []map[string]string{{"seed": "1"}, {"seed": "2"}}
+	if _, err := p.RunSweep("sweep", &Env{Seed: 5}, configs, SweepOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	changed := []map[string]string{{"seed": "1"}, {"seed": "9"}}
+	sr, err := p.RunSweep("sweep", &Env{Seed: 5}, changed, SweepOptions{Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Runs[0].Resumed {
+		t.Fatal("unchanged config 0 must be adopted from the journal")
+	}
+	if sr.Runs[1].Resumed || sr.Runs[1].Attempts != 1 {
+		t.Fatalf("changed config 1 must re-run: %+v", sr.Runs[1])
+	}
+	if err := sr.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepQuarantineReport failures.csv carries config index, params,
+// attempts and the error, and disappears once the sweep is clean.
+func TestSweepQuarantineReport(t *testing.T) {
+	p := sweepProject(t)
+	configs := []map[string]string{{"seed": "1"}, {"nodes": "bogus"}}
+	sr, err := p.RunSweep("sweep", &Env{Seed: 1}, configs, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Failures == nil || sr.Failures.Len() != 1 {
+		t.Fatalf("failures table = %+v, want 1 row", sr.Failures)
+	}
+	raw := string(p.Files[expPath("sweep", FailuresFile)])
+	for _, want := range []string{"config,params,attempts,error", "nodes=bogus"} {
+		if !strings.Contains(raw, want) {
+			t.Fatalf("failures.csv missing %q:\n%s", want, raw)
+		}
+	}
+	// A clean re-run clears the stale quarantine report.
+	clean := []map[string]string{{"seed": "1"}, {"seed": "2"}}
+	if _, err := p.RunSweep("sweep", &Env{Seed: 1}, clean, SweepOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, stale := p.Files[expPath("sweep", FailuresFile)]; stale {
+		t.Fatal("clean sweep must remove the stale failures.csv")
+	}
+}
+
+// BenchmarkSweepWithFaults measures the sweep hot path under an active
+// chaos schedule (retries included).
+func BenchmarkSweepWithFaults(b *testing.B) {
+	spec, err := fault.ParseSpec(chaosSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Seed = 42
+	base := Init()
+	if err := base.AddExperiment("cloverleaf", "sweep"); err != nil {
+		b.Fatal(err)
+	}
+	base.SetParam("sweep", "nodes", "1,2")
+	base.SetParam("sweep", "iterations", "2")
+	base.SetParam("sweep", "problem_size", "8")
+	configs := chaosConfigs()
+	retry := fault.Retry{Max: 3, Backoff: 0.25}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &Project{Files: cloneFiles(base.Files)}
+		if _, err := p.RunSweep("sweep", &Env{Seed: 5}, configs, SweepOptions{
+			Jobs: 4, Retry: retry, Faults: spec.Injector(),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepNoFaults is the clean-path baseline for the chaos
+// benchmark above.
+func BenchmarkSweepNoFaults(b *testing.B) {
+	base := Init()
+	if err := base.AddExperiment("cloverleaf", "sweep"); err != nil {
+		b.Fatal(err)
+	}
+	base.SetParam("sweep", "nodes", "1,2")
+	base.SetParam("sweep", "iterations", "2")
+	base.SetParam("sweep", "problem_size", "8")
+	configs := chaosConfigs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &Project{Files: cloneFiles(base.Files)}
+		if _, err := p.RunSweep("sweep", &Env{Seed: 5}, configs, SweepOptions{Jobs: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

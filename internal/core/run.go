@@ -7,6 +7,7 @@ import (
 
 	"popper/internal/aver"
 	"popper/internal/dataset"
+	"popper/internal/fault"
 	"popper/internal/metrics"
 	"popper/internal/orchestrate"
 	"popper/internal/pipeline"
@@ -144,6 +145,23 @@ type RunOptions struct {
 	// Overrides are parameter overrides applied on top of vars.yml —
 	// one sweep configuration.
 	Overrides map[string]string
+	// Faults is the deterministic chaos injector stage execution
+	// consults (sites "pipeline/<scope>/<stage>"); nil disables
+	// injection. Its fingerprint is mixed into the stage-cache salt so
+	// chaos runs never share cache entries with clean runs.
+	Faults *fault.Injector
+	// FaultScope names this run in fault sites; empty means the
+	// experiment name. Sweeps scope it per configuration
+	// ("<experiment>/<idx>") so concurrent configurations draw from
+	// independent, deterministic fault streams.
+	FaultScope string
+	// Retry is the per-stage retry policy applied to every defined
+	// stage except teardown (Max 0 disables retrying).
+	Retry fault.Retry
+	// StageDeadline bounds each stage's virtual elapsed seconds (0 =
+	// unbounded). Only injected latency moves the virtual clock, so
+	// deadlines are deterministic functions of the fault schedule.
+	StageDeadline float64
 }
 
 // RunExperiment executes one experiment end to end through the staged
@@ -292,6 +310,26 @@ func (p *Project) RunExperimentOpts(name string, env *Env, opts RunOptions) (Run
 	pl.CacheStage("setup", "core/setup@v1", []string{"seed"})
 	pl.CacheStage("run", "core/run/"+tmpl.Name+"@v1", nil)
 	pl.CacheStage("post-run", "core/post-run@v1", nil)
+
+	// Resilience envelope: chaos injection, per-stage retry and
+	// deadlines. Teardown is exempt from retrying — it must run exactly
+	// once whatever happened before it.
+	if opts.Faults != nil {
+		pl.Faults = opts.Faults
+		pl.FaultScope = opts.FaultScope
+		pl.CacheSalt += "|faults=" + opts.Faults.Fingerprint()
+	}
+	for _, st := range pl.Stages() {
+		if st == "teardown" {
+			continue
+		}
+		if opts.Retry.Max > 0 {
+			pl.RetryStage(st, opts.Retry)
+		}
+		if opts.StageDeadline > 0 {
+			pl.StageDeadline(st, opts.StageDeadline)
+		}
+	}
 
 	rec := pl.Run(ctx)
 	return RunResult{Record: rec, Validation: validation}, rec.Err

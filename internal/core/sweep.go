@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
+	"popper/internal/fault"
 	"popper/internal/pipeline"
 	"popper/internal/sched"
 	"popper/internal/table"
@@ -20,6 +22,16 @@ const SweepDir = "sweep"
 // present, `popper run` expands it into a configuration matrix.
 const SweepFile = "sweep.yml"
 
+// SweepJournalFile is the sweep journal, relative to the experiment
+// directory: one row per configuration with a known outcome. It is what
+// makes an interrupted sweep resumable — `-resume` adopts recorded
+// outcomes instead of re-running them (see docs/RESILIENCE.md).
+const SweepJournalFile = SweepDir + "/journal.csv"
+
+// FailuresFile is the quarantine report written next to results.csv:
+// one row per terminally failed configuration.
+const FailuresFile = "failures.csv"
+
 // SweepOptions tunes a parameter sweep.
 type SweepOptions struct {
 	// Jobs is the worker-pool bound: how many configurations execute
@@ -29,6 +41,28 @@ type SweepOptions struct {
 	// key material is unchanged replay instead of re-executing, both
 	// across configurations (setup) and across repeated sweeps.
 	Cache *pipeline.Cache
+	// Faults is the deterministic chaos injector threaded through every
+	// configuration's pipeline (sites "pipeline/<name>/<idx>/<stage>")
+	// and consulted before each configuration attempt (sites
+	// "sweep/<name>/config/<idx>"). Each configuration owns its sites,
+	// so the failure schedule is identical at every Jobs level.
+	Faults *fault.Injector
+	// Retry is the per-configuration retry policy: a configuration that
+	// fails retryably is re-run from a fresh workspace clone up to
+	// Retry.Max more times; injected crashes are terminal. Backoff
+	// delays are deterministic (ConfigRun.BackoffSeconds).
+	Retry fault.Retry
+	// Resume adopts outcomes recorded in the sweep journal instead of
+	// re-running configurations that already completed — the recovery
+	// path after an interrupted sweep. Entries whose parameters no
+	// longer match the configuration matrix are re-run.
+	Resume bool
+	// Limit, when > 0, executes at most that many pending
+	// configurations this invocation, leaving the rest unjournaled —
+	// a deterministic model of a mid-sweep interruption (the sweep
+	// stops cleanly after Limit configurations; a later Resume run
+	// finishes the rest).
+	Limit int
 }
 
 // ConfigRun is the outcome of one sweep configuration. Errors are
@@ -39,6 +73,23 @@ type ConfigRun struct {
 	Overrides map[string]string
 	Result    RunResult
 	Err       error
+	// Attempts is how many times the configuration executed this
+	// invocation (0 when the outcome was resumed or the configuration
+	// was skipped).
+	Attempts int
+	// Quarantined marks a terminally failed configuration: its error
+	// exhausted the retry policy (or was a crash), it is excluded from
+	// the merged results, and it is recorded in failures.csv.
+	Quarantined bool
+	// Resumed marks an outcome adopted from a prior sweep's journal
+	// without re-running the configuration.
+	Resumed bool
+	// Skipped marks a configuration this invocation never ran
+	// (SweepOptions.Limit cut it off); it has no recorded outcome.
+	Skipped bool
+	// BackoffSeconds is the total virtual backoff delay charged between
+	// attempts.
+	BackoffSeconds float64
 }
 
 // SweepResult is the outcome of RunSweep, in configuration (index)
@@ -46,27 +97,47 @@ type ConfigRun struct {
 type SweepResult struct {
 	Experiment string
 	Runs       []ConfigRun
-	// Results is the merged result table: every configuration's rows,
-	// annotated with the swept parameter values. Nil when no
-	// configuration produced results.
+	// Results is the merged result table: every completed
+	// configuration's rows, annotated with the swept parameter values.
+	// Nil when no configuration produced results.
 	Results *table.Table
+	// Failures is the quarantine table mirrored to failures.csv; nil
+	// when every configuration completed.
+	Failures *table.Table
 }
 
-// Passed reports whether every configuration ran and validated.
+// Passed reports whether every configuration ran (or was resumed) and
+// validated; a quarantined or still-pending configuration fails the
+// sweep.
 func (s SweepResult) Passed() bool {
 	for _, r := range s.Runs {
-		if r.Err != nil || !r.Result.Passed() {
+		if r.Skipped || r.Err != nil {
+			return false
+		}
+		if !r.Resumed && !r.Result.Passed() {
 			return false
 		}
 	}
 	return len(s.Runs) > 0
 }
 
-// Failed lists the configurations that errored.
+// Failed lists the configurations that errored (the quarantine set).
 func (s SweepResult) Failed() []ConfigRun {
 	var out []ConfigRun
 	for _, r := range s.Runs {
 		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Pending lists the configurations this invocation never ran (Limit
+// interruptions); resume the sweep to finish them.
+func (s SweepResult) Pending() []ConfigRun {
+	var out []ConfigRun
+	for _, r := range s.Runs {
+		if r.Skipped {
 			out = append(out, r)
 		}
 	}
@@ -82,7 +153,11 @@ func (s SweepResult) Err() error {
 	}
 	lines := make([]string, 0, len(failed))
 	for _, r := range failed {
-		lines = append(lines, fmt.Sprintf("config %d (%s): %v", r.Index, FormatOverrides(r.Overrides), r.Err))
+		attempts := ""
+		if r.Attempts > 1 {
+			attempts = fmt.Sprintf(" after %d attempts", r.Attempts)
+		}
+		lines = append(lines, fmt.Sprintf("config %d (%s)%s: %v", r.Index, FormatOverrides(r.Overrides), attempts, r.Err))
 	}
 	return fmt.Errorf("core: sweep %s: %d/%d configurations failed:\n  %s",
 		s.Experiment, len(failed), len(s.Runs), strings.Join(lines, "\n  "))
@@ -106,6 +181,56 @@ func FormatOverrides(overrides map[string]string) string {
 	return strings.Join(parts, " ")
 }
 
+// sweepJournalEntry is one parsed journal row.
+type sweepJournalEntry struct {
+	params   string
+	status   string // "ok" or "failed"
+	attempts int
+	detail   string // result hash (ok) or error text (failed)
+}
+
+// parseSweepJournal decodes the journal CSV into per-index entries.
+func parseSweepJournal(raw []byte) (map[int]sweepJournalEntry, error) {
+	t, err := table.ParseCSV(string(raw))
+	if err != nil {
+		return nil, fmt.Errorf("sweep journal: %w", err)
+	}
+	for _, col := range []string{"config", "params", "status", "attempts", "detail"} {
+		if !t.HasColumn(col) {
+			return nil, fmt.Errorf("sweep journal: missing column %q", col)
+		}
+	}
+	out := make(map[int]sweepJournalEntry, t.Len())
+	for r := 0; r < t.Len(); r++ {
+		idx, err := strconv.Atoi(t.MustCell(r, "config").Text())
+		if err != nil {
+			return nil, fmt.Errorf("sweep journal row %d: bad config index: %w", r, err)
+		}
+		attempts, err := strconv.Atoi(t.MustCell(r, "attempts").Text())
+		if err != nil {
+			return nil, fmt.Errorf("sweep journal row %d: bad attempts: %w", r, err)
+		}
+		out[idx] = sweepJournalEntry{
+			params:   t.MustCell(r, "params").Text(),
+			status:   t.MustCell(r, "status").Text(),
+			attempts: attempts,
+			detail:   t.MustCell(r, "detail").Text(),
+		}
+	}
+	return out, nil
+}
+
+// journalDetail flattens an outcome detail to a single CSV-stable line.
+func journalDetail(s string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(s, "\r", ""), "\n", " \\ ")
+}
+
+// sweepConfigPath is a path under one configuration's sweep output
+// directory.
+func sweepConfigPath(name string, idx int, rest string) string {
+	return expPath(name, fmt.Sprintf("%s/%03d/%s", SweepDir, idx, rest))
+}
+
 // RunSweep executes one experiment once per configuration, fanning the
 // configurations out over a bounded worker pool. Each configuration
 // runs against its own clone of the workspace, so configurations never
@@ -114,9 +239,20 @@ func FormatOverrides(overrides map[string]string) string {
 // table — every configuration's rows annotated with its overrides —
 // lands at experiments/<name>/results.csv.
 //
+// The sweep degrades gracefully under faults: a configuration that
+// fails retryably is re-run per SweepOptions.Retry from a fresh clone;
+// a configuration that fails terminally is quarantined — excluded from
+// the merged results and recorded, with its attempt count and error, in
+// experiments/<name>/failures.csv. Every completed configuration is
+// journaled (see SweepJournalFile), and a sweep re-run with Resume set
+// adopts journaled outcomes instead of re-running them, so an
+// interrupted sweep finishes exactly where an uninterrupted one would
+// have: results.csv, failures.csv and the journal come out
+// byte-identical at any Jobs level.
+//
 // Per-configuration failures are collected in the returned SweepResult
 // (see SweepResult.Err); the error return is reserved for sweep-level
-// problems such as an unknown experiment.
+// problems such as an unknown experiment or a corrupt journal.
 func (p *Project) RunSweep(name string, env *Env, configs []map[string]string, opts SweepOptions) (SweepResult, error) {
 	if env == nil {
 		env = &Env{Seed: 1}
@@ -130,17 +266,83 @@ func (p *Project) RunSweep(name string, env *Env, configs []map[string]string, o
 	sr := SweepResult{Experiment: name, Runs: make([]ConfigRun, len(configs))}
 	clones := make([]map[string][]byte, len(configs))
 
+	// Resume: adopt completed outcomes from the sweep journal.
+	prior := map[int]sweepJournalEntry{}
+	if opts.Resume {
+		if raw, ok := p.Files[expPath(name, SweepJournalFile)]; ok {
+			var err error
+			prior, err = parseSweepJournal(raw)
+			if err != nil {
+				return SweepResult{}, fmt.Errorf("core: sweep %s: %w", name, err)
+			}
+		}
+	}
+	var todo []int
+	for i := range configs {
+		run := &sr.Runs[i]
+		run.Index, run.Overrides = i, configs[i]
+		if ent, ok := prior[i]; ok && ent.params == FormatOverrides(configs[i]) {
+			switch ent.status {
+			case "ok":
+				// Only adopt a success whose per-config outputs are
+				// still present — the merge below re-reads them.
+				if _, have := p.Files[sweepConfigPath(name, i, "results.csv")]; have {
+					run.Resumed = true
+					continue
+				}
+			case "failed":
+				run.Resumed, run.Quarantined = true, true
+				run.Err = fmt.Errorf("%s", ent.detail)
+				continue
+			}
+		}
+		todo = append(todo, i)
+	}
+	if opts.Limit > 0 && len(todo) > opts.Limit {
+		for _, i := range todo[opts.Limit:] {
+			sr.Runs[i].Skipped = true
+		}
+		todo = todo[:opts.Limit]
+	}
+
 	pool := sched.NewPool(opts.Jobs)
-	pool.Each(len(configs), func(i int) error {
-		files := cloneFiles(p.Files)
-		clones[i] = files
-		proj := &Project{Files: files}
-		res, err := proj.RunExperimentOpts(name, env, RunOptions{
-			Cache:     opts.Cache,
-			Overrides: configs[i],
-		})
-		sr.Runs[i] = ConfigRun{Index: i, Overrides: configs[i], Result: res, Err: err}
-		return err
+	pool.Each(len(todo), func(k int) error {
+		i := todo[k]
+		run := &sr.Runs[i]
+		site := fmt.Sprintf("sweep/%s/config/%03d", name, i)
+		for attempt := 1; ; attempt++ {
+			run.Attempts = attempt
+			var err error
+			// Configuration-level faults model a whole config's host or
+			// process failing before the pipeline even starts.
+			if opts.Faults != nil {
+				if f := opts.Faults.Check(site); f != nil && f.Kind != fault.Latency {
+					err = f
+				}
+			}
+			if err == nil {
+				// Every attempt starts from a fresh clone: a failed
+				// attempt can never leak partial state into the retry.
+				files := sweepCloneFiles(p.Files, name)
+				clones[i] = files
+				proj := &Project{Files: files}
+				run.Result, err = proj.RunExperimentOpts(name, env, RunOptions{
+					Cache:      opts.Cache,
+					Overrides:  configs[i],
+					Faults:     opts.Faults,
+					FaultScope: fmt.Sprintf("%s/%03d", name, i),
+				})
+			}
+			run.Err = err
+			if err == nil {
+				return nil
+			}
+			if fault.IsCrash(err) || attempt > opts.Retry.Max {
+				run.Quarantined = true
+				return err
+			}
+			run.BackoffSeconds += opts.Retry.Delay(opts.Faults.Seed(), site, attempt)
+		}
 	})
 
 	// Deterministic merge: index order, regardless of completion order.
@@ -148,40 +350,90 @@ func (p *Project) RunSweep(name string, env *Env, configs []map[string]string, o
 	var merged *table.Table
 	for i := range configs {
 		run := &sr.Runs[i]
-		if run.Err != nil {
+		if run.Skipped || run.Err != nil {
 			continue
 		}
-		for path, content := range clones[i] {
-			if !strings.HasPrefix(path, prefix) {
+		var raw []byte
+		if run.Resumed {
+			// Adopted outcome: the per-config outputs already live in
+			// the workspace from the journaled run.
+			raw = p.Files[sweepConfigPath(name, i, "results.csv")]
+		} else {
+			for path, content := range clones[i] {
+				if !strings.HasPrefix(path, prefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(path, prefix)
+				if strings.HasPrefix(rest, SweepDir+"/") {
+					continue
+				}
+				if orig, ok := p.Files[path]; ok && bytes.Equal(orig, content) {
+					continue
+				}
+				p.Files[sweepConfigPath(name, i, rest)] = content
+			}
+			var ok bool
+			raw, ok = clones[i][expPath(name, "results.csv")]
+			if !ok {
 				continue
 			}
-			rest := strings.TrimPrefix(path, prefix)
-			if strings.HasPrefix(rest, SweepDir+"/") {
-				continue
-			}
-			if orig, ok := p.Files[path]; ok && bytes.Equal(orig, content) {
-				continue
-			}
-			p.Files[expPath(name, fmt.Sprintf("%s/%03d/%s", SweepDir, i, rest))] = content
-		}
-		raw, ok := clones[i][expPath(name, "results.csv")]
-		if !ok {
-			continue
 		}
 		t, err := table.ParseCSV(string(raw))
 		if err != nil {
 			run.Err = fmt.Errorf("core: sweep config %d results.csv: %w", i, err)
+			run.Quarantined = true
 			continue
 		}
 		var mergeErr error
 		merged, mergeErr = appendConfigRows(merged, t, configs[i])
 		if mergeErr != nil {
 			run.Err = fmt.Errorf("core: sweep config %d: %w", i, mergeErr)
+			run.Quarantined = true
 		}
 	}
 	sr.Results = merged
 	if merged != nil {
 		p.Files[expPath(name, "results.csv")] = []byte(merged.CSV())
+	}
+
+	// Quarantine report: one row per terminally failed configuration.
+	failures := table.New("config", "params", "attempts", "error")
+	journal := table.New("config", "params", "status", "attempts", "detail")
+	for i := range configs {
+		run := &sr.Runs[i]
+		if run.Skipped {
+			continue
+		}
+		params := FormatOverrides(run.Overrides)
+		status, attempts, detail := "ok", run.Attempts, ""
+		if run.Resumed {
+			// Carry the journaled record forward verbatim so a resumed
+			// sweep journals byte-identically to an uninterrupted one.
+			ent := prior[i]
+			attempts, detail = ent.attempts, ent.detail
+		} else if run.Err != nil {
+			detail = journalDetail(run.Err.Error())
+		} else {
+			detail = run.Result.Record.ResultHash
+		}
+		if run.Err != nil {
+			status = "failed"
+			failures.MustAppend(
+				table.Number(float64(i)), table.String(params),
+				table.Number(float64(attempts)), table.String(detail))
+		}
+		journal.MustAppend(
+			table.Number(float64(i)), table.String(params), table.String(status),
+			table.Number(float64(attempts)), table.String(detail))
+	}
+	if failures.Len() > 0 {
+		sr.Failures = failures
+		p.Files[expPath(name, FailuresFile)] = []byte(failures.CSV())
+	} else {
+		delete(p.Files, expPath(name, FailuresFile))
+	}
+	if journal.Len() > 0 {
+		p.Files[expPath(name, SweepJournalFile)] = []byte(journal.CSV())
 	}
 	return sr, nil
 }
@@ -214,6 +466,28 @@ func appendConfigRows(merged, t *table.Table, overrides map[string]string) (*tab
 func cloneFiles(files map[string][]byte) map[string][]byte {
 	out := make(map[string][]byte, len(files))
 	for k, v := range files {
+		out[k] = v
+	}
+	return out
+}
+
+// sweepCloneFiles clones the workspace for one configuration run,
+// excluding artifacts a previous sweep invocation generated (per-config
+// outputs, journal, merged results, quarantine report). A resumed
+// sweep's configurations therefore see exactly the workspace an
+// uninterrupted run's configurations saw — which is what makes resumed
+// results (and their workspace hashes) byte-identical.
+func sweepCloneFiles(files map[string][]byte, name string) map[string][]byte {
+	sweepPrefix := expPath(name, SweepDir) + "/"
+	skip := map[string]bool{
+		expPath(name, "results.csv"): true,
+		expPath(name, FailuresFile):  true,
+	}
+	out := make(map[string][]byte, len(files))
+	for k, v := range files {
+		if skip[k] || strings.HasPrefix(k, sweepPrefix) {
+			continue
+		}
 		out[k] = v
 	}
 	return out

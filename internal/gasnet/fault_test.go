@@ -1,0 +1,89 @@
+package gasnet
+
+import (
+	"bytes"
+	"testing"
+
+	"popper/internal/fault"
+)
+
+func TestInjectedPartitionSurfacesTyped(t *testing.T) {
+	w, _ := world(t, 2, 1<<20)
+	w.SetFaults(fault.NewInjector(3, []fault.Rule{
+		{Site: "gasnet/put/r0", Kind: fault.Partition, Msg: "link down"},
+	}))
+	err := w.Put(0, Addr{Rank: 1, Offset: 0}, []byte("hello"))
+	if err == nil {
+		t.Fatal("partitioned put must fail")
+	}
+	if !fault.IsPartition(err) {
+		t.Fatalf("partition must stay typed through the wrapper: %v", err)
+	}
+	// The fault hit before any byte moved: the target still reads zeros,
+	// and the unaffected rank can still write.
+	got, err := w.Get(1, Addr{Rank: 1, Offset: 0}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 5)) {
+		t.Fatalf("failed put must not write bytes: %q", got)
+	}
+	if err := w.Put(1, Addr{Rank: 0, Offset: 0}, []byte("ok")); err != nil {
+		t.Fatalf("other ranks must be unaffected: %v", err)
+	}
+}
+
+func TestInjectedPartitionOnVectoredOps(t *testing.T) {
+	w, _ := world(t, 2, 1<<20)
+	w.SetFaults(fault.NewInjector(3, []fault.Rule{
+		{Site: "gasnet/getv/r0", Kind: fault.Partition, Times: 1, Msg: "transient partition"},
+	}))
+	if err := w.Put(1, Addr{Rank: 1, Offset: 0}, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	addrs := []Addr{{Rank: 1, Offset: 0}}
+	bufs := [][]byte{make([]byte, 7)}
+	if _, err := w.GetvDeferClock(0, addrs, bufs); !fault.IsPartition(err) {
+		t.Fatalf("first vectored get must hit the partition: %v", err)
+	}
+	// The rule's window is exhausted; an idempotent re-issue succeeds
+	// and reads the full payload.
+	cost, err := w.GetvDeferClock(0, addrs, bufs)
+	if err != nil {
+		t.Fatalf("retry after transient partition: %v", err)
+	}
+	if cost <= 0 || string(bufs[0]) != "payload" {
+		t.Fatalf("retried get: cost=%g data=%q", cost, bufs[0])
+	}
+}
+
+func TestInjectedLatencyChargesClock(t *testing.T) {
+	run := func(rules []fault.Rule) float64 {
+		w, nodes := world(t, 2, 1<<20)
+		if rules != nil {
+			w.SetFaults(fault.NewInjector(3, rules))
+		}
+		if err := w.Put(0, Addr{Rank: 1, Offset: 0}, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		return nodes[0].Now()
+	}
+	clean := run(nil)
+	slow := run([]fault.Rule{{Site: "gasnet/put/r0", Kind: fault.Latency, Delay: 2.5}})
+	if got := slow - clean; got != 2.5 {
+		t.Fatalf("latency fault must charge exactly its delay: got %g", got)
+	}
+}
+
+func TestNilInjectorIsFree(t *testing.T) {
+	w, _ := world(t, 1, 1<<20)
+	buf := make([]byte, 64)
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := w.GetInto(0, Addr{Rank: 0, Offset: 0}, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("no-fault hot path allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"popper/internal/cluster"
+	"popper/internal/fault"
 	"popper/internal/metrics"
 )
 
@@ -155,6 +156,7 @@ type World struct {
 	reg      *metrics.Registry
 	putKeys  opKeys
 	getKeys  opKeys
+	faults   *fault.Injector
 }
 
 // New creates a world over the given nodes. The metrics registry is
@@ -174,6 +176,40 @@ func New(nodes []*cluster.Node, net *cluster.Network, reg *metrics.Registry) (*W
 		putKeys:  newOpKeys("put"),
 		getKeys:  newOpKeys("get"),
 	}, nil
+}
+
+// SetFaults installs a deterministic fault injector on the RDMA data
+// path (sites "gasnet/<op>/r<caller>" for op in put, get, putv, getv).
+// Injected partitions and errors surface as typed *fault.Fault errors
+// (detect with fault.IsPartition / fault.As) before any byte moves, so
+// a failed transfer never leaves a segment half-written and idempotent
+// retries are safe; injected latency is charged like transfer cost.
+// Install before the world is shared across goroutines.
+//
+// Determinism caveat: a site's occurrence counter advances in call
+// order, so occurrence-windowed rules (After/Times) are deterministic
+// only when the site's ops are issued serially; under concurrent
+// clients use occurrence-independent rules (prob 0 or 1, no window).
+func (w *World) SetFaults(inj *fault.Injector) { w.faults = inj }
+
+// Faults returns the installed fault injector (nil when chaos is off).
+func (w *World) Faults() *fault.Injector { return w.faults }
+
+// checkFault consults the injector for one RDMA op. It returns the
+// injected latency to fold into the transfer cost, or the typed fault
+// error to surface instead of transferring.
+func (w *World) checkFault(op string, caller int) (float64, error) {
+	if w.faults == nil {
+		return 0, nil
+	}
+	f := w.faults.Check(fmt.Sprintf("gasnet/%s/r%d", op, caller))
+	if f == nil {
+		return 0, nil
+	}
+	if f.Kind == fault.Latency {
+		return f.Delay, nil
+	}
+	return 0, fmt.Errorf("gasnet: %s from rank %d: %w", op, caller, f)
 }
 
 // Size returns the number of ranks.
@@ -302,7 +338,14 @@ func (w *World) PutFrom(caller int, target Addr, data []byte) error {
 	if err != nil {
 		return err
 	}
-	elapsed := w.net.RDMAWrite(w.nodes[caller], w.nodes[target.Rank], int64(len(data)))
+	delay, err := w.checkFault("put", caller)
+	if err != nil {
+		return err
+	}
+	if delay > 0 {
+		w.nodes[caller].Advance(delay)
+	}
+	elapsed := delay + w.net.RDMAWrite(w.nodes[caller], w.nodes[target.Rank], int64(len(data)))
 	seg.writeAt(target.Offset, data)
 	w.observe(&w.putKeys, caller == target.Rank, 1, int64(len(data)), elapsed)
 	return nil
@@ -329,7 +372,14 @@ func (w *World) GetInto(caller int, target Addr, buf []byte) error {
 	if err != nil {
 		return err
 	}
-	elapsed := w.net.RDMARead(w.nodes[caller], w.nodes[target.Rank], int64(len(buf)))
+	delay, err := w.checkFault("get", caller)
+	if err != nil {
+		return err
+	}
+	if delay > 0 {
+		w.nodes[caller].Advance(delay)
+	}
+	elapsed := delay + w.net.RDMARead(w.nodes[caller], w.nodes[target.Rank], int64(len(buf)))
 	seg.readAt(target.Offset, buf)
 	w.observe(&w.getKeys, caller == target.Rank, 1, int64(len(buf)), elapsed)
 	return nil
@@ -381,7 +431,16 @@ func (w *World) vectored(caller int, addrs []Addr, bufs [][]byte, isGet, advance
 			return 0, err
 		}
 	}
-	var elapsed float64
+	op := "putv"
+	if isGet {
+		op = "getv"
+	}
+	// Vectored ops fault atomically: the partition hits before any block
+	// of the batch moves, so retrying the whole batch is idempotent.
+	elapsed, ferr := w.checkFault(op, caller)
+	if ferr != nil {
+		return 0, ferr
+	}
 	var localOps, remoteOps int64
 	var localBytes, remoteBytes int64
 	for i, a := range addrs {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"popper/internal/cluster"
+	"popper/internal/fault"
 	"popper/internal/gasnet"
 	"popper/internal/sched"
 )
@@ -33,6 +34,31 @@ type fileSnap struct {
 	path   string
 	size   int64
 	blocks []gasnet.Addr
+}
+
+// retryTransfer runs one deferred-clock vectored transfer under the
+// mount's retry policy. Transfers fault atomically before any byte
+// moves and re-read/re-write the same buffers, so re-issuing one is
+// idempotent. Retryable faults (partitions, transient errors) are
+// retried up to Retry.Max times with deterministic backoff folded into
+// the returned virtual cost; crashes and non-fault errors (bounds,
+// detached segments) are terminal. key scopes the backoff jitter — use
+// the file path so every file's schedule is independent of pool
+// interleaving.
+func (fs *FS) retryTransfer(key string, op func() (float64, error)) (float64, error) {
+	var total float64
+	for attempt := 1; ; attempt++ {
+		cost, err := op()
+		total += cost
+		if err == nil {
+			return total, nil
+		}
+		f, ok := fault.As(err)
+		if !ok || !f.Retryable() || attempt > fs.opts.Retry.Max {
+			return total, err
+		}
+		total += fs.opts.Retry.Delay(fs.world.Faults().Seed(), key, attempt)
+	}
 }
 
 // blockSpans appends the (addr, buffer) pairs covering data laid out
@@ -101,7 +127,9 @@ func (c *Client) Checkpoint() (*Checkpoint, error) {
 			addrs := make([]gasnet.Addr, 0, nb)
 			bufs := make([][]byte, 0, nb)
 			addrs, bufs = blockSpans(fs.opts.BlockSize, f, data, addrs, bufs)
-			cost, err := fs.world.GetvDeferClock(c.rank, addrs, bufs)
+			cost, err := fs.retryTransfer(f.path, func() (float64, error) {
+				return fs.world.GetvDeferClock(c.rank, addrs, bufs)
+			})
 			if err != nil {
 				return fmt.Errorf("gassyfs: checkpoint %s: %w", f.path, err)
 			}
@@ -207,7 +235,9 @@ func (c *Client) Restore(ck *Checkpoint) error {
 		addrs := make([]gasnet.Addr, 0, nb)
 		bufs := make([][]byte, 0, nb)
 		addrs, bufs = blockSpans(fs.opts.BlockSize, f, data, addrs, bufs)
-		cost, err := fs.world.PutvDeferClock(c.rank, addrs, bufs)
+		cost, err := fs.retryTransfer(f.path, func() (float64, error) {
+			return fs.world.PutvDeferClock(c.rank, addrs, bufs)
+		})
 		if err != nil {
 			return fmt.Errorf("gassyfs: restore %s: %w", f.path, err)
 		}

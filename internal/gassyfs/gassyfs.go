@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"popper/internal/cluster"
+	"popper/internal/fault"
 	"popper/internal/gasnet"
 	"popper/internal/metrics"
 	"popper/internal/sched"
@@ -68,6 +69,12 @@ type Options struct {
 	// (checkpoint save/restore) fan out on; <= 0 means one worker per
 	// host CPU. Simulated results are identical for every value.
 	Jobs int
+	// Retry re-issues checkpoint/restore block transfers that fail with
+	// a retryable injected fault (partitions, transient errors — see
+	// gasnet.World.SetFaults) up to Retry.Max more times. Transfers are
+	// idempotent, so a retry is always safe; backoff is folded into the
+	// transfer's virtual cost. Crashes are terminal.
+	Retry fault.Retry
 	// Registry receives operation metrics (optional).
 	Registry *metrics.Registry
 }

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"popper/internal/cluster"
+	"popper/internal/fault"
 	"popper/internal/sched"
 	"popper/internal/yamlite"
 )
@@ -254,9 +255,19 @@ type TaskResult struct {
 	Module           string
 	Msg              string
 	Err              error
-	// Elapsed is the virtual seconds the task took on the host
-	// (round trip + on-host work); 0 for control-host tasks.
+	// Elapsed is the virtual seconds the task took on the host across
+	// all attempts (round trips + on-host work + retry backoff); 0 for
+	// control-host tasks.
 	Elapsed float64
+	// Attempts is how many times the task executed on this host (>1
+	// when the runner's retry policy absorbed transient failures).
+	Attempts int
+	// Changed reports whether the task mutated host state (the Ansible
+	// ok/changed distinction the RECAP surfaces).
+	Changed bool
+	// Quarantined marks the failure that pushed its host over the
+	// runner's quarantine threshold; the host runs no further tasks.
+	Quarantined bool
 }
 
 // Failed reports whether the task failed.
@@ -282,6 +293,25 @@ type Runner struct {
 	// the task still completes on the play's remaining hosts (their
 	// results are included) before the playbook stops.
 	Forks int
+	// Faults is the deterministic chaos injector consulted before each
+	// task attempt (sites "orchestrate/<host>/<task>"); nil disables
+	// injection. Sites are per (host, task), so forked execution draws
+	// the same fault schedule as serial execution.
+	Faults *fault.Injector
+	// Retry re-runs a failing task on its host up to Retry.Max more
+	// times; injected crashes are terminal. Backoff delays are charged
+	// to the host's logical clock. Builtin modules are idempotent, so
+	// re-running one is safe.
+	Retry fault.Retry
+	// QuarantineAfter, when > 0, switches the runner from fail-fast to
+	// degrade-gracefully: a task failure no longer stops the playbook;
+	// instead the failing host accumulates strikes, and a host reaching
+	// QuarantineAfter failed tasks is quarantined — excluded from every
+	// later task and play (FormatResults reports it). Run then returns
+	// an aggregate error describing the quarantined hosts, alongside
+	// the complete result list. 0 preserves the historical stop-at-
+	// first-failure behavior.
+	QuarantineAfter int
 }
 
 // NewRunner creates a runner with the builtin module set: ping, shell,
@@ -397,16 +427,55 @@ func (r *Runner) Check(pb *Playbook) error {
 	return nil
 }
 
-// Run executes the playbook. Execution stops at the first failing task
-// (results up to and including the failure are returned).
+// Run executes the playbook. With the default configuration execution
+// stops at the first failing task (results up to and including the
+// failure are returned). With QuarantineAfter > 0 the runner degrades
+// gracefully instead: failures strike the host, a host reaching the
+// threshold is quarantined out of all remaining tasks and plays, the
+// rest of the playbook completes, and the returned error (alongside the
+// complete result list) summarizes the quarantined hosts.
 func (r *Runner) Run(pb *Playbook) ([]TaskResult, error) {
 	if err := r.Check(pb); err != nil {
 		return nil, err
 	}
 	var results []TaskResult
 	forked := r.Forks > 1
+	strikes := make(map[string]int)
+	quarantined := make(map[string]bool)
+	// live filters a host list down to non-quarantined hosts.
+	live := func(all []*Host) []*Host {
+		if len(quarantined) == 0 {
+			return all
+		}
+		out := make([]*Host, 0, len(all))
+		for _, h := range all {
+			if !quarantined[h.Name] {
+				out = append(out, h)
+			}
+		}
+		return out
+	}
+	// strike records a task failure; it reports whether the playbook
+	// must stop (fail-fast mode) and marks the result that tipped its
+	// host into quarantine.
+	strike := func(res *TaskResult) (stop bool) {
+		if r.QuarantineAfter <= 0 {
+			return true
+		}
+		strikes[res.Host]++
+		if strikes[res.Host] >= r.QuarantineAfter && !quarantined[res.Host] {
+			quarantined[res.Host] = true
+			res.Quarantined = true
+		}
+		return false
+	}
 	for _, play := range pb.Plays {
-		hosts := r.inv.Group(play.HostGroup)
+		hosts := live(r.inv.Group(play.HostGroup))
+		if len(hosts) == 0 {
+			// Every host of the play is quarantined; skip it rather
+			// than fail the whole playbook.
+			continue
+		}
 		if play.GatherFacts {
 			if forked {
 				sched.NewPool(r.Forks).Each(len(hosts), func(i int) error {
@@ -436,55 +505,111 @@ func (r *Runner) Run(pb *Playbook) ([]TaskResult, error) {
 					taskResults[i] = r.runTask(play, task, hosts[i])
 					return nil
 				})
+				base := len(results)
 				results = append(results, taskResults...)
-				for i, res := range taskResults {
-					if res.Err != nil {
+				for i := base; i < len(results); i++ {
+					res := &results[i]
+					if res.Err != nil && strike(res) {
 						return results, fmt.Errorf("orchestrate: play %q task %q failed on %s: %w",
-							play.Name, task.Name, hosts[i].Name, res.Err)
+							play.Name, task.Name, res.Host, res.Err)
 					}
 				}
-				continue
-			}
-			for _, h := range hosts {
-				res := r.runTask(play, task, h)
-				results = append(results, res)
-				if res.Err != nil {
-					return results, fmt.Errorf("orchestrate: play %q task %q failed on %s: %w",
-						play.Name, task.Name, h.Name, res.Err)
+			} else {
+				stopped := false
+				for _, h := range hosts {
+					res := r.runTask(play, task, h)
+					failed := res.Err != nil
+					if failed {
+						stopped = strike(&res)
+					}
+					results = append(results, res)
+					if stopped {
+						return results, fmt.Errorf("orchestrate: play %q task %q failed on %s: %w",
+							play.Name, task.Name, h.Name, res.Err)
+					}
 				}
+			}
+			if hosts = live(hosts); len(hosts) == 0 {
+				break
 			}
 		}
 	}
+	if len(quarantined) > 0 {
+		names := make([]string, 0, len(quarantined))
+		for h := range quarantined {
+			names = append(names, h)
+		}
+		sort.Strings(names)
+		return results, fmt.Errorf("orchestrate: %d host(s) quarantined after repeated task failures: %s",
+			len(names), strings.Join(names, ", "))
+	}
 	return results, nil
+}
+
+// changedModules are the builtin modules that mutate host state — the
+// Ansible ok/changed distinction the RECAP reports.
+var changedModules = map[string]bool{
+	"copy": true, "pkg": true, "service": true, "set_fact": true,
 }
 
 func (r *Runner) runTask(play Play, task Task, h *Host) TaskResult {
 	res := TaskResult{Play: play.Name, Task: task.Name, Host: h.Name, Module: task.Module}
 	fn := r.modules[task.Module]
+	site := "orchestrate/" + h.Name + "/" + task.Name
 	start := 0.0
 	if h.Node != nil {
 		start = h.Node.Now()
-		if !r.Batched {
+	}
+	for attempt := 1; ; attempt++ {
+		res.Attempts = attempt
+		// Each attempt pays its own ssh round trip (a retry reconnects)
+		// unless the play was pushed as one batch.
+		if h.Node != nil && !r.Batched {
 			h.Node.Advance(r.SSHLatency)
 		}
-	}
-	args, terr := templateArgs(task.Args, play, h)
-	if terr != nil {
-		res.Err = terr
-		if h.Node != nil {
-			res.Elapsed = h.Node.Now() - start
+		var (
+			msg  string
+			work cluster.Work
+			err  error
+		)
+		if r.Faults != nil {
+			if f := r.Faults.Check(site); f != nil {
+				if f.Kind == fault.Latency {
+					if h.Node != nil {
+						h.Node.Advance(f.Delay)
+					}
+				} else {
+					err = f
+				}
+			}
 		}
-		return res
-	}
-	msg, work, err := fn(h, args)
-	res.Msg, res.Err = msg, err
-	if h.Node != nil {
 		if err == nil {
-			h.Node.Run(work)
+			var args map[string]string
+			if args, err = templateArgs(task.Args, play, h); err == nil {
+				msg, work, err = fn(h, args)
+			}
 		}
-		res.Elapsed = h.Node.Now() - start
+		res.Msg, res.Err = msg, err
+		if err == nil {
+			res.Changed = changedModules[task.Module] && msg != "already installed"
+			if h.Node != nil {
+				h.Node.Run(work)
+				res.Elapsed = h.Node.Now() - start
+			}
+			return res
+		}
+		// Crashes are terminal; other failures retry under the policy.
+		// Builtin modules are idempotent, so re-running one is safe.
+		if fault.IsCrash(err) || attempt > r.Retry.Max {
+			if h.Node != nil {
+				res.Elapsed = h.Node.Now() - start
+			}
+			return res
+		}
+		if delay := r.Retry.Delay(r.Faults.Seed(), site, attempt); h.Node != nil {
+			h.Node.Advance(delay)
+		}
 	}
-	return res
 }
 
 // templateArgs substitutes `{{ var }}` references in task arguments.
@@ -542,18 +667,60 @@ func (r *Runner) gatherFacts(h *Host) {
 	}
 }
 
-// FormatResults renders task results as a compact report.
+// FormatResults renders task results as a compact report: one line per
+// task (with retry counts), then an Ansible-style per-host recap.
 func FormatResults(results []TaskResult) string {
 	var sb strings.Builder
+	type tally struct {
+		ok, changed, failed int
+		quarantined         bool
+	}
+	tallies := make(map[string]*tally)
+	var hosts []string
 	for _, r := range results {
-		status := "ok"
-		if r.Failed() {
-			status = "FAILED"
+		t, seen := tallies[r.Host]
+		if !seen {
+			t = &tally{}
+			tallies[r.Host] = t
+			hosts = append(hosts, r.Host)
 		}
-		fmt.Fprintf(&sb, "%-6s [%s] %s on %s: %s\n", status, r.Play, r.Task, r.Host, r.Msg)
+		status := "ok"
+		switch {
+		case r.Failed():
+			status = "FAILED"
+			t.failed++
+		case r.Changed:
+			status = "chngd"
+			t.changed++
+			t.ok++
+		default:
+			t.ok++
+		}
+		attempts := ""
+		if r.Attempts > 1 {
+			attempts = fmt.Sprintf(" (%d attempts)", r.Attempts)
+		}
+		fmt.Fprintf(&sb, "%-6s [%s] %s on %s: %s%s\n", status, r.Play, r.Task, r.Host, r.Msg, attempts)
 		if r.Err != nil {
 			fmt.Fprintf(&sb, "       error: %v\n", r.Err)
 		}
+		if r.Quarantined {
+			t.quarantined = true
+			fmt.Fprintf(&sb, "       host %s quarantined: no further tasks will run on it\n", r.Host)
+		}
+	}
+	if len(hosts) == 0 {
+		return sb.String()
+	}
+	sort.Strings(hosts)
+	sb.WriteString("\nPLAY RECAP\n")
+	for _, h := range hosts {
+		t := tallies[h]
+		mark := ""
+		if t.quarantined {
+			mark = "   QUARANTINED"
+		}
+		fmt.Fprintf(&sb, "%-16s : ok=%-3d changed=%-3d failed=%-3d%s\n", h, t.ok, t.changed, t.failed, mark)
 	}
 	return sb.String()
 }

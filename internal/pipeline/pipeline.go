@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 
+	"popper/internal/fault"
 	"popper/internal/metrics"
 	"popper/internal/table"
 )
@@ -117,8 +118,39 @@ type Pipeline struct {
 	// outputs so a re-run keyed on inputs still hits.
 	CacheFilter func(path string) bool
 
+	// Faults, when set, is consulted before every stage attempt at site
+	// "pipeline/<scope>/<stage>" (see FaultScope). Injected errors fail
+	// the attempt, latency faults advance the Clock, and crashes are
+	// terminal (never retried). Callers running under an injector must
+	// mix its Fingerprint into CacheSalt so chaos runs never share
+	// cache entries with clean runs.
+	Faults *fault.Injector
+	// FaultScope overrides the pipeline name in fault site names. Sweeps
+	// scope it per configuration ("<experiment>/<idx>") so concurrent
+	// configurations draw from independent, deterministic fault streams.
+	FaultScope string
+	// Clock is the virtual clock stage deadlines, injected latency and
+	// retry backoff are measured on; lazily created when first needed.
+	// Sharing one clock across pipelines is allowed (it is internally
+	// locked) but forfeits per-run determinism under concurrency.
+	Clock *fault.Clock
+
+	retries   map[string]fault.Retry
+	timeouts  map[string]float64
 	cacheIDs  map[string]string
 	cacheDeps map[string][]string
+}
+
+// TimeoutError reports a stage that overran its virtual deadline. It is
+// retryable: a retry may hit fewer injected latency faults.
+type TimeoutError struct {
+	Stage             string
+	Elapsed, Deadline float64
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("pipeline: stage %s exceeded deadline: %.3fs elapsed > %.3fs allowed",
+		e.Stage, e.Elapsed, e.Deadline)
 }
 
 // New creates an empty pipeline.
@@ -126,9 +158,43 @@ func New(name string) *Pipeline {
 	return &Pipeline{
 		Name:      name,
 		stages:    make(map[string]StageFunc),
+		retries:   make(map[string]fault.Retry),
+		timeouts:  make(map[string]float64),
 		cacheIDs:  make(map[string]string),
 		cacheDeps: make(map[string][]string),
 	}
+}
+
+// RetryStage attaches a declarative retry policy to a registered stage:
+// on a retryable failure (anything but an injected crash) the stage is
+// re-executed up to policy.Max more times, the workspace restored to
+// its pre-attempt state first, with deterministic exponential backoff
+// charged to the pipeline's virtual Clock. Every attempt is visible in
+// the Record journal (StageResult.Attempts).
+func (p *Pipeline) RetryStage(name string, policy fault.Retry) error {
+	if _, ok := p.stages[name]; !ok {
+		return fmt.Errorf("pipeline: cannot set retry policy on unregistered stage %q", name)
+	}
+	if policy.Max < 0 {
+		return fmt.Errorf("pipeline: stage %q retry max must be >= 0", name)
+	}
+	p.retries[name] = policy
+	return nil
+}
+
+// StageDeadline bounds a registered stage's virtual elapsed time: when
+// the Clock advances more than `seconds` across an attempt (injected
+// latency is what moves it), the attempt fails with *TimeoutError —
+// retryable under the stage's retry policy.
+func (p *Pipeline) StageDeadline(name string, seconds float64) error {
+	if _, ok := p.stages[name]; !ok {
+		return fmt.Errorf("pipeline: cannot set deadline on unregistered stage %q", name)
+	}
+	if seconds <= 0 {
+		return fmt.Errorf("pipeline: stage %q deadline must be positive", name)
+	}
+	p.timeouts[name] = seconds
+	return nil
 }
 
 // CacheStage marks a registered stage as cacheable. id is the stage's
@@ -195,6 +261,11 @@ type StageResult struct {
 	// Cached reports that the stage was replayed from the content-
 	// addressed stage cache instead of executing.
 	Cached bool
+	// Attempts is how many times the stage executed (1 without a retry
+	// policy; 0 for skipped or cached stages). Journaling the attempt
+	// count is what keeps chaos replays auditable: a re-run that needed
+	// a different number of attempts did not reproduce the schedule.
+	Attempts int
 }
 
 // Record is the outcome of one pipeline execution.
@@ -254,8 +325,8 @@ func (p *Pipeline) Run(ctx *Context) Record {
 			before := snapshotRefs(ctx.Workspace)
 			ctx.Logf("--- stage %s", name)
 			mark := ctx.logLen()
-			err := fn(ctx)
-			rec.Stages = append(rec.Stages, StageResult{Stage: name, Err: err, Ran: true})
+			attempts, err := p.execStage(name, fn, ctx)
+			rec.Stages = append(rec.Stages, StageResult{Stage: name, Err: err, Ran: true, Attempts: attempts})
 			if err != nil {
 				ctx.Logf("stage %s failed: %v", name, err)
 				rec.Err = fmt.Errorf("pipeline %s: stage %s: %w", p.Name, name, err)
@@ -268,8 +339,8 @@ func (p *Pipeline) Run(ctx *Context) Record {
 			continue
 		}
 		ctx.Logf("--- stage %s", name)
-		err := fn(ctx)
-		rec.Stages = append(rec.Stages, StageResult{Stage: name, Err: err, Ran: true})
+		attempts, err := p.execStage(name, fn, ctx)
+		rec.Stages = append(rec.Stages, StageResult{Stage: name, Err: err, Ran: true, Attempts: attempts})
 		if err != nil {
 			ctx.Logf("stage %s failed: %v", name, err)
 			if !failed {
@@ -281,6 +352,85 @@ func (p *Pipeline) Run(ctx *Context) Record {
 	rec.Log = ctx.logString()
 	rec.ResultHash = hashWorkspace(ctx.Workspace)
 	return rec
+}
+
+// execStage runs one stage through its resilience envelope: fault
+// injection, virtual deadline, and the retry policy. Returns the number
+// of attempts executed and the final error. When no injector, policy or
+// deadline is configured the stage runs exactly as it always has — one
+// direct call, zero extra allocation.
+func (p *Pipeline) execStage(name string, fn StageFunc, ctx *Context) (int, error) {
+	policy, hasRetry := p.retries[name]
+	deadline := p.timeouts[name]
+	if p.Faults == nil && !hasRetry && deadline == 0 {
+		return 1, fn(ctx)
+	}
+	if p.Clock == nil {
+		p.Clock = fault.NewClock()
+	}
+	scope := p.FaultScope
+	if scope == "" {
+		scope = p.Name
+	}
+	site := "pipeline/" + scope + "/" + name
+	// Retries re-run the stage from its pre-attempt workspace; snapshot
+	// the map shallowly (stages replace entries rather than mutating
+	// bytes, per the Context contract) so a half-written attempt never
+	// leaks into the next one.
+	var snap map[string][]byte
+	if policy.Max > 0 {
+		snap = make(map[string][]byte, len(ctx.Workspace))
+		for k, v := range ctx.Workspace {
+			snap[k] = v
+		}
+	}
+	for attempt := 1; ; attempt++ {
+		start := p.Clock.Now()
+		var err error
+		if p.Faults != nil {
+			if f := p.Faults.Check(site); f != nil {
+				if f.Kind == fault.Latency {
+					p.Clock.Advance(f.Delay)
+					ctx.Logf("stage %s: injected %.3fs latency (%s#%d)", name, f.Delay, f.Site, f.Occurrence)
+				} else {
+					err = f
+				}
+			}
+		}
+		if err == nil {
+			err = fn(ctx)
+		}
+		if err == nil && deadline > 0 {
+			if elapsed := p.Clock.Now() - start; elapsed > deadline {
+				err = &TimeoutError{Stage: name, Elapsed: elapsed, Deadline: deadline}
+			}
+		}
+		if err == nil {
+			return attempt, nil
+		}
+		if fault.IsCrash(err) || attempt > policy.Max {
+			return attempt, err
+		}
+		delay := policy.Delay(p.Faults.Seed(), site, attempt)
+		p.Clock.Advance(delay)
+		ctx.Logf("stage %s: attempt %d failed (%v); retrying in %.3fs", name, attempt, err, delay)
+		if snap != nil {
+			restoreWorkspace(ctx.Workspace, snap)
+		}
+	}
+}
+
+// restoreWorkspace resets ws to the snapshot: entries added since are
+// dropped, changed or removed entries restored.
+func restoreWorkspace(ws, snap map[string][]byte) {
+	for k := range ws {
+		if _, ok := snap[k]; !ok {
+			delete(ws, k)
+		}
+	}
+	for k, v := range snap {
+		ws[k] = v
+	}
 }
 
 func copyParams(p map[string]string) map[string]string {

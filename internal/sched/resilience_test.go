@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"popper/internal/fault"
+)
+
+func TestEachOptsFailFastSerial(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	errs := NewPool(1).EachOpts(10, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	}, Options{FailFast: true})
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("serial fail-fast ran %d tasks, want 4", got)
+	}
+	if errs[3] != boom {
+		t.Fatalf("errs[3] = %v", errs[3])
+	}
+	for i := 4; i < 10; i++ {
+		if errs[i] != ErrSkipped {
+			t.Fatalf("errs[%d] = %v, want ErrSkipped", i, errs[i])
+		}
+	}
+	if FirstError(errs) != boom {
+		t.Fatalf("FirstError must report the failure, not the skips: %v", FirstError(errs))
+	}
+}
+
+func TestEachOptsFailFastParallel(t *testing.T) {
+	var ran atomic.Int32
+	errs := NewPool(2).EachOpts(200, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		return nil
+	}, Options{FailFast: true})
+	skipped := 0
+	for _, err := range errs {
+		if err == ErrSkipped {
+			skipped++
+		}
+	}
+	// Which tasks were in flight when the failure landed is
+	// scheduling-dependent, but dispatch must stop: with 200 tasks and
+	// 2 workers, at least one task is skipped and skipped + ran covers
+	// every slot.
+	if skipped == 0 {
+		t.Fatal("parallel fail-fast dispatched every task")
+	}
+	if int(ran.Load())+skipped != 200 {
+		t.Fatalf("ran %d + skipped %d != 200", ran.Load(), skipped)
+	}
+}
+
+func TestEachDefaultRunsEverything(t *testing.T) {
+	// The historical contract is unchanged by default: every index runs
+	// even when earlier ones fail.
+	var ran atomic.Int32
+	errs := NewPool(4).Each(50, func(i int) error {
+		ran.Add(1)
+		if i%7 == 0 {
+			return fmt.Errorf("task %d", i)
+		}
+		return nil
+	})
+	if got := ran.Load(); got != 50 {
+		t.Fatalf("default Each ran %d/50 tasks", got)
+	}
+	for i, err := range errs {
+		if err == ErrSkipped {
+			t.Fatalf("default Each skipped task %d", i)
+		}
+	}
+}
+
+func TestEachOptsCancel(t *testing.T) {
+	var canceled atomic.Bool
+	var ran atomic.Int32
+	errs := NewPool(1).EachOpts(10, func(i int) error {
+		ran.Add(1)
+		if i == 1 {
+			canceled.Store(true)
+		}
+		return nil
+	}, Options{Cancel: canceled.Load})
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("ran %d tasks after cancellation, want 2", got)
+	}
+	for i := 2; i < 10; i++ {
+		if errs[i] != ErrSkipped {
+			t.Fatalf("errs[%d] = %v, want ErrSkipped", i, errs[i])
+		}
+	}
+}
+
+func TestMapOptsSkippedZeroValue(t *testing.T) {
+	vals, errs := MapOpts(NewPool(1), 5, func(i int) (int, error) {
+		if i == 1 {
+			return 0, errors.New("stop")
+		}
+		return i * 10, nil
+	}, Options{FailFast: true})
+	if vals[0] != 0 || vals[1] != 0 {
+		t.Fatalf("vals = %v", vals)
+	}
+	for i := 2; i < 5; i++ {
+		if vals[i] != 0 || errs[i] != ErrSkipped {
+			t.Fatalf("slot %d = (%d, %v), want zero/skipped", i, vals[i], errs[i])
+		}
+	}
+}
+
+func TestEachTimedDeadline(t *testing.T) {
+	// Tasks advance their own virtual clock; the deadline is enforced
+	// on virtual time only, so outcomes are identical at any pool size.
+	for _, workers := range []int{1, 4} {
+		errs := NewPool(workers).EachTimed(6, func(i int, clk *fault.Clock) error {
+			clk.Advance(float64(i)) // task i takes i virtual seconds
+			if i == 5 {
+				return errors.New("task error wins over deadline tagging")
+			}
+			return nil
+		}, Options{TaskDeadline: 3})
+		for i := 0; i <= 3; i++ {
+			if errs[i] != nil {
+				t.Fatalf("workers=%d: task %d within deadline failed: %v", workers, i, errs[i])
+			}
+		}
+		var de *DeadlineError
+		if !errors.As(errs[4], &de) || de.Task != 4 || de.Elapsed != 4 || de.Deadline != 3 {
+			t.Fatalf("workers=%d: errs[4] = %v", workers, errs[4])
+		}
+		if errs[5] == nil || errors.As(errs[5], &de) && errs[5].Error() == de.Error() {
+			t.Fatalf("workers=%d: task error must be preserved: %v", workers, errs[5])
+		}
+	}
+}
+
+func TestEachTimedNoDeadline(t *testing.T) {
+	errs := NewPool(2).EachTimed(3, func(i int, clk *fault.Clock) error {
+		clk.Advance(1e6)
+		return nil
+	}, Options{})
+	if FirstError(errs) != nil {
+		t.Fatalf("no deadline must mean no deadline errors: %v", FirstError(errs))
+	}
+}
+
+// TestEachNoFaultAllocationBounds pins the no-fault hot path: dispatch
+// through EachOpts must not allocate per task beyond the caller-visible
+// error slice, so threading resilience options through every layer
+// costs nothing when no injector or policy is configured.
+func TestEachNoFaultAllocationBounds(t *testing.T) {
+	pool := NewPool(1)
+	fn := func(i int) error { return nil }
+	const n = 100
+	allocs := testing.AllocsPerRun(20, func() {
+		pool.EachOpts(n, fn, Options{})
+	})
+	// One allocation for the errs slice; nothing per task.
+	if allocs > 1 {
+		t.Fatalf("EachOpts allocates %.1f/call for %d tasks, want <= 1 (zero per task)", allocs, n)
+	}
+}
