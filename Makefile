@@ -3,7 +3,10 @@ GO ?= go
 # Seed matrix for the chaos suite; override with CHAOS_SEEDS="1 2 3".
 CHAOS_SEEDS ?= 42 7 1337
 
-.PHONY: build test vet race verify bench bench-gassyfs chaos
+# Seed matrix for the disk-crash suite; override with CRASH_SEEDS="...".
+CRASH_SEEDS ?= 42 7 1337
+
+.PHONY: build test vet race verify bench bench-gassyfs chaos crash
 
 build:
 	$(GO) build ./...
@@ -19,8 +22,8 @@ race:
 
 # The full verification loop: tier-1 (build + test) plus static
 # analysis, the race detector over the concurrent sweep/cache/Aver
-# paths, and the seeded chaos suite.
-verify: build vet test race chaos
+# paths, the seeded chaos suite, and the disk-crash matrix.
+verify: build vet test race chaos crash
 
 # Chaos determinism suite: the fault-injection golden tests under the
 # race detector, once per seed in the matrix. Each seed is a different
@@ -34,6 +37,21 @@ chaos:
 			-run 'Chaos|Fault|Retry|Quarantine|Resilien|Partition|Crash|Deadline|FailFast|Resume' \
 			./internal/fault/ ./internal/sched/ ./internal/pipeline/ \
 			./internal/core/ ./internal/orchestrate/ ./internal/gasnet/ ./internal/gassyfs/ \
+			|| exit 1; \
+	done
+
+# Disk-crash convergence suite: for every write/rename/fsync boundary
+# in the artifact store's sync path, crash exactly there and prove that
+# `popper fsck --repair` + `popper run -resume` reproduces a repository
+# byte-identical to one that never crashed — under the race detector,
+# once per seed (see docs/RESILIENCE.md, "Durability and crash
+# recovery").
+crash:
+	@for seed in $(CRASH_SEEDS); do \
+		echo "-- disk-crash suite, seed $$seed"; \
+		CHAOS_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'DiskCrash|CrashMatrix|Fsck|Repair|Durable|Store|Sync|Manifest|Tracked|MemFS|DirFS|Resume|Recovery|Interrupted' \
+			./internal/store/ ./internal/fault/ ./internal/core/ ./cmd/popper/ \
 			|| exit 1; \
 	done
 

@@ -20,6 +20,17 @@
 //	popper machines                  list simulated machine profiles
 //	popper report                    render report.html from the repo
 //	popper build-paper               render paper/paper.tex
+//	popper fsck [--repair]           verify the tree against the artifact
+//	                                 manifest; --repair restores damaged
+//	                                 files from the object cache,
+//	                                 quarantines what it cannot prove,
+//	                                 and rolls back interrupted syncs
+//
+// Every command reads and writes the repository through the
+// crash-consistent artifact store (internal/store): workspace changes
+// land via atomic durable writes under a two-phase manifest commit, so
+// a crash mid-command never tears the repository — `popper fsck
+// --repair` plus `popper -resume run` recovers it exactly.
 //
 // The CLI operates on the current directory (override with -C <dir>).
 package main
@@ -37,6 +48,7 @@ import (
 	"popper/internal/fault"
 	"popper/internal/orchestrate"
 	"popper/internal/pipeline"
+	"popper/internal/store"
 )
 
 func main() {
@@ -57,7 +69,7 @@ func run(args []string) error {
 	resume := fs.Bool("resume", false, "resume an interrupted sweep from its journal in `popper run`")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: popper [-C dir] [-seed n] [-jobs n] [-no-cache] [-faults f] [-max-retries n] [-resume] <command> [args]")
-		fmt.Fprintln(os.Stderr, "commands: init, experiment list, add, paper, check, lint, run, ci, machines, report, build-paper")
+		fmt.Fprintln(os.Stderr, "commands: init, experiment list, add, paper, check, lint, run, ci, machines, report, build-paper, fsck")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -83,7 +95,7 @@ func run(args []string) error {
 			fmt.Print(core.FormatPaperTemplateList())
 			return nil
 		case len(rest) == 3 && rest[1] == "add":
-			return withProject(*dir, func(p *core.Project) error {
+			return withProject(*dir, func(p *core.Project, _ *store.Store) error {
 				if err := p.AddPaper(rest[2]); err != nil {
 					return err
 				}
@@ -96,7 +108,7 @@ func run(args []string) error {
 		if len(rest) != 3 {
 			return fmt.Errorf("usage: popper add <template> <name>")
 		}
-		return withProject(*dir, func(p *core.Project) error {
+		return withProject(*dir, func(p *core.Project, _ *store.Store) error {
 			if err := p.AddExperiment(rest[1], rest[2]); err != nil {
 				return err
 			}
@@ -104,7 +116,7 @@ func run(args []string) error {
 			return nil
 		})
 	case "check":
-		return withProject(*dir, func(p *core.Project) error {
+		return withProject(*dir, func(p *core.Project, _ *store.Store) error {
 			rep := p.Check()
 			fmt.Print(rep.String())
 			if !rep.Compliant() {
@@ -113,7 +125,7 @@ func run(args []string) error {
 			return nil
 		})
 	case "lint":
-		return withProject(*dir, func(p *core.Project) error {
+		return withProject(*dir, func(p *core.Project, _ *store.Store) error {
 			for _, name := range p.Experiments() {
 				raw, ok := p.ExperimentFile(name, "setup.yml")
 				if !ok {
@@ -130,7 +142,7 @@ func run(args []string) error {
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: popper run <experiment>")
 		}
-		return withProject(*dir, func(p *core.Project) error {
+		return withProject(*dir, func(p *core.Project, st *store.Store) error {
 			name := rest[1]
 			env := &core.Env{Seed: *seed}
 			var cache *pipeline.Cache
@@ -151,6 +163,10 @@ func run(args []string) error {
 					return err
 				}
 				injector = spec.Injector()
+				// Disk sites ("disk/<op>/<path>") share the same schedule:
+				// crash-disk rules kill the command at an exact write,
+				// rename or fsync boundary.
+				st.SetFaults(injector)
 				fmt.Printf("-- chaos run: %d fault rules, seed %d (fingerprint %s)\n",
 					len(spec.Rules), spec.Seed, injector.Fingerprint())
 			}
@@ -164,6 +180,10 @@ func run(args []string) error {
 				sr, err := p.RunSweep(name, env, configs, core.SweepOptions{
 					Jobs: *jobs, Cache: cache,
 					Faults: injector, Retry: retry, Resume: *resume,
+					// Journal durability: every completed configuration's
+					// outcome is committed to the artifact store immediately,
+					// so a crash mid-sweep is resumable from the last config.
+					Durable: st.Put,
 				})
 				if err != nil {
 					return err
@@ -208,7 +228,7 @@ func run(args []string) error {
 	case "ci":
 		// run the repository's CI script locally, exactly as the service
 		// would on a commit
-		return withProject(*dir, func(p *core.Project) error {
+		return withProject(*dir, func(p *core.Project, _ *store.Store) error {
 			var cfgSrc []byte
 			for _, name := range []string{".popper-ci.yml", core.CIFile} {
 				if content, ok := p.Files[name]; ok {
@@ -265,7 +285,7 @@ func run(args []string) error {
 		}
 		return nil
 	case "report":
-		return withProject(*dir, func(p *core.Project) error {
+		return withProject(*dir, func(p *core.Project, _ *store.Store) error {
 			html, err := p.Report()
 			if err != nil {
 				return err
@@ -275,13 +295,24 @@ func run(args []string) error {
 			return nil
 		})
 	case "build-paper":
-		return withProject(*dir, func(p *core.Project) error {
+		return withProject(*dir, func(p *core.Project, _ *store.Store) error {
 			if err := p.BuildPaper(); err != nil {
 				return err
 			}
 			fmt.Println("-- paper built: paper/paper.pdf")
 			return nil
 		})
+	case "fsck":
+		repair := false
+		for _, arg := range rest[1:] {
+			switch arg {
+			case "--repair", "-repair":
+				repair = true
+			default:
+				return fmt.Errorf("usage: popper fsck [--repair]")
+			}
+		}
+		return cmdFsck(*dir, repair)
 	default:
 		fs.Usage()
 		return fmt.Errorf("unknown command %q", rest[0])
@@ -289,42 +320,99 @@ func run(args []string) error {
 }
 
 func cmdInit(dir string) error {
-	if core.Initialized(mustLoadDir(dir)) {
+	st := store.Open(dir)
+	files, err := st.Load()
+	if err != nil {
+		return err
+	}
+	if core.Initialized(files) {
 		return fmt.Errorf("%s is already a Popper repository", dir)
 	}
 	p := core.Init()
-	if err := saveDir(dir, p.Files, nil); err != nil {
+	// Keep whatever already lives in the directory: the first manifest
+	// generation should describe the whole tracked tree.
+	for path, content := range files {
+		if _, ok := p.Files[path]; !ok {
+			p.Files[path] = content
+		}
+	}
+	if _, err := st.Sync(p.Files); err != nil {
 		return err
 	}
 	fmt.Println("-- Initialized Popper repo")
 	return nil
 }
 
-// withProject loads the workspace, applies fn, and writes changes back.
-func withProject(dir string, fn func(*core.Project) error) error {
-	files := mustLoadDir(dir)
+// cmdFsck verifies the repository against its artifact manifest and,
+// with --repair, heals it: restore from the object cache, adopt
+// strays, quarantine the unprovable, roll back interrupted syncs.
+func cmdFsck(dir string, repair bool) error {
+	if _, err := os.Stat(filepath.Join(dir, ".popper", "manifest")); err != nil {
+		if _, cerr := os.Stat(filepath.Join(dir, core.ConfigFile)); cerr != nil {
+			return fmt.Errorf("%s is not a Popper repository (no %s and no artifact manifest)", dir, core.ConfigFile)
+		}
+	}
+	st := store.Open(dir)
+	rep, err := st.Fsck()
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Format())
+	if !repair {
+		if !rep.Clean() {
+			return fmt.Errorf("repository needs repair (re-run with --repair)")
+		}
+		return nil
+	}
+	if rep.Clean() {
+		fmt.Println("-- nothing to repair")
+		return nil
+	}
+	acts, rerr := st.Repair(rep)
+	for _, a := range acts {
+		fmt.Println("  " + a.String())
+	}
+	if rerr != nil {
+		return rerr
+	}
+	after, err := st.Fsck()
+	if err != nil {
+		return err
+	}
+	if !after.Clean() {
+		return fmt.Errorf("repository still unhealthy after repair:\n%s", after.Format())
+	}
+	fmt.Println("-- repaired: repository is consistent with its manifest")
+	return nil
+}
+
+// withProject loads the workspace through the artifact store, applies
+// fn, and syncs changes back crash-consistently: atomic durable writes
+// under a two-phase manifest commit, with stale files pruned by the
+// manifest diff.
+func withProject(dir string, fn func(*core.Project, *store.Store) error) error {
+	st := store.Open(dir)
+	files, err := st.Load()
+	if err != nil {
+		return err
+	}
 	p, err := core.Load(files)
 	if err != nil {
 		return err
 	}
-	before := snapshot(p.Files)
-	ferr := fn(p)
-	if err := saveDir(dir, p.Files, before); err != nil {
-		return err
+	ferr := fn(p, st)
+	if _, serr := st.Sync(p.Files); serr != nil {
+		if ferr != nil {
+			return fmt.Errorf("%v (additionally, the workspace sync failed: %v)", ferr, serr)
+		}
+		return serr
 	}
 	return ferr
 }
 
-func snapshot(files map[string][]byte) map[string]string {
-	out := make(map[string]string, len(files))
-	for k, v := range files {
-		out[k] = string(v)
-	}
-	return out
-}
-
 // mustLoadDir reads a directory tree into a flat path map (skipping
-// dot-directories like .git).
+// dot-directories like .git). The store's Load is the production path;
+// this survives as the reference loader the tests cross-check.
 func mustLoadDir(dir string) map[string][]byte {
 	files := map[string][]byte{}
 	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
@@ -354,23 +442,4 @@ func mustLoadDir(dir string) map[string][]byte {
 		return nil
 	})
 	return files
-}
-
-// saveDir writes new or changed files back to disk.
-func saveDir(dir string, files map[string][]byte, before map[string]string) error {
-	for rel, content := range files {
-		if before != nil {
-			if old, ok := before[rel]; ok && old == string(content) {
-				continue
-			}
-		}
-		path := filepath.Join(dir, filepath.FromSlash(rel))
-		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			return err
-		}
-		if err := os.WriteFile(path, content, 0o644); err != nil {
-			return err
-		}
-	}
-	return nil
 }

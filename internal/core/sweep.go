@@ -2,10 +2,12 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"popper/internal/fault"
 	"popper/internal/pipeline"
@@ -63,7 +65,34 @@ type SweepOptions struct {
 	// stops cleanly after Limit configurations; a later Resume run
 	// finishes the rest).
 	Limit int
+	// Durable, when set, is called with the sweep journal (workspace
+	// path + full content) after every configuration completes, so
+	// progress reaches stable storage mid-sweep instead of only at the
+	// final workspace sync. `popper run` wires this to the artifact
+	// store's Put: a crash between configurations loses at most the
+	// in-flight ones. Calls are serialized; the first error stops
+	// further calls and fails the sweep.
+	Durable func(path string, data []byte) error
 }
+
+// ResumeError reports that -resume cannot trust the sweep journal: it
+// is missing while per-configuration outputs exist, or it does not
+// parse (torn by a crash, or damaged). The repair path is `popper fsck
+// --repair`, which restores the journal from the artifact store's
+// object cache — or quarantines it, after which a plain re-run
+// regenerates every configuration.
+type ResumeError struct {
+	Experiment string
+	Path       string
+	Err        error
+}
+
+func (e *ResumeError) Error() string {
+	return fmt.Sprintf("core: sweep %s: cannot resume: journal %s: %v; run `popper fsck --repair`, or re-run without -resume to regenerate everything",
+		e.Experiment, e.Path, e.Err)
+}
+
+func (e *ResumeError) Unwrap() error { return e.Err }
 
 // ConfigRun is the outcome of one sweep configuration. Errors are
 // collected per configuration — a failing configuration never aborts
@@ -225,6 +254,76 @@ func journalDetail(s string) string {
 	return strings.ReplaceAll(strings.ReplaceAll(s, "\r", ""), "\n", " \\ ")
 }
 
+// journalRow is one configuration's journal record, owned by the
+// worker that produced it.
+type journalRow struct {
+	index    int
+	params   string
+	status   string
+	attempts int
+	detail   string
+}
+
+// durableJournal serializes incremental journal writes: each completed
+// configuration re-renders the full journal (index order, identical
+// bytes to the final one) and hands it to the Durable sink. The first
+// sink error stops further writes and fails the sweep.
+type durableJournal struct {
+	path  string
+	write func(path string, data []byte) error
+	mu    sync.Mutex
+	rows  []journalRow
+	werr  error
+}
+
+func (d *durableJournal) record(row journalRow) {
+	if d.write == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.werr != nil {
+		return
+	}
+	d.rows = append(d.rows, row)
+	d.werr = d.write(d.path, journalCSV(d.rows))
+}
+
+func (d *durableJournal) err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.werr
+}
+
+// journalCSV renders journal rows in configuration order — the same
+// column set and formatting the final journal uses, so the last
+// incremental write and the final sync are byte-identical.
+func journalCSV(rows []journalRow) []byte {
+	sorted := append([]journalRow(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].index < sorted[j].index })
+	t := table.New("config", "params", "status", "attempts", "detail")
+	for _, r := range sorted {
+		t.MustAppend(
+			table.Number(float64(r.index)), table.String(r.params), table.String(r.status),
+			table.Number(float64(r.attempts)), table.String(r.detail))
+	}
+	return []byte(t.CSV())
+}
+
+// hasSweepOutputs reports whether any per-configuration sweep output
+// exists for the experiment (journal aside) — evidence that a sweep ran
+// here before.
+func (p *Project) hasSweepOutputs(name string) bool {
+	prefix := expPath(name, SweepDir) + "/"
+	journal := expPath(name, SweepJournalFile)
+	for path := range p.Files {
+		if strings.HasPrefix(path, prefix) && path != journal {
+			return true
+		}
+	}
+	return false
+}
+
 // sweepConfigPath is a path under one configuration's sweep output
 // directory.
 func sweepConfigPath(name string, idx int, rest string) string {
@@ -266,15 +365,22 @@ func (p *Project) RunSweep(name string, env *Env, configs []map[string]string, o
 	sr := SweepResult{Experiment: name, Runs: make([]ConfigRun, len(configs))}
 	clones := make([]map[string][]byte, len(configs))
 
-	// Resume: adopt completed outcomes from the sweep journal.
+	// Resume: adopt completed outcomes from the sweep journal. A journal
+	// -resume cannot trust is a typed error pointing at fsck, not a
+	// silent full re-run — silently discarding recorded outcomes would
+	// hide the damage.
 	prior := map[int]sweepJournalEntry{}
 	if opts.Resume {
-		if raw, ok := p.Files[expPath(name, SweepJournalFile)]; ok {
+		journalPath := expPath(name, SweepJournalFile)
+		if raw, ok := p.Files[journalPath]; ok {
 			var err error
 			prior, err = parseSweepJournal(raw)
 			if err != nil {
-				return SweepResult{}, fmt.Errorf("core: sweep %s: %w", name, err)
+				return SweepResult{}, &ResumeError{Experiment: name, Path: journalPath, Err: err}
 			}
+		} else if p.hasSweepOutputs(name) {
+			return SweepResult{}, &ResumeError{Experiment: name, Path: journalPath,
+				Err: errors.New("journal missing but per-configuration outputs exist")}
 		}
 	}
 	var todo []int
@@ -303,6 +409,23 @@ func (p *Project) RunSweep(name string, env *Env, configs []map[string]string, o
 			sr.Runs[i].Skipped = true
 		}
 		todo = todo[:opts.Limit]
+	}
+
+	// Incremental durability: every completed configuration's outcome
+	// reaches stable storage immediately, not just at the final sync.
+	// The row set is guarded by its own mutex — workers only ever write
+	// their own ConfigRun, so the journal builder must not read those.
+	durable := &durableJournal{path: expPath(name, SweepJournalFile), write: opts.Durable}
+	for i := range configs {
+		run := &sr.Runs[i]
+		if !run.Resumed {
+			continue
+		}
+		ent := prior[i]
+		durable.rows = append(durable.rows, journalRow{
+			index: i, params: FormatOverrides(run.Overrides),
+			status: ent.status, attempts: ent.attempts, detail: ent.detail,
+		})
 	}
 
 	pool := sched.NewPool(opts.Jobs)
@@ -335,15 +458,26 @@ func (p *Project) RunSweep(name string, env *Env, configs []map[string]string, o
 			}
 			run.Err = err
 			if err == nil {
+				durable.record(journalRow{
+					index: i, params: FormatOverrides(run.Overrides),
+					status: "ok", attempts: attempt, detail: run.Result.Record.ResultHash,
+				})
 				return nil
 			}
-			if fault.IsCrash(err) || attempt > opts.Retry.Max {
+			if fault.IsTerminal(err) || attempt > opts.Retry.Max {
 				run.Quarantined = true
+				durable.record(journalRow{
+					index: i, params: FormatOverrides(run.Overrides),
+					status: "failed", attempts: attempt, detail: journalDetail(err.Error()),
+				})
 				return err
 			}
 			run.BackoffSeconds += opts.Retry.Delay(opts.Faults.Seed(), site, attempt)
 		}
 	})
+	if err := durable.err(); err != nil {
+		return sr, fmt.Errorf("core: sweep %s: durable journal: %w", name, err)
+	}
 
 	// Deterministic merge: index order, regardless of completion order.
 	prefix := ExperimentDir + "/" + name + "/"

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"errors"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"popper/internal/pipeline"
@@ -221,5 +224,112 @@ func TestFormatOverrides(t *testing.T) {
 	}
 	if got := FormatOverrides(map[string]string{"b": "2", "a": "1"}); got != "a=1 b=2" {
 		t.Fatalf("overrides = %q", got)
+	}
+}
+
+func TestResumeErrorOnCorruptJournal(t *testing.T) {
+	p := sweepProject(t)
+	configs := []map[string]string{{"seed": "1"}, {"seed": "2"}}
+	if _, err := p.RunSweep("sweep", &Env{Seed: 5}, configs, SweepOptions{Jobs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	journalPath := expPath("sweep", SweepJournalFile)
+	raw := p.Files[journalPath]
+	p.Files[journalPath] = raw[:len(raw)/2] // torn mid-row, as a crash would leave it
+	_, err := p.RunSweep("sweep", &Env{Seed: 5}, configs, SweepOptions{Jobs: 1, Resume: true})
+	var rerr *ResumeError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("want ResumeError for a torn journal, got %v", err)
+	}
+	if rerr.Experiment != "sweep" || rerr.Path != journalPath {
+		t.Fatalf("ResumeError fields: %+v", rerr)
+	}
+	if !strings.Contains(err.Error(), "popper fsck") {
+		t.Fatalf("error should point at the repair path: %v", err)
+	}
+}
+
+func TestResumeErrorOnMissingJournalWithOutputs(t *testing.T) {
+	p := sweepProject(t)
+	configs := []map[string]string{{"seed": "1"}, {"seed": "2"}}
+	if _, err := p.RunSweep("sweep", &Env{Seed: 5}, configs, SweepOptions{Jobs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	delete(p.Files, expPath("sweep", SweepJournalFile))
+	_, err := p.RunSweep("sweep", &Env{Seed: 5}, configs, SweepOptions{Jobs: 1, Resume: true})
+	var rerr *ResumeError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("want ResumeError when outputs exist without a journal, got %v", err)
+	}
+	// A genuinely fresh sweep (no outputs at all) resumes as a plain run.
+	fresh := sweepProject(t)
+	if _, err := fresh.RunSweep("sweep", &Env{Seed: 5}, configs, SweepOptions{Jobs: 1, Resume: true}); err != nil {
+		t.Fatalf("resume on a fresh project must fall through to a full run: %v", err)
+	}
+}
+
+func TestDurableJournalIncremental(t *testing.T) {
+	p := sweepProject(t)
+	configs := []map[string]string{{"seed": "1"}, {"seed": "2"}, {"seed": "3"}}
+	var mu sync.Mutex
+	var calls [][]byte
+	var paths []string
+	sr, err := p.RunSweep("sweep", &Env{Seed: 5}, configs, SweepOptions{
+		Jobs: 3,
+		Durable: func(path string, data []byte) error {
+			mu.Lock()
+			defer mu.Unlock()
+			paths = append(paths, path)
+			calls = append(calls, append([]byte(nil), data...))
+			return nil
+		},
+	})
+	if err != nil || !sr.Passed() {
+		t.Fatalf("sweep: %v (passed=%v)", err, sr.Passed())
+	}
+	if len(calls) != len(configs) {
+		t.Fatalf("want one durable write per completed config, got %d", len(calls))
+	}
+	journalPath := expPath("sweep", SweepJournalFile)
+	for _, got := range paths {
+		if got != journalPath {
+			t.Fatalf("durable write path %q, want %q", got, journalPath)
+		}
+	}
+	// The last incremental write is byte-identical to the journal the
+	// final sync persists: the store sees it as already clean.
+	if want := string(p.Files[journalPath]); string(calls[len(calls)-1]) != want {
+		t.Fatalf("final incremental journal differs from synced journal:\n--- incremental\n%s\n--- synced\n%s",
+			calls[len(calls)-1], want)
+	}
+	// Every intermediate write parses and only ever grows.
+	for i, c := range calls {
+		ents, err := parseSweepJournal(c)
+		if err != nil {
+			t.Fatalf("incremental journal %d does not parse: %v", i, err)
+		}
+		if len(ents) != i+1 {
+			t.Fatalf("incremental journal %d has %d rows, want %d", i, len(ents), i+1)
+		}
+	}
+}
+
+func TestDurableJournalErrorFailsSweep(t *testing.T) {
+	p := sweepProject(t)
+	configs := []map[string]string{{"seed": "1"}, {"seed": "2"}, {"seed": "3"}}
+	boom := errors.New("disk on fire")
+	var n int32
+	_, err := p.RunSweep("sweep", &Env{Seed: 5}, configs, SweepOptions{
+		Jobs: 1,
+		Durable: func(string, []byte) error {
+			atomic.AddInt32(&n, 1)
+			return boom
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("durable sink failure must fail the sweep: %v", err)
+	}
+	if atomic.LoadInt32(&n) != 1 {
+		t.Fatalf("first durable error must stop further writes, got %d calls", n)
 	}
 }

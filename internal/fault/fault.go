@@ -45,6 +45,11 @@ const (
 	Partition
 	// Crash is a hard failure: terminal, never retried.
 	Crash
+	// DiskCrash ("crash-disk" in faults.yml) models power loss at a disk
+	// boundary: the current write may tear, everything unsynced may be
+	// lost, and the store refuses further operations until "reboot".
+	// Terminal, never retried. See internal/store and docs/RESILIENCE.md.
+	DiskCrash
 )
 
 // String names the kind as it appears in faults.yml.
@@ -58,6 +63,8 @@ func (k Kind) String() string {
 		return "partition"
 	case Crash:
 		return "crash"
+	case DiskCrash:
+		return "crash-disk"
 	}
 	return fmt.Sprintf("kind(%d)", k)
 }
@@ -73,8 +80,10 @@ func ParseKind(s string) (Kind, error) {
 		return Partition, nil
 	case "crash":
 		return Crash, nil
+	case "crash-disk":
+		return DiskCrash, nil
 	}
-	return 0, fmt.Errorf("fault: unknown kind %q (error, latency, partition, crash)", s)
+	return 0, fmt.Errorf("fault: unknown kind %q (error, latency, partition, crash, crash-disk)", s)
 }
 
 // Rule is one declarative fault: where it strikes, what it does, and
@@ -95,6 +104,12 @@ type Rule struct {
 	// unlimited). The cap is per site, not global, so concurrent sites
 	// stay independent.
 	Times int
+	// Global evaluates After/Times/Prob against one counter of matching
+	// occurrences across every site the rule's glob covers, instead of
+	// per-site counters — "fail the Nth disk operation overall". Only
+	// deterministic when the matching sites are driven serially (the
+	// store's sync path is), so reserve it for serial subsystems.
+	Global bool
 	// Delay is the virtual seconds a Latency fault adds.
 	Delay float64
 	// Msg is carried in the injected error text.
@@ -122,8 +137,8 @@ func (f *Fault) Error() string {
 }
 
 // Retryable reports whether the fault models a transient condition a
-// retry policy may absorb. Crashes are terminal.
-func (f *Fault) Retryable() bool { return f.Kind != Crash }
+// retry policy may absorb. Crashes — process or disk — are terminal.
+func (f *Fault) Retryable() bool { return f.Kind != Crash && f.Kind != DiskCrash }
 
 // siteState is one site's mutable injection history.
 type siteState struct {
@@ -140,6 +155,10 @@ type Injector struct {
 
 	mu    sync.Mutex
 	sites map[string]*siteState
+	// per-rule counters for Global rules: matching occurrences seen and
+	// faults injected, across all sites.
+	globalOcc []int
+	globalInj []int
 }
 
 // NewInjector builds an injector over the rules. Prob values outside
@@ -151,7 +170,10 @@ func NewInjector(seed int64, rules []Rule) *Injector {
 			normalized[i].Prob = 1
 		}
 	}
-	return &Injector{seed: seed, rules: normalized, sites: make(map[string]*siteState)}
+	return &Injector{
+		seed: seed, rules: normalized, sites: make(map[string]*siteState),
+		globalOcc: make([]int, len(normalized)), globalInj: make([]int, len(normalized)),
+	}
 }
 
 // Seed returns the injector's seed (retry jitter shares it).
@@ -180,21 +202,51 @@ func (inj *Injector) Check(site string) *Fault {
 	st.occ++
 	for ri := range inj.rules {
 		r := &inj.rules[ri]
-		if occ < r.After || !matchSite(r.Site, site) {
+		if !matchSite(r.Site, site) {
 			continue
 		}
-		if r.Times > 0 && st.injected[ri] >= r.Times {
+		// Global rules window on the rule's cross-site occurrence stream;
+		// per-site rules window on this site's.
+		window, injected, coinSite := occ, st.injected[ri], site
+		if r.Global {
+			window, injected, coinSite = inj.globalOcc[ri], inj.globalInj[ri], "global"
+			inj.globalOcc[ri]++
+		}
+		if window < r.After {
 			continue
 		}
-		if r.Prob < 1 && hash01(inj.seed, site, ri, occ) >= r.Prob {
+		if r.Times > 0 && injected >= r.Times {
 			continue
 		}
-		st.injected[ri]++
+		if r.Prob < 1 && hash01(inj.seed, coinSite, ri, window) >= r.Prob {
+			continue
+		}
+		if r.Global {
+			inj.globalInj[ri]++
+		} else {
+			st.injected[ri]++
+		}
 		inj.mu.Unlock()
-		return &Fault{Kind: r.Kind, Site: site, Occurrence: occ, Delay: r.Delay, Msg: r.Msg}
+		return &Fault{Kind: r.Kind, Site: site, Occurrence: window, Delay: r.Delay, Msg: r.Msg}
 	}
 	inj.mu.Unlock()
 	return nil
+}
+
+// Occurrences returns how many occurrences of sites matching the glob
+// the injector has recorded — how many times matching sites were
+// checked, whether or not a fault fired. Crash-matrix tests use it to
+// enumerate every injection point of a serial path.
+func (inj *Injector) Occurrences(pattern string) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	total := 0
+	for site, st := range inj.sites {
+		if matchSite(pattern, site) {
+			total += st.occ
+		}
+	}
+	return total
 }
 
 // Injected returns the total number of faults injected so far.
@@ -207,6 +259,9 @@ func (inj *Injector) Injected() int {
 			total += n
 		}
 	}
+	for _, n := range inj.globalInj {
+		total += n
+	}
 	return total
 }
 
@@ -215,6 +270,8 @@ func (inj *Injector) Injected() int {
 func (inj *Injector) Reset() {
 	inj.mu.Lock()
 	inj.sites = make(map[string]*siteState)
+	inj.globalOcc = make([]int, len(inj.rules))
+	inj.globalInj = make([]int, len(inj.rules))
 	inj.mu.Unlock()
 }
 
@@ -229,6 +286,20 @@ func IsPartition(err error) bool {
 func IsCrash(err error) bool {
 	f, ok := As(err)
 	return ok && f.Kind == Crash
+}
+
+// IsDiskCrash reports whether err is (or wraps) an injected disk crash
+// (power loss at a storage boundary).
+func IsDiskCrash(err error) bool {
+	f, ok := As(err)
+	return ok && f.Kind == DiskCrash
+}
+
+// IsTerminal reports whether err is (or wraps) an injected fault that
+// retry policies must not absorb — a process crash or a disk crash.
+func IsTerminal(err error) bool {
+	f, ok := As(err)
+	return ok && !f.Retryable()
 }
 
 // As unwraps err to the injected *Fault, walking Unwrap chains.

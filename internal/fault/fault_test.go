@@ -211,9 +211,9 @@ faults:
 	}
 
 	for _, bad := range []string{
-		"",                              // no faults
-		"faults:\n  - kind: error\n",    // no site
-		"faults:\n  - site: a\n    kind: warp\n",  // unknown kind
+		"",                                       // no faults
+		"faults:\n  - kind: error\n",             // no site
+		"faults:\n  - site: a\n    kind: warp\n", // unknown kind
 		"faults:\n  - site: a\n    kind: latency\n", // latency without delay
 	} {
 		if _, err := ParseSpec(bad); err == nil {
@@ -283,5 +283,90 @@ func TestCheckNoAllocWhenNil(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("nil-injector guard allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestDiskCrashKind(t *testing.T) {
+	k, err := ParseKind("crash-disk")
+	if err != nil || k != DiskCrash {
+		t.Fatalf("ParseKind(crash-disk) = %v, %v", k, err)
+	}
+	if DiskCrash.String() != "crash-disk" {
+		t.Fatalf("DiskCrash.String() = %q", DiskCrash.String())
+	}
+	f := &Fault{Kind: DiskCrash, Site: "disk/write/x", Msg: "power loss"}
+	if f.Retryable() {
+		t.Fatal("disk crashes must not be retryable")
+	}
+	if !IsDiskCrash(f) || IsDiskCrash(errors.New("other")) {
+		t.Fatal("IsDiskCrash misclassifies")
+	}
+	if !IsTerminal(f) || !IsTerminal(&Fault{Kind: Crash}) || IsTerminal(&Fault{Kind: Error}) {
+		t.Fatal("IsTerminal misclassifies")
+	}
+	wrapped := fmt.Errorf("sync: %w", f)
+	if !IsDiskCrash(wrapped) || !IsTerminal(wrapped) {
+		t.Fatal("IsDiskCrash/IsTerminal must unwrap")
+	}
+}
+
+func TestGlobalRuleWindow(t *testing.T) {
+	// After=3 with Global counts matching occurrences across all sites:
+	// the 4th disk operation overall faults, regardless of which path it
+	// touches.
+	inj := NewInjector(chaosSeed(t), []Rule{{Site: "disk/*", Kind: DiskCrash, After: 3, Times: 1, Global: true}})
+	sites := []string{"disk/write/a", "disk/fsync/a", "disk/write/b", "disk/rename/b", "disk/write/c"}
+	var fired []int
+	for i, s := range sites {
+		if f := inj.Check(s); f != nil {
+			fired = append(fired, i)
+			if f.Site != "disk/rename/b" || f.Occurrence != 3 {
+				t.Fatalf("fault = %+v, want site disk/rename/b occurrence 3", f)
+			}
+		}
+	}
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("fired at %v, want [3]", fired)
+	}
+	if got := inj.Occurrences("disk/*"); got != len(sites) {
+		t.Fatalf("Occurrences(disk/*) = %d, want %d", got, len(sites))
+	}
+	if got := inj.Occurrences("disk/write/*"); got != 3 {
+		t.Fatalf("Occurrences(disk/write/*) = %d, want 3", got)
+	}
+	// Reset clears the global stream too.
+	inj.Reset()
+	if f := inj.Check("disk/write/a"); f != nil {
+		t.Fatalf("post-reset occurrence 0 must not fault, got %v", f)
+	}
+	if got := inj.Occurrences("disk/*"); got != 1 {
+		t.Fatalf("post-reset Occurrences = %d, want 1", got)
+	}
+}
+
+func TestParseSpecGlobalAndDiskCrash(t *testing.T) {
+	spec, err := ParseSpec(`
+seed: 9
+faults:
+  - site: disk/*
+    kind: crash-disk
+    after: 5
+    global: true
+    msg: power loss
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := spec.Rules[0]
+	if r.Kind != DiskCrash || !r.Global || r.After != 5 {
+		t.Fatalf("rule = %+v", r)
+	}
+	// Global participates in the fingerprint: the same rule without it
+	// must salt caches differently.
+	perSite := *spec
+	perSite.Rules = append([]Rule(nil), spec.Rules...)
+	perSite.Rules[0].Global = false
+	if spec.Injector().Fingerprint() == perSite.Injector().Fingerprint() {
+		t.Fatal("Global must be part of the spec fingerprint")
 	}
 }

@@ -17,10 +17,11 @@ import (
 //	seed: 42
 //	faults:
 //	  - site: pipeline/sweep/*/run
-//	    kind: error        # error | latency | partition | crash
+//	    kind: error        # error | latency | partition | crash | crash-disk
 //	    prob: 0.5          # per-occurrence probability (default 1)
 //	    after: 1           # skip the first N occurrences
 //	    times: 2           # at most N injections per site (0 = unlimited)
+//	    global: true       # window over all matching sites, not per site
 //	    delay: 0.25        # latency faults: virtual seconds
 //	    msg: flaky stage
 type Spec struct {
@@ -49,12 +50,13 @@ func ParseSpec(src string) (*Spec, error) {
 			return nil, fmt.Errorf("fault: faults.yml: fault %d is not a mapping", i)
 		}
 		rule := Rule{
-			Site:  yamlite.GetString(rm, "site", ""),
-			Prob:  getFloat(rm, "prob", 1),
-			After: yamlite.GetInt(rm, "after", 0),
-			Times: yamlite.GetInt(rm, "times", 0),
-			Delay: getFloat(rm, "delay", 0),
-			Msg:   yamlite.GetString(rm, "msg", ""),
+			Site:   yamlite.GetString(rm, "site", ""),
+			Prob:   getFloat(rm, "prob", 1),
+			After:  yamlite.GetInt(rm, "after", 0),
+			Times:  yamlite.GetInt(rm, "times", 0),
+			Global: yamlite.GetBool(rm, "global", false),
+			Delay:  getFloat(rm, "delay", 0),
+			Msg:    yamlite.GetString(rm, "msg", ""),
 		}
 		if rule.Site == "" {
 			return nil, fmt.Errorf("fault: faults.yml: fault %d has no site", i)
@@ -84,7 +86,7 @@ func (inj *Injector) Fingerprint() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "seed=%d", inj.seed)
 	for _, r := range inj.rules {
-		fmt.Fprintf(h, "|%s;%s;%g;%d;%d;%g;%s", r.Site, r.Kind, r.Prob, r.After, r.Times, r.Delay, r.Msg)
+		fmt.Fprintf(h, "|%s;%s;%g;%d;%d;%t;%g;%s", r.Site, r.Kind, r.Prob, r.After, r.Times, r.Global, r.Delay, r.Msg)
 	}
 	return hex.EncodeToString(h.Sum(nil))[:12]
 }

@@ -600,7 +600,7 @@ func (r *Runner) runTask(play Play, task Task, h *Host) TaskResult {
 		}
 		// Crashes are terminal; other failures retry under the policy.
 		// Builtin modules are idempotent, so re-running one is safe.
-		if fault.IsCrash(err) || attempt > r.Retry.Max {
+		if fault.IsTerminal(err) || attempt > r.Retry.Max {
 			if h.Node != nil {
 				res.Elapsed = h.Node.Now() - start
 			}

@@ -408,7 +408,7 @@ func (p *Pipeline) execStage(name string, fn StageFunc, ctx *Context) (int, erro
 		if err == nil {
 			return attempt, nil
 		}
-		if fault.IsCrash(err) || attempt > policy.Max {
+		if fault.IsTerminal(err) || attempt > policy.Max {
 			return attempt, err
 		}
 		delay := policy.Delay(p.Faults.Seed(), site, attempt)

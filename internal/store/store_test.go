@@ -1,0 +1,536 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"popper/internal/fault"
+)
+
+// chaosSeed mirrors the convention used by the core golden chaos
+// suite: `make crash` sweeps the matrix via CHAOS_SEED, plain `go
+// test` stays deterministic.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	raw := os.Getenv("CHAOS_SEED")
+	if raw == "" {
+		return 42
+	}
+	seed, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		t.Fatalf("CHAOS_SEED=%q is not an integer", raw)
+	}
+	return seed
+}
+
+func w1() map[string][]byte {
+	return map[string][]byte{
+		".popper.yml":   []byte("experiments:\n  - exp\n"),
+		"exp/run.sh":    []byte("#!/bin/sh\necho run\n"),
+		"exp/vars.yml":  []byte("alpha: 1\n"),
+		"exp/stale.txt": []byte("only in the first generation\n"),
+	}
+}
+
+const (
+	j1 = "config,status\n001,ok\n"
+	j2 = "config,status\n001,ok\n002,ok\n"
+)
+
+func w2() map[string][]byte {
+	return map[string][]byte{
+		".popper.yml":     []byte("experiments:\n  - exp\n"),
+		"exp/run.sh":      []byte("#!/bin/sh\necho run\n"),
+		"exp/vars.yml":    []byte("alpha: 2\n"),
+		"exp/journal.csv": []byte(j2),
+		"exp/results.csv": []byte("metric,value\nthroughput,812\n"),
+	}
+}
+
+// crashScenario is the canonical mutation sequence the crash matrix
+// enumerates: an initial committed generation, two incremental durable
+// journal writes, and a final sync that changes, adds and prunes
+// files.
+func crashScenario(st *Store) error {
+	if _, err := st.Sync(w1()); err != nil {
+		return err
+	}
+	if err := st.Put("exp/journal.csv", []byte(j1)); err != nil {
+		return err
+	}
+	if err := st.Put("exp/journal.csv", []byte(j2)); err != nil {
+		return err
+	}
+	if _, err := st.Sync(w2()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// trackedTree reads every tracked file from a VFS.
+func trackedTree(t *testing.T, v VFS) map[string]string {
+	t.Helper()
+	paths, err := v.List()
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	out := make(map[string]string)
+	for _, p := range paths {
+		if !Tracked(p) {
+			continue
+		}
+		content, err := v.ReadFile(p)
+		if err != nil {
+			t.Fatalf("read %s: %v", p, err)
+		}
+		out[p] = string(content)
+	}
+	return out
+}
+
+func mustSync(t *testing.T, st *Store, files map[string][]byte) SyncStats {
+	t.Helper()
+	stats, err := st.Sync(files)
+	if err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	return stats
+}
+
+func mustCleanFsck(t *testing.T, st *Store, when string) {
+	t.Helper()
+	rep, err := st.Fsck()
+	if err != nil {
+		t.Fatalf("fsck %s: %v", when, err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("fsck %s not clean:\n%s", when, rep.Format())
+	}
+}
+
+func TestSyncLoadRoundTrip(t *testing.T) {
+	fs := NewMemFS(1)
+	st := New(fs)
+	stats := mustSync(t, st, w1())
+	if stats.Clean || stats.Generation != 1 || stats.Written != 4 {
+		t.Fatalf("first sync stats: %+v", stats)
+	}
+	got, err := st.Load()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for path, want := range w1() {
+		if string(got[path]) != string(want) {
+			t.Fatalf("round trip %s: got %q", path, got[path])
+		}
+	}
+	again := mustSync(t, st, w1())
+	if !again.Clean || again.Generation != 1 {
+		t.Fatalf("second sync should be clean: %+v", again)
+	}
+	mustCleanFsck(t, st, "after sync")
+}
+
+func TestSyncPrunesStaleFiles(t *testing.T) {
+	fs := NewMemFS(1)
+	st := New(fs)
+	mustSync(t, st, w1())
+	stats := mustSync(t, st, w2())
+	if stats.Clean || stats.Pruned != 1 {
+		t.Fatalf("want 1 pruned stale file, got %+v", stats)
+	}
+	if _, err := fs.ReadFile("exp/stale.txt"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale file should be pruned, err=%v", err)
+	}
+	mustCleanFsck(t, st, "after prune")
+}
+
+func TestPutLeavesRepoClean(t *testing.T) {
+	fs := NewMemFS(1)
+	st := New(fs)
+	mustSync(t, st, w1())
+	if err := st.Put("exp/journal.csv", []byte(j1)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := st.Put("exp/journal.csv", []byte(j2)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	// Repeating an identical Put is a no-op.
+	if err := st.Put("exp/journal.csv", []byte(j2)); err != nil {
+		t.Fatalf("idempotent put: %v", err)
+	}
+	content, err := fs.ReadFile("exp/journal.csv")
+	if err != nil || string(content) != j2 {
+		t.Fatalf("journal content %q err %v", content, err)
+	}
+	// Incremental puts must not strand the superseded journal's object:
+	// a healthy repo fscks clean mid-sweep too.
+	mustCleanFsck(t, st, "after incremental puts")
+	if err := st.Put(".popper/evil", []byte("x")); err == nil {
+		t.Fatal("put of an untracked path must refuse")
+	}
+}
+
+func TestFsckTaxonomyAndRepair(t *testing.T) {
+	fs := NewMemFS(chaosSeed(t))
+	st := New(fs)
+	mustSync(t, st, w1())
+	mustSync(t, st, w2())
+
+	// Damage the tree in every classifiable way.
+	full, _ := fs.ReadFile("exp/results.csv")
+	if err := fs.WriteFile("exp/results.csv", full[:10]); err != nil { // torn
+		t.Fatal(err)
+	}
+	if err := fs.Remove("exp/run.sh"); err != nil { // missing
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("exp/junk.bin", []byte("stray bytes")); err != nil { // extra
+		t.Fatal(err)
+	}
+	// Corrupt vars.yml with same-length garbage AND destroy its object,
+	// so repair has nothing to prove the bytes with → quarantine.
+	varsEntry, _ := mustManifest(t, st).Lookup("exp/vars.yml")
+	if err := fs.WriteFile("exp/vars.yml", []byte("alpha: 9\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(objectPath(varsEntry.Hash)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("exp/leftover.csv.ptmp", []byte("half a write")); err != nil { // debris
+		t.Fatal(err)
+	}
+
+	rep, err := st.Fsck()
+	if err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+	want := map[string]State{
+		"exp/results.csv":       StateTorn,
+		"exp/run.sh":            StateMissing,
+		"exp/junk.bin":          StateExtra,
+		"exp/vars.yml":          StateCorrupted,
+		"exp/leftover.csv.ptmp": StateDebris,
+	}
+	got := make(map[string]State)
+	for _, f := range rep.Findings {
+		got[f.Path] = f.State
+	}
+	for path, state := range want {
+		if got[path] != state {
+			t.Errorf("%s: want %s, got %s\nreport:\n%s", path, state, got[path], rep.Format())
+		}
+	}
+	for _, f := range rep.Findings {
+		switch f.Path {
+		case "exp/results.csv", "exp/run.sh":
+			if !f.Repairable {
+				t.Errorf("%s should be restorable from the object cache", f.Path)
+			}
+		case "exp/vars.yml":
+			if f.Repairable {
+				t.Error("vars.yml has no object left; must not claim restorable")
+			}
+		}
+	}
+
+	acts, err := st.Repair(rep)
+	if err != nil {
+		t.Fatalf("repair: %v\nactions so far: %v", err, acts)
+	}
+	verbs := make(map[string]string)
+	for _, a := range acts {
+		verbs[a.Path] = a.Verb
+	}
+	if verbs["exp/results.csv"] != "restored" || verbs["exp/run.sh"] != "restored" {
+		t.Errorf("torn/missing files should be restored: %v", verbs)
+	}
+	if verbs["exp/junk.bin"] != "adopted" {
+		t.Errorf("extra file should be adopted, got %q", verbs["exp/junk.bin"])
+	}
+	if verbs["exp/vars.yml"] != "quarantined" {
+		t.Errorf("unprovable corruption should be quarantined, got %q", verbs["exp/vars.yml"])
+	}
+	if verbs["exp/leftover.csv.ptmp"] != "removed" {
+		t.Errorf("debris should be removed, got %q", verbs["exp/leftover.csv.ptmp"])
+	}
+
+	restored, _ := fs.ReadFile("exp/results.csv")
+	if !bytes.Equal(restored, full) {
+		t.Errorf("restored results.csv differs: %q", restored)
+	}
+	q, err := fs.ReadFile(quarantineDir + "/gen-3/exp/vars.yml")
+	if err != nil || string(q) != "alpha: 9\n" {
+		t.Errorf("quarantine should preserve the damaged bytes verbatim: %q err %v", q, err)
+	}
+	mustCleanFsck(t, st, "after repair")
+}
+
+func mustManifest(t *testing.T, st *Store) *Manifest {
+	t.Helper()
+	man, err := st.Manifest()
+	if err != nil || man == nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	return man
+}
+
+func TestFsckRebuildsMissingManifest(t *testing.T) {
+	fs := NewMemFS(1)
+	st := New(fs)
+	mustSync(t, st, w1())
+	if err := fs.Remove(manifestPath); err != nil {
+		t.Fatal(err)
+	}
+	st2 := New(fs)
+	rep, err := st2.Fsck()
+	if err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+	if !rep.ManifestMissing {
+		t.Fatalf("want ManifestMissing:\n%s", rep.Format())
+	}
+	if _, err := st2.Repair(rep); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	mustCleanFsck(t, st2, "after manifest rebuild")
+	man := mustManifest(t, st2)
+	if man.Len() != len(w1()) {
+		t.Fatalf("rebuilt manifest tracks %d files, want %d", man.Len(), len(w1()))
+	}
+}
+
+func TestInterruptedSyncRefusesNewWrites(t *testing.T) {
+	fs := NewMemFS(1)
+	st := New(fs)
+	mustSync(t, st, w1())
+	if err := fs.WriteFile(manifestNextPath, []byte("partial intent")); err != nil {
+		t.Fatal(err)
+	}
+	var rerr *RecoveryError
+	if _, err := st.Sync(w2()); !errors.As(err, &rerr) {
+		t.Fatalf("sync over a stale intent record: want RecoveryError, got %v", err)
+	}
+	if err := st.Put("exp/journal.csv", []byte(j1)); !errors.As(err, &rerr) {
+		t.Fatalf("put over a stale intent record: want RecoveryError, got %v", err)
+	}
+	if !strings.Contains(rerr.Error(), "popper fsck") {
+		t.Fatalf("recovery error should point at fsck: %v", rerr)
+	}
+	rep, err := st.Fsck()
+	if err != nil || !rep.Pending {
+		t.Fatalf("fsck should flag the pending intent (err %v):\n%s", err, rep.Format())
+	}
+	if _, err := st.Repair(rep); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	mustCleanFsck(t, st, "after rollback")
+	mustSync(t, st, w2())
+}
+
+// TestCrashMatrixConvergence is the governing golden suite: for EVERY
+// disk operation in the canonical scenario, crash exactly there, then
+// prove that fsck --repair plus a full re-run converges on a tree
+// byte-identical to one that never crashed.
+func TestCrashMatrixConvergence(t *testing.T) {
+	seed := chaosSeed(t)
+
+	// Reference run: no faults.
+	refFS := NewMemFS(seed)
+	if err := crashScenario(New(refFS)); err != nil {
+		t.Fatalf("reference scenario: %v", err)
+	}
+	ref := trackedTree(t, refFS)
+
+	// Probe run: count the disk operations the scenario performs.
+	probe := fault.NewInjector(seed, nil)
+	probeFS := NewMemFS(seed)
+	probeStore := New(probeFS)
+	probeStore.SetFaults(probe)
+	if err := crashScenario(probeStore); err != nil {
+		t.Fatalf("probe scenario: %v", err)
+	}
+	ops := probe.Occurrences("disk/*")
+	if ops < 40 {
+		t.Fatalf("suspiciously few disk ops enumerated: %d", ops)
+	}
+
+	for k := 0; k < ops; k++ {
+		k := k
+		t.Run(fmt.Sprintf("crash-at-op-%03d", k), func(t *testing.T) {
+			fs := NewMemFS(seed + int64(k)*7919)
+			st := New(fs)
+			st.SetFaults(fault.NewInjector(seed, []fault.Rule{{
+				Site: "disk/*", Kind: fault.DiskCrash, Global: true, After: k, Times: 1, Prob: 1,
+			}}))
+			err := crashScenario(st)
+			if !fault.IsDiskCrash(err) {
+				t.Fatalf("op %d: expected a disk crash, got %v", k, err)
+			}
+
+			// Reboot: fresh store over the settled disk, no faults.
+			st2 := New(fs)
+			rep, err := st2.Fsck()
+			if err != nil {
+				t.Fatalf("fsck after crash: %v", err)
+			}
+			if _, err := st2.Repair(rep); err != nil {
+				t.Fatalf("repair after crash: %v\n%s", err, rep.Format())
+			}
+			mustCleanFsck(t, st2, "after repair")
+
+			// Re-run the interrupted work end to end.
+			if err := crashScenario(st2); err != nil {
+				t.Fatalf("replay after repair: %v", err)
+			}
+			mustCleanFsck(t, st2, "after replay")
+			got := trackedTree(t, fs)
+			if len(got) != len(ref) {
+				t.Fatalf("tree size differs: got %d files, want %d\ngot: %v", len(got), len(ref), got)
+			}
+			for path, want := range ref {
+				if got[path] != want {
+					t.Errorf("%s differs after crash-repair-replay:\ngot  %q\nwant %q", path, got[path], want)
+				}
+			}
+		})
+	}
+}
+
+// TestDiskErrorFaultConverges covers the transient-error flavor: the
+// operation fails, the machine survives, the uncommitted sync is
+// rolled back by repair and the retry converges.
+func TestDiskErrorFaultConverges(t *testing.T) {
+	seed := chaosSeed(t)
+	fs := NewMemFS(seed)
+	st := New(fs)
+	mustSync(t, st, w1())
+	st.SetFaults(fault.NewInjector(seed, []fault.Rule{{
+		Site: "disk/write/exp/vars.yml*", Kind: fault.Error, Times: 1, Prob: 1, Msg: "EIO",
+	}}))
+	if _, err := st.Sync(w2()); err == nil {
+		t.Fatal("sync should fail on the injected write error")
+	}
+	// The failed sync left its intent record: further writes refuse.
+	var rerr *RecoveryError
+	if _, err := st.Sync(w2()); !errors.As(err, &rerr) {
+		t.Fatalf("want RecoveryError on retry, got %v", err)
+	}
+	rep, err := st.Fsck()
+	if err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+	if _, err := st.Repair(rep); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	mustCleanFsck(t, st, "after repair")
+	mustSync(t, st, w2())
+	refFS := NewMemFS(seed)
+	refStore := New(refFS)
+	mustSync(t, refStore, w1())
+	mustSync(t, refStore, w2())
+	want := trackedTree(t, refFS)
+	got := trackedTree(t, fs)
+	if len(got) != len(want) {
+		t.Fatalf("tree size differs: %v vs %v", got, want)
+	}
+	for path, content := range want {
+		if got[path] != content {
+			t.Errorf("%s differs: %q vs %q", path, got[path], content)
+		}
+	}
+}
+
+// TestSyncCleanHotPathZeroAlloc pins the no-fault, already-clean sync
+// — the path every read-only popper command exits through — at zero
+// heap allocations.
+func TestSyncCleanHotPathZeroAlloc(t *testing.T) {
+	fs := NewMemFS(1)
+	st := New(fs)
+	files := w1()
+	mustSync(t, st, files)
+	var stats SyncStats
+	var err error
+	allocs := testing.AllocsPerRun(200, func() {
+		stats, err = st.Sync(files)
+	})
+	if err != nil || !stats.Clean {
+		t.Fatalf("clean sync failed: %+v err %v", stats, err)
+	}
+	if allocs != 0 {
+		t.Fatalf("clean sync hot path allocates: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestManifestEncodeParseRoundTrip(t *testing.T) {
+	m := NewManifest(7, w2())
+	parsed, err := ParseManifest(m.Encode())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if parsed.Generation != 7 || parsed.Len() != m.Len() {
+		t.Fatalf("round trip: gen %d len %d", parsed.Generation, parsed.Len())
+	}
+	for _, e := range m.Entries {
+		pe, ok := parsed.Lookup(e.Path)
+		if !ok || pe != e {
+			t.Fatalf("entry %s lost in round trip", e.Path)
+		}
+	}
+	// Any byte flip must be detected.
+	enc := m.Encode()
+	enc[len(enc)/2]++
+	if _, err := ParseManifest(enc); err == nil {
+		t.Fatal("corrupted manifest must not parse")
+	}
+	if _, err := ParseManifest(enc[:len(enc)-20]); err == nil {
+		t.Fatal("torn manifest must not parse")
+	}
+}
+
+func TestTracked(t *testing.T) {
+	cases := map[string]bool{
+		"exp/results.csv":        true,
+		".popper.yml":            true,
+		".travis.yml":            true,
+		".popper-ci.yml":         true,
+		"exp/.gitkeep":           true,
+		".popper/manifest":       false,
+		".popper/objects/ab/abc": false,
+		".git/config":            false,
+		"exp/out.csv.ptmp":       false,
+		"exp/.hidden":            false,
+		"a/.dot/b":               false,
+	}
+	for path, want := range cases {
+		if got := Tracked(path); got != want {
+			t.Errorf("Tracked(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestDirFSEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	st := Open(dir)
+	mustSync(t, st, w1())
+	mustSync(t, st, w2())
+	mustCleanFsck(t, st, "on a real directory")
+	content, err := os.ReadFile(dir + "/exp/results.csv")
+	if err != nil || string(content) != string(w2()["exp/results.csv"]) {
+		t.Fatalf("results on disk: %q err %v", content, err)
+	}
+	if _, err := os.Stat(dir + "/exp/stale.txt"); !os.IsNotExist(err) {
+		t.Fatal("stale file should be pruned from the real tree")
+	}
+	// A second store over the same tree sees a clean repo.
+	st2 := Open(dir)
+	stats := mustSync(t, st2, w2())
+	if !stats.Clean {
+		t.Fatalf("reopened store should find the tree clean: %+v", stats)
+	}
+}
