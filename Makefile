@@ -6,7 +6,7 @@ CHAOS_SEEDS ?= 42 7 1337
 # Seed matrix for the disk-crash suite; override with CRASH_SEEDS="...".
 CRASH_SEEDS ?= 42 7 1337
 
-.PHONY: build test vet race verify bench bench-gassyfs chaos crash
+.PHONY: build test vet race verify bench bench-gassyfs bench-json bench-json-smoke chaos crash
 
 build:
 	$(GO) build ./...
@@ -22,8 +22,10 @@ race:
 
 # The full verification loop: tier-1 (build + test) plus static
 # analysis, the race detector over the concurrent sweep/cache/Aver
-# paths, the seeded chaos suite, and the disk-crash matrix.
-verify: build vet test race chaos crash
+# paths, the seeded chaos suite, the disk-crash matrix, and a one-
+# iteration smoke of the scheduler benchmark recorder so regressions in
+# the scaling path fail the loop.
+verify: build vet test race chaos crash bench-json-smoke
 
 # Chaos determinism suite: the fault-injection golden tests under the
 # race detector, once per seed in the matrix. Each seed is a different
@@ -62,3 +64,18 @@ bench:
 # concurrent cached reads, scalar vs vectored RDMA.
 bench-gassyfs:
 	$(GO) test -run '^$$' -bench 'BenchmarkGassyfsCompileGit|BenchmarkGassyfsReadParallel|BenchmarkGasnetGetv' -benchmem
+
+# The repo's recorded perf trajectory: run the cluster-scheduler
+# benchmarks (scaling curve at 1/16/256/1024 simulated hosts plus the
+# straggler-recovery triple) and write BENCH_sched.json — benchmark
+# name → ns/op, allocs/op, virtual configs/sec (see docs/SCHEDULING.md).
+bench-json:
+	BENCH_JSON=$(CURDIR)/BENCH_sched.json $(GO) test -run TestWriteBenchJSON -count=1 ./internal/sched/
+	@echo "-- wrote BENCH_sched.json"
+
+# One-iteration smoke of the benchmark recorder for `make verify`: same
+# code path, tiny host matrix, throwaway output file.
+bench-json-smoke:
+	@out=$$(mktemp); \
+	BENCH_JSON=$$out BENCH_SMOKE=1 $(GO) test -run TestWriteBenchJSON -count=1 ./internal/sched/ || { rm -f $$out; exit 1; }; \
+	rm -f $$out

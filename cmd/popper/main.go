@@ -15,7 +15,10 @@
 //	                                 chaos schedule; -max-retries N
 //	                                 retries failing configurations;
 //	                                 -resume finishes an interrupted
-//	                                 sweep from its journal)
+//	                                 sweep from its journal; -hosts N
+//	                                 fans the sweep across N simulated
+//	                                 cluster hosts with -placement
+//	                                 roundrobin|locality scheduling)
 //	popper ci                        replay the repo's CI script locally
 //	popper machines                  list simulated machine profiles
 //	popper report                    render report.html from the repo
@@ -48,6 +51,7 @@ import (
 	"popper/internal/fault"
 	"popper/internal/orchestrate"
 	"popper/internal/pipeline"
+	"popper/internal/sched"
 	"popper/internal/store"
 )
 
@@ -67,8 +71,10 @@ func run(args []string) error {
 	faultsFile := fs.String("faults", "", "faults.yml chaos schedule for `popper run` (path relative to the repository)")
 	maxRetries := fs.Int("max-retries", 0, "retry failing sweep configurations up to N times in `popper run`")
 	resume := fs.Bool("resume", false, "resume an interrupted sweep from its journal in `popper run`")
+	hosts := fs.Int("hosts", 0, "fan a sweep across N simulated cluster hosts in `popper run` (0 = flat worker pool)")
+	placement := fs.String("placement", "roundrobin", "sweep placement policy with -hosts: roundrobin or locality")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: popper [-C dir] [-seed n] [-jobs n] [-no-cache] [-faults f] [-max-retries n] [-resume] <command> [args]")
+		fmt.Fprintln(os.Stderr, "usage: popper [-C dir] [-seed n] [-jobs n] [-hosts n] [-placement p] [-no-cache] [-faults f] [-max-retries n] [-resume] <command> [args]")
 		fmt.Fprintln(os.Stderr, "commands: init, experiment list, add, paper, check, lint, run, ci, machines, report, build-paper, fsck")
 		fs.PrintDefaults()
 	}
@@ -177,9 +183,14 @@ func run(args []string) error {
 				if err != nil {
 					return err
 				}
+				policy, err := sched.ParsePlacement(*placement)
+				if err != nil {
+					return err
+				}
 				sr, err := p.RunSweep(name, env, configs, core.SweepOptions{
 					Jobs: *jobs, Cache: cache,
 					Faults: injector, Retry: retry, Resume: *resume,
+					Hosts: *hosts, Placement: policy,
 					// Journal durability: every completed configuration's
 					// outcome is committed to the artifact store immediately,
 					// so a crash mid-sweep is resumable from the last config.
@@ -187,6 +198,9 @@ func run(args []string) error {
 				})
 				if err != nil {
 					return err
+				}
+				if sr.Sched != nil {
+					fmt.Printf("-- cluster schedule (%s placement): %s\n", policy, sr.Sched)
 				}
 				for _, run := range sr.Runs {
 					status := "passed"

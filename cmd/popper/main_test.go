@@ -280,3 +280,43 @@ func TestCLIRunWithJobsAndCacheFlags(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCLIClusterSweepRun(t *testing.T) {
+	dir := inTemp(t)
+	if err := popper(t, dir, "init"); err != nil {
+		t.Fatal(err)
+	}
+	if err := popper(t, dir, "add", "proteustm", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	sweep := filepath.Join(dir, "experiments/stm/sweep.yml")
+	if err := os.WriteFile(sweep, []byte("seed: [1, 2, 3, 4]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// -hosts fans the sweep across simulated hosts; both placement
+	// policies must produce the same merged results as the flat run.
+	if err := popper(t, dir, "-hosts", "4", "run", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := os.ReadFile(filepath.Join(dir, "experiments/stm/results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := popper(t, dir, "-hosts", "4", "-placement", "locality", "-jobs", "2", "run", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := popper(t, dir, "run", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := os.ReadFile(filepath.Join(dir, "experiments/stm/results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(flat) != string(clustered) {
+		t.Fatalf("cluster-scheduled results diverge from flat results:\n%s\nvs\n%s", clustered, flat)
+	}
+	// An unknown placement policy is a flag error, not a silent default.
+	if err := popper(t, dir, "-hosts", "2", "-placement", "nope", "run", "stm"); err == nil {
+		t.Fatal("bad -placement must fail")
+	}
+}

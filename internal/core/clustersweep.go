@@ -1,0 +1,73 @@
+// Cluster-scale sweep execution: the glue between RunSweep and the
+// cluster scheduler (internal/sched) when SweepOptions.Hosts asks for a
+// simulated fleet. Provisioning goes through the orchestration
+// substrate — orchestrate.Runner.ScaleGroup elastically grows a "sweep"
+// inventory group against a cluster provider — so the same machinery
+// that configures hosts in playbooks also hands fleets to the
+// scheduler. See docs/SCHEDULING.md.
+
+package core
+
+import (
+	"popper/internal/cluster"
+	"popper/internal/orchestrate"
+	"popper/internal/sched"
+)
+
+// DefaultHostProfile is the machine profile sweeps fan across when
+// SweepOptions.HostProfile is empty.
+const DefaultHostProfile = "cloudlab-c220g1"
+
+// runSweepCluster provisions opts.Hosts simulated hosts, schedules the
+// todo set across them, and executes runConfig in the schedule's
+// dispatch order. The schedule consumes virtual time only; runConfig's
+// side effects are exactly those of the flat worker-pool path.
+func runSweepCluster(env *Env, opts SweepOptions, todo []int, runConfig func(k int) error) (*sched.ClusterReport, error) {
+	profName := opts.HostProfile
+	if profName == "" {
+		profName = DefaultHostProfile
+	}
+	prof, err := cluster.Profile(profName)
+	if err != nil {
+		return nil, err
+	}
+	seed := env.Seed
+	if opts.Faults != nil {
+		seed = opts.Faults.Seed()
+	}
+
+	inv := orchestrate.NewInventory()
+	runner := orchestrate.NewRunner(inv)
+	clus := cluster.New(seed)
+	if _, err := runner.ScaleGroup(clus, prof, "sweep", opts.Hosts); err != nil {
+		return nil, err
+	}
+
+	// Locality hints arrive keyed by configuration index; the scheduler
+	// sees the todo-compacted task space (resumed and limited configs
+	// are not scheduled), so re-key them.
+	var locality []int
+	if len(opts.Locality) > 0 {
+		locality = make([]int, len(todo))
+		for k, i := range todo {
+			locality[k] = -1
+			if i < len(opts.Locality) {
+				locality[k] = opts.Locality[i]
+			}
+		}
+	}
+
+	cs, err := sched.NewClusterScheduler(sched.ClusterOptions{
+		Hosts:     inv.HostSpecs("sweep"),
+		Placement: opts.Placement,
+		Locality:  locality,
+		Seed:      seed,
+		Faults:    opts.Faults,
+		Jobs:      opts.Jobs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	_, rep := cs.Run(len(todo), runConfig)
+	return rep, nil
+}

@@ -73,6 +73,25 @@ type SweepOptions struct {
 	// in-flight ones. Calls are serialized; the first error stops
 	// further calls and fails the sweep.
 	Durable func(path string, data []byte) error
+	// Hosts, when > 0, fans the sweep across that many simulated
+	// cluster hosts through the cluster scheduler (locality-aware
+	// placement, work stealing, speculative straggler re-execution —
+	// see docs/SCHEDULING.md). The fleet is provisioned elastically via
+	// orchestrate.Runner.ScaleGroup from HostProfile machines. The
+	// virtual schedule shapes SweepResult.Sched only: results, journal
+	// and failures stay byte-identical to a Hosts == 0 run.
+	Hosts int
+	// HostProfile names the cluster.MachineProfile the simulated fleet
+	// is built from; empty means "cloudlab-c220g1".
+	HostProfile string
+	// Placement selects how configurations are assigned to hosts
+	// (sched.PlaceRoundRobin or sched.PlaceLocality).
+	Placement sched.PlacementPolicy
+	// Locality gives configuration i a preferred host rank — typically
+	// gassyfs SweepLocality output mapping each configuration's dataset
+	// to the rank holding its blocks. Consulted by PlaceLocality; -1 or
+	// missing entries mean "no hint".
+	Locality []int
 }
 
 // ResumeError reports that -resume cannot trust the sweep journal: it
@@ -133,6 +152,10 @@ type SweepResult struct {
 	// Failures is the quarantine table mirrored to failures.csv; nil
 	// when every configuration completed.
 	Failures *table.Table
+	// Sched is the cluster schedule report when the sweep ran with
+	// SweepOptions.Hosts > 0 (nil otherwise): per-host placement and
+	// steal counts, speculation outcomes, and the virtual makespan.
+	Sched *sched.ClusterReport
 }
 
 // Passed reports whether every configuration ran (or was resumed) and
@@ -428,8 +451,7 @@ func (p *Project) RunSweep(name string, env *Env, configs []map[string]string, o
 		})
 	}
 
-	pool := sched.NewPool(opts.Jobs)
-	pool.Each(len(todo), func(k int) error {
+	runConfig := func(k int) error {
 		i := todo[k]
 		run := &sr.Runs[i]
 		site := fmt.Sprintf("sweep/%s/config/%03d", name, i)
@@ -474,7 +496,26 @@ func (p *Project) RunSweep(name string, env *Env, configs []map[string]string, o
 			}
 			run.BackoffSeconds += opts.Retry.Delay(opts.Faults.Seed(), site, attempt)
 		}
-	})
+	}
+	if opts.Hosts > 0 {
+		// Cluster path: the scheduler decides placement, steals and
+		// speculation in virtual time, then executes runConfig exactly
+		// once per configuration in its dispatch order — same worker
+		// pool underneath, so artifacts match the flat path byte for
+		// byte; only sr.Sched differs.
+		rep, err := runSweepCluster(env, opts, todo, runConfig)
+		if err != nil {
+			return sr, fmt.Errorf("core: sweep %s: %w", name, err)
+		}
+		sr.Sched = rep
+		for k, i := range todo {
+			if rep != nil && len(rep.Winner) > k && rep.Winner[k] < 0 && sr.Runs[i].Attempts == 0 {
+				sr.Runs[i].Skipped = true
+			}
+		}
+	} else {
+		sched.NewPool(opts.Jobs).Each(len(todo), runConfig)
+	}
 	if err := durable.err(); err != nil {
 		return sr, fmt.Errorf("core: sweep %s: durable journal: %w", name, err)
 	}

@@ -1,0 +1,72 @@
+// Placement introspection: where a file's blocks physically live.
+//
+// The striped allocator (alloc.go) decides which rank's segment each
+// block lands in; this file exposes that decision to schedulers. The
+// cluster sweep scheduler (internal/sched) asks for a configuration's
+// dataset home rank and places the configuration there, so the config
+// reads its blocks over loopback instead of the NIC — the
+// locality-aware placement half of the scheduling story. gassyfs
+// imports sched (for its worker pool), so the adapter lives here and
+// sched only sees plain []int hints.
+
+package gassyfs
+
+import "fmt"
+
+// FilePlacement returns how many of the file's blocks live on each rank
+// (one slot per world rank). Charged as one metadata round trip — block
+// addresses are metadata, not data.
+func (c *Client) FilePlacement(p string) ([]int, error) {
+	cp, err := clean(p)
+	if err != nil {
+		return nil, err
+	}
+	c.metaCost()
+	ino, ok := c.fs.lookup(cp)
+	if !ok || ino.isDir {
+		return nil, fmt.Errorf("gassyfs: %s: no such file", cp)
+	}
+	counts := make([]int, c.fs.world.Size())
+	ino.mu.RLock()
+	for _, b := range ino.blocks {
+		counts[b.Rank]++
+	}
+	ino.mu.RUnlock()
+	return counts, nil
+}
+
+// HomeRank returns the rank holding the plurality of the file's blocks
+// — the host a computation over the file should run on. Ties go to the
+// lowest rank (deterministic); an empty file has no home and returns
+// -1 with no error.
+func (c *Client) HomeRank(p string) (int, error) {
+	counts, err := c.FilePlacement(p)
+	if err != nil {
+		return -1, err
+	}
+	home, best := -1, 0
+	for r, n := range counts {
+		if n > best {
+			home, best = r, n
+		}
+	}
+	return home, nil
+}
+
+// SweepLocality maps a sweep's per-configuration dataset paths to home
+// ranks, in the shape sched.ClusterOptions.Locality expects: hints[i]
+// is the rank holding configuration i's dataset, or -1 when the path is
+// missing, empty or a directory (the scheduler falls back to its cost
+// order for those). Lookup failures are deliberately soft — a sweep
+// must not fail because a dataset has no placement yet.
+func (c *Client) SweepLocality(paths []string) []int {
+	hints := make([]int, len(paths))
+	for i, p := range paths {
+		home, err := c.HomeRank(p)
+		if err != nil {
+			home = -1
+		}
+		hints[i] = home
+	}
+	return hints
+}

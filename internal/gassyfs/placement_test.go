@@ -1,0 +1,104 @@
+package gassyfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFilePlacementCountsBlocks(t *testing.T) {
+	fs, cl := mount(t, 4, Options{Policy: AllocLocalFirst})
+	bs := int(fs.BlockSize())
+	// Three blocks, local-first from rank 0: all on rank 0.
+	if err := cl.WriteFile("/data", bytes.Repeat([]byte{7}, 3*bs)); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := cl.FilePlacement("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 4 {
+		t.Fatalf("placement has %d ranks, want 4", len(counts))
+	}
+	if counts[0] != 3 || counts[1]+counts[2]+counts[3] != 0 {
+		t.Fatalf("local-first placement = %v, want [3 0 0 0]", counts)
+	}
+	home, err := cl.HomeRank("/data")
+	if err != nil || home != 0 {
+		t.Fatalf("HomeRank = %d, %v; want 0", home, err)
+	}
+}
+
+func TestHomeRankPluralityAndTies(t *testing.T) {
+	fs, cl := mount(t, 4, Options{Policy: AllocRoundRobin})
+	bs := int(fs.BlockSize())
+	// Six round-robin blocks over four ranks land 2,2,1,1: the home
+	// rank is the plurality holder, and a plurality tie must resolve
+	// to the lowest rank.
+	if err := cl.WriteFile("/striped", bytes.Repeat([]byte{1}, 6*bs)); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := cl.FilePlacement("/striped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 6 {
+		t.Fatalf("placement %v accounts for %d blocks, want 6", counts, total)
+	}
+	home, err := cl.HomeRank("/striped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if home < 0 || counts[home] == 0 {
+		t.Fatalf("home rank %d holds no blocks: %v", home, counts)
+	}
+	for r, n := range counts {
+		if n > counts[home] {
+			t.Fatalf("rank %d holds %d blocks > home %d's %d", r, n, home, counts[home])
+		}
+		if n == counts[home] && r < home {
+			t.Fatalf("tie between ranks %d and %d must pick the lower", r, home)
+		}
+	}
+}
+
+func TestHomeRankEdgeCases(t *testing.T) {
+	_, cl := mount(t, 2, Options{})
+	if _, err := cl.FilePlacement("/missing"); err == nil {
+		t.Fatal("placement of a missing file must error")
+	}
+	if err := cl.Mkdir("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.FilePlacement("/dir"); err == nil {
+		t.Fatal("placement of a directory must error")
+	}
+	if err := cl.Create("/empty"); err != nil {
+		t.Fatal(err)
+	}
+	home, err := cl.HomeRank("/empty")
+	if err != nil || home != -1 {
+		t.Fatalf("HomeRank(empty) = %d, %v; want -1, nil", home, err)
+	}
+}
+
+func TestSweepLocalityIsSoft(t *testing.T) {
+	fs, cl := mount(t, 3, Options{Policy: AllocLocalFirst})
+	bs := int(fs.BlockSize())
+	if err := cl.WriteFile("/ds0", bytes.Repeat([]byte{1}, bs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Create("/emptyds"); err != nil {
+		t.Fatal(err)
+	}
+	hints := cl.SweepLocality([]string{"/ds0", "/missing", "/emptyds", "bad//path"})
+	want := []int{0, -1, -1, -1}
+	for i, h := range hints {
+		if h != want[i] {
+			t.Fatalf("SweepLocality = %v, want %v (missing/empty/invalid paths hint -1)", hints, want)
+		}
+	}
+}

@@ -112,6 +112,29 @@ func (inv *Inventory) Add(h *Host, groups ...string) error {
 // Group returns the hosts in a group.
 func (inv *Inventory) Group(name string) []*Host { return inv.groups[name] }
 
+// Remove deletes a host from the inventory and every group it was in.
+// Removing an unknown host is a no-op (idempotent, like Add's inverse
+// should be for elastic scale-down loops).
+func (inv *Inventory) Remove(name string) {
+	if _, ok := inv.byName[name]; !ok {
+		return
+	}
+	delete(inv.byName, name)
+	for g, hosts := range inv.groups {
+		kept := hosts[:0]
+		for _, h := range hosts {
+			if h.Name != name {
+				kept = append(kept, h)
+			}
+		}
+		if len(kept) == 0 {
+			delete(inv.groups, g)
+		} else {
+			inv.groups[g] = kept
+		}
+	}
+}
+
 // Host finds a host by name.
 func (inv *Inventory) Host(name string) (*Host, bool) {
 	h, ok := inv.byName[name]
@@ -285,7 +308,9 @@ type Runner struct {
 	// task (the "batched playbook push" side of the ablation).
 	Batched bool
 	// Forks is how many hosts a task is driven on concurrently — the
-	// Ansible "forks" setting. 0 or 1 keeps execution strictly serial.
+	// Ansible "forks" setting, normalized through sched.Jobs like every
+	// other worker knob in the toolchain: <= 0 means one fork per CPU,
+	// 1 keeps execution strictly serial.
 	// Hosts have independent state and logical clocks, so forked
 	// execution is deterministic: task results are reported in
 	// inventory order regardless of completion order. The one visible
@@ -439,7 +464,11 @@ func (r *Runner) Run(pb *Playbook) ([]TaskResult, error) {
 		return nil, err
 	}
 	var results []TaskResult
-	forked := r.Forks > 1
+	// One pool for the whole run — fork sites share it instead of
+	// allocating a fresh pool per task, and Forks <= 0 normalizes to
+	// one fork per CPU (sched.Jobs) like every other worker knob.
+	pool := sched.NewPool(r.Forks)
+	forked := pool.Workers() > 1
 	strikes := make(map[string]int)
 	quarantined := make(map[string]bool)
 	// live filters a host list down to non-quarantined hosts.
@@ -478,7 +507,7 @@ func (r *Runner) Run(pb *Playbook) ([]TaskResult, error) {
 		}
 		if play.GatherFacts {
 			if forked {
-				sched.NewPool(r.Forks).Each(len(hosts), func(i int) error {
+				pool.Each(len(hosts), func(i int) error {
 					r.gatherFacts(hosts[i])
 					return nil
 				})
@@ -501,7 +530,7 @@ func (r *Runner) Run(pb *Playbook) ([]TaskResult, error) {
 				// Fan the task out across hosts; collect in inventory
 				// order so forked runs journal identically.
 				taskResults := make([]TaskResult, len(hosts))
-				sched.NewPool(r.Forks).Each(len(hosts), func(i int) error {
+				pool.Each(len(hosts), func(i int) error {
 					taskResults[i] = r.runTask(play, task, hosts[i])
 					return nil
 				})

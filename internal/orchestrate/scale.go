@@ -1,0 +1,79 @@
+// Elastic fleet scaling: grow or shrink an inventory group against the
+// simulated cluster provider, and hand the group to the sweep scheduler.
+//
+// This is the provisioning loop core.RunSweep drives when asked to fan
+// a sweep across simulated hosts: scale the "sweep" group to -hosts
+// nodes of the chosen machine profile, convert it to sched.HostSpecs,
+// and let the cluster scheduler place configurations on it. Scaling is
+// idempotent and incremental — growing reuses existing hosts, shrinking
+// releases the highest-numbered ones first — so repeated sweeps at
+// different -hosts values reuse the fleet the way an elastic provider
+// allocation would.
+
+package orchestrate
+
+import (
+	"fmt"
+
+	"popper/internal/cluster"
+	"popper/internal/sched"
+)
+
+// ScaleGroup grows or shrinks the inventory group to exactly n hosts
+// backed by cluster nodes of the given profile, naming them
+// "<group>-<k>" for k = 0..n-1. Growing provisions fresh nodes and adds
+// them to the group; shrinking removes the highest-numbered hosts and
+// releases their nodes back to the provider. The returned slice is the
+// group's hosts after scaling, in rank order.
+func (r *Runner) ScaleGroup(c *cluster.Cluster, p *cluster.MachineProfile, group string, n int) ([]*Host, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("orchestrate: cannot scale group %q to %d hosts", group, n)
+	}
+	have := len(r.inv.Group(group))
+	for k := have; k < n; k++ {
+		nodes, err := c.ProvisionProfile(p, 1)
+		if err != nil {
+			return nil, fmt.Errorf("orchestrate: scaling group %q to %d: %w", group, n, err)
+		}
+		h := NewHost(fmt.Sprintf("%s-%d", group, k), nodes[0])
+		if err := r.inv.Add(h, group); err != nil {
+			c.Release(nodes[0])
+			return nil, err
+		}
+	}
+	for k := have - 1; k >= n; k-- {
+		name := fmt.Sprintf("%s-%d", group, k)
+		if h, ok := r.inv.Host(name); ok {
+			if h.Node != nil {
+				c.Release(h.Node)
+			}
+			r.inv.Remove(name)
+		}
+	}
+	return r.inv.Group(group), nil
+}
+
+// HostSpecs converts an inventory group into the fleet description the
+// cluster sweep scheduler consumes: one spec per host, in group order,
+// carrying the host's machine profile and logical clock. Hosts without
+// a cluster node (the local control host) get the default sweep profile
+// so a mixed inventory still schedules.
+func (inv *Inventory) HostSpecs(group string) []sched.HostSpec {
+	hosts := inv.Group(group)
+	specs := make([]sched.HostSpec, 0, len(hosts))
+	for _, h := range hosts {
+		spec := sched.HostSpec{Name: h.Name}
+		if h.Node != nil {
+			spec.Profile = h.Node.Profile()
+			spec.Node = h.Node
+		} else {
+			p, err := cluster.Profile("cloudlab-c220g1")
+			if err != nil {
+				continue
+			}
+			spec.Profile = p
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}

@@ -1,0 +1,168 @@
+package orchestrate
+
+import (
+	"fmt"
+	"testing"
+
+	"popper/internal/cluster"
+)
+
+func scaleFixture(t *testing.T) (*Runner, *Inventory, *cluster.Cluster, *cluster.MachineProfile) {
+	t.Helper()
+	p, err := cluster.Profile("cloudlab-c220g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := NewInventory()
+	return NewRunner(inv), inv, cluster.New(1), p
+}
+
+func TestScaleGroupGrowsAndShrinks(t *testing.T) {
+	r, inv, clus, prof := scaleFixture(t)
+	hosts, err := r.ScaleGroup(clus, prof, "sweep", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 4 {
+		t.Fatalf("scaled to %d hosts, want 4", len(hosts))
+	}
+	for k, h := range hosts {
+		if want := fmt.Sprintf("sweep-%d", k); h.Name != want {
+			t.Fatalf("host %d named %q, want %q", k, h.Name, want)
+		}
+		if h.Node == nil {
+			t.Fatalf("host %s has no cluster node", h.Name)
+		}
+	}
+	if got := len(clus.Nodes()); got != 4 {
+		t.Fatalf("cluster leases %d nodes, want 4", got)
+	}
+
+	// Growing is incremental: the original hosts survive.
+	h0 := hosts[0]
+	hosts, err = r.ScaleGroup(clus, prof, "sweep", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 6 || hosts[0] != h0 {
+		t.Fatalf("grow to 6 must reuse existing hosts (got %d)", len(hosts))
+	}
+
+	// Shrinking removes the highest-numbered hosts and releases their
+	// nodes back to the provider.
+	hosts, err = r.ScaleGroup(clus, prof, "sweep", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 2 || hosts[0] != h0 {
+		t.Fatalf("shrink to 2 must keep the low-numbered hosts")
+	}
+	if got := len(clus.Nodes()); got != 2 {
+		t.Fatalf("cluster leases %d nodes after shrink, want 2", got)
+	}
+	if _, ok := inv.Host("sweep-5"); ok {
+		t.Fatal("shrunk host must leave the inventory")
+	}
+	// Idempotent: scaling to the current size changes nothing.
+	again, err := r.ScaleGroup(clus, prof, "sweep", 2)
+	if err != nil || len(again) != 2 {
+		t.Fatalf("no-op scale: %d hosts, %v", len(again), err)
+	}
+	if _, err := r.ScaleGroup(clus, prof, "sweep", -1); err == nil {
+		t.Fatal("negative scale must error")
+	}
+}
+
+func TestInventoryRemove(t *testing.T) {
+	inv := NewInventory()
+	a, b := NewHost("a", nil), NewHost("b", nil)
+	if err := inv.Add(a, "g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Add(b, "g"); err != nil {
+		t.Fatal(err)
+	}
+	inv.Remove("a")
+	if _, ok := inv.Host("a"); ok {
+		t.Fatal("removed host still resolvable")
+	}
+	if g := inv.Group("g"); len(g) != 1 || g[0] != b {
+		t.Fatalf("group g = %v, want just b", g)
+	}
+	if g := inv.Group("all"); len(g) != 1 {
+		t.Fatalf("group all has %d hosts, want 1", len(g))
+	}
+	inv.Remove("a") // idempotent
+	inv.Remove("b")
+	if len(inv.Groups()) != 0 {
+		t.Fatalf("empty inventory still has groups: %v", inv.Groups())
+	}
+	// A removed name can be re-added (the elastic scale-up after a
+	// scale-down).
+	if err := inv.Add(NewHost("a", nil), "g"); err != nil {
+		t.Fatalf("re-adding a removed host: %v", err)
+	}
+}
+
+func TestHostSpecsCarryProfilesAndClocks(t *testing.T) {
+	r, inv, clus, prof := scaleFixture(t)
+	if _, err := r.ScaleGroup(clus, prof, "sweep", 3); err != nil {
+		t.Fatal(err)
+	}
+	specs := inv.HostSpecs("sweep")
+	if len(specs) != 3 {
+		t.Fatalf("%d specs, want 3", len(specs))
+	}
+	for i, s := range specs {
+		if s.Name != fmt.Sprintf("sweep-%d", i) {
+			t.Fatalf("spec %d named %q", i, s.Name)
+		}
+		if s.Profile == nil || s.Node == nil {
+			t.Fatalf("spec %s missing profile or node", s.Name)
+		}
+		if s.Profile != s.Node.Profile() {
+			t.Fatalf("spec %s profile does not match its node", s.Name)
+		}
+	}
+	// A control host without a node still schedules, on the default
+	// profile.
+	if err := inv.Add(NewHost("control", nil), "mixed"); err != nil {
+		t.Fatal(err)
+	}
+	mixed := inv.HostSpecs("mixed")
+	if len(mixed) != 1 || mixed[0].Profile == nil || mixed[0].Node != nil {
+		t.Fatalf("control-host spec = %+v", mixed)
+	}
+}
+
+// TestForksZeroMeansPerCPU pins the normalized Forks contract: the
+// default runner forks one worker per CPU (sched.Jobs semantics), and
+// results still journal in inventory order.
+func TestForksZeroMeansPerCPU(t *testing.T) {
+	inv, _ := testInventory(t, 13)
+	r := NewRunner(inv) // Forks left at 0
+	pb, err := ParsePlaybook(samplePlaybook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := r.Run(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunner(func() *Inventory { i, _ := testInventory(t, 13); return i }())
+	r2.Forks = 1
+	serial, err := r2.Run(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(serial) {
+		t.Fatalf("default-forks results %d, serial %d", len(results), len(serial))
+	}
+	for i := range serial {
+		if results[i].Host != serial[i].Host || results[i].Task != serial[i].Task ||
+			results[i].Msg != serial[i].Msg {
+			t.Fatalf("result %d diverged between default forks and serial:\n%+v\n%+v",
+				i, results[i], serial[i])
+		}
+	}
+}

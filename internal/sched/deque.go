@@ -1,0 +1,83 @@
+package sched
+
+// deque is the per-host work queue of the cluster scheduler: a growable
+// ring buffer of task indices. The owner host drains it from the front,
+// so a host executes its placed configurations in index order; thieves
+// take from the back — the work the owner would reach last — which keeps
+// a steal from reordering the victim's imminent work.
+//
+// The scheduler's event loop is single-threaded (see cluster.go), so
+// deques need no synchronization; what they do need is to stay off the
+// steal hot path's allocation profile. The contract, pinned by
+// TestStealHotPathAllocationBounds: pop and stealInto never allocate —
+// only push (and a stealInto whose thief ring must grow) may — so a
+// drained host probing victims costs no garbage even when every probe
+// finds an empty queue.
+type deque struct {
+	buf  []int32 // ring storage; len(buf) is always a power of two
+	head int     // index of the front element
+	size int     // number of queued tasks
+}
+
+// len reports the number of queued tasks.
+func (d *deque) len() int { return d.size }
+
+// grow resizes the ring to hold at least need tasks.
+func (d *deque) grow(need int) {
+	capacity := len(d.buf) * 2
+	if capacity < 8 {
+		capacity = 8
+	}
+	for capacity < need {
+		capacity *= 2
+	}
+	nb := make([]int32, capacity)
+	mask := len(d.buf) - 1
+	for i := 0; i < d.size; i++ {
+		nb[i] = d.buf[(d.head+i)&mask]
+	}
+	d.buf, d.head = nb, 0
+}
+
+// push appends a task to the back of the queue.
+func (d *deque) push(task int) {
+	if d.size == len(d.buf) {
+		d.grow(d.size + 1)
+	}
+	d.buf[(d.head+d.size)&(len(d.buf)-1)] = int32(task)
+	d.size++
+}
+
+// pop removes and returns the front task. Never allocates.
+func (d *deque) pop() (int, bool) {
+	if d.size == 0 {
+		return -1, false
+	}
+	t := d.buf[d.head]
+	d.head = (d.head + 1) & (len(d.buf) - 1)
+	d.size--
+	return int(t), true
+}
+
+// stealInto moves the back half (rounded up) of the queue into thief,
+// preserving the stolen tasks' relative order, and returns how many
+// moved. Stealing half rather than one task is what lets a single steal
+// rebalance a straggler's whole backlog in O(log n) steals. A steal from
+// an empty queue moves nothing and never allocates.
+func (d *deque) stealInto(thief *deque) int {
+	k := (d.size + 1) / 2
+	if k == 0 {
+		return 0
+	}
+	if thief.size+k > len(thief.buf) {
+		thief.grow(thief.size + k)
+	}
+	srcMask, dstMask := len(d.buf)-1, len(thief.buf)-1
+	start := d.size - k
+	for i := 0; i < k; i++ {
+		thief.buf[(thief.head+thief.size)&dstMask] = d.buf[(d.head+start+i)&srcMask]
+		thief.size++
+	}
+	d.size -= k
+	return k
+}
