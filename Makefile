@@ -6,7 +6,7 @@ CHAOS_SEEDS ?= 42 7 1337
 # Seed matrix for the disk-crash suite; override with CRASH_SEEDS="...".
 CRASH_SEEDS ?= 42 7 1337
 
-.PHONY: build test vet race verify bench bench-gassyfs bench-json bench-json-smoke chaos crash
+.PHONY: build test vet race verify bench bench-gassyfs bench-cache bench-json bench-json-smoke chaos crash
 
 build:
 	$(GO) build ./...
@@ -65,17 +65,29 @@ bench:
 bench-gassyfs:
 	$(GO) test -run '^$$' -bench 'BenchmarkGassyfsCompileGit|BenchmarkGassyfsReadParallel|BenchmarkGasnetGetv' -benchmem
 
-# The repo's recorded perf trajectory: run the cluster-scheduler
-# benchmarks (scaling curve at 1/16/256/1024 simulated hosts plus the
-# straggler-recovery triple) and write BENCH_sched.json — benchmark
-# name → ns/op, allocs/op, virtual configs/sec (see docs/SCHEDULING.md).
+# The federated-cache benchmarks: sharded-lock contention at high
+# -jobs, the zero-alloc hit path, and the tier/extent micro-benches
+# (see docs/CACHE.md).
+bench-cache:
+	$(GO) test -run '^$$' -bench 'Cache|Tier|Extent|Federation' -benchmem -cpu 8 \
+		./internal/pipeline/ ./internal/cas/
+
+# The repo's recorded perf trajectory: the cluster-scheduler benchmarks
+# (scaling curve at 1/16/256/1024 simulated hosts plus the
+# straggler-recovery triple) into BENCH_sched.json, and the federated-
+# cache benchmarks (cold vs warm 64-config overlapping sweep, warm
+# hit-rate at 1/16/256 simulated hosts, peer-fetch vs recompute virtual
+# cost) into BENCH_cache.json (see docs/SCHEDULING.md, docs/CACHE.md).
 bench-json:
 	BENCH_JSON=$(CURDIR)/BENCH_sched.json $(GO) test -run TestWriteBenchJSON -count=1 ./internal/sched/
 	@echo "-- wrote BENCH_sched.json"
+	BENCH_JSON=$(CURDIR)/BENCH_cache.json $(GO) test -run TestWriteCacheBenchJSON -count=1 ./internal/core/
+	@echo "-- wrote BENCH_cache.json"
 
-# One-iteration smoke of the benchmark recorder for `make verify`: same
-# code path, tiny host matrix, throwaway output file.
+# One-iteration smoke of the benchmark recorders for `make verify`:
+# same code paths, tiny matrices, throwaway output files.
 bench-json-smoke:
 	@out=$$(mktemp); \
 	BENCH_JSON=$$out BENCH_SMOKE=1 $(GO) test -run TestWriteBenchJSON -count=1 ./internal/sched/ || { rm -f $$out; exit 1; }; \
+	BENCH_JSON=$$out BENCH_SMOKE=1 $(GO) test -run TestWriteCacheBenchJSON -count=1 ./internal/core/ || { rm -f $$out; exit 1; }; \
 	rm -f $$out

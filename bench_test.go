@@ -917,10 +917,10 @@ func BenchmarkSweepCached(b *testing.B) {
 		runSweepBench(b, 8, cache)
 	}
 	b.StopTimer()
-	hits, misses := cache.Stats()
-	if hits == 0 {
+	st := cache.Stats()
+	if st.Hits == 0 {
 		b.Fatal("cached sweep produced no cache hits")
 	}
-	b.ReportMetric(float64(hits), "cache-hits")
-	b.ReportMetric(float64(misses), "cache-misses")
+	b.ReportMetric(float64(st.Hits), "cache-hits")
+	b.ReportMetric(float64(st.Misses), "cache-misses")
 }

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"popper/internal/cas"
 )
 
 // popperOut runs the CLI and captures its stdout.
@@ -62,6 +64,52 @@ func objectPathFor(content []byte) string {
 	return filepath.Join(".popper", "objects", hex[:2], hex)
 }
 
+// destroyObject erases one content's bytes from the object cache
+// everywhere they can live: the loose object file, and any packed
+// extent (rewritten without the record so the rest stays provable).
+func destroyObject(t *testing.T, dir string, content []byte) {
+	t.Helper()
+	hash := sha256.Sum256(content)
+	_ = os.Remove(filepath.Join(dir, objectPathFor(content)))
+	extDir := filepath.Join(dir, ".popper", "extents")
+	ents, err := os.ReadDir(extDir)
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		p := filepath.Join(extDir, ent.Name())
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		recs, err := cas.ParseExtent(raw)
+		if err != nil {
+			continue
+		}
+		var keep [][]byte
+		hit := false
+		for _, r := range recs {
+			if r.Hash == hash {
+				hit = true
+				continue
+			}
+			keep = append(keep, raw[r.Offset:r.Offset+r.Size])
+		}
+		if !hit {
+			continue
+		}
+		if len(keep) == 0 {
+			if err := os.Remove(p); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := os.WriteFile(p, cas.EncodeExtent(keep), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // damagedRepo builds the canonical wounded repository the fsck goldens
 // describe: one torn file, one missing, one corrupted beyond proof, one
 // stray, and one piece of in-flight debris.
@@ -99,9 +147,7 @@ func damagedRepo(t *testing.T) string {
 	if err := os.WriteFile(varsPath, []byte(strings.Repeat("#", len(vars))), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Remove(filepath.Join(dir, objectPathFor(vars))); err != nil {
-		t.Fatal(err)
-	}
+	destroyObject(t, dir, vars)
 	// Debris: an in-flight temp file from a torn sync.
 	if err := os.WriteFile(filepath.Join(dir, "experiments/stm/out.csv.ptmp"), []byte("half a write"), 0o644); err != nil {
 		t.Fatal(err)

@@ -217,8 +217,13 @@ func run(args []string) error {
 					fmt.Printf("-- config %03d (%s): %s\n", run.Index, core.FormatOverrides(run.Overrides), status)
 				}
 				if cache != nil {
-					hits, misses := cache.Stats()
-					fmt.Printf("-- stage cache: %d hits, %d misses\n", hits, misses)
+					cs := cache.Stats()
+					fmt.Printf("-- stage cache: %d hits, %d misses, %s stored, %s deduped, %d evictions\n",
+						cs.Hits, cs.Misses, humanBytes(cs.BytesAdded), humanBytes(cs.BytesDeduped), cs.Evictions)
+					if cache.Federated() {
+						fmt.Printf("-- federated tier: %d local peer hits, %d remote fetches (%s, %.3f vsec)\n",
+							cs.LocalPeerHits, cs.RemoteFetches, humanBytes(cs.RemoteBytes), cs.FetchSeconds)
+					}
 				}
 				if err := sr.Err(); err != nil {
 					fmt.Printf("-- quarantined configurations recorded in experiments/%s/%s\n", name, core.FailuresFile)
@@ -422,6 +427,18 @@ func withProject(dir string, fn func(*core.Project, *store.Store) error) error {
 		return serr
 	}
 	return ferr
+}
+
+// humanBytes renders a byte count for the report line.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // mustLoadDir reads a directory tree into a flat path map (skipping

@@ -1,0 +1,27 @@
+package cas
+
+// DefaultChunkSize is the dedup granularity for large values: a stage
+// log or workspace file is split into fixed 64 KiB chunks before
+// storage, so two sweeps that share a long common prefix (the usual
+// shape of append-only journals and logs) share all but the tail
+// chunk.
+const DefaultChunkSize = 64 << 10
+
+// PutChunked stores content split into DefaultChunkSize chunks and
+// returns the chunk refs in order. Empty content is stored as a single
+// empty chunk so every value has at least one addressable ref.
+func (t *Tier) PutChunked(data []byte) []Ref {
+	if len(data) == 0 {
+		return []Ref{t.Put(nil)}
+	}
+	refs := make([]Ref, 0, (len(data)+DefaultChunkSize-1)/DefaultChunkSize)
+	for len(data) > 0 {
+		n := len(data)
+		if n > DefaultChunkSize {
+			n = DefaultChunkSize
+		}
+		refs = append(refs, t.Put(data[:n]))
+		data = data[n:]
+	}
+	return refs
+}

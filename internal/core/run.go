@@ -142,6 +142,11 @@ type RunOptions struct {
 	// Jobs bounds intra-run concurrency (chunked Aver validation);
 	// values <= 1 keep validation strictly serial.
 	Jobs int
+	// CacheHost is the simulated host this run executes on; a federated
+	// Cache accounts peer-to-peer entry transfers on its virtual clock.
+	// Negative disables federated accounting (the flat, un-clustered
+	// path). Ignored when Cache is nil or has no federation attached.
+	CacheHost int
 	// Overrides are parameter overrides applied on top of vars.yml —
 	// one sweep configuration.
 	Overrides map[string]string
@@ -202,6 +207,7 @@ func (p *Project) RunExperimentOpts(name string, env *Env, opts RunOptions) (Run
 		pl.Cache = opts.Cache
 		pl.CacheSalt = fmt.Sprintf("env-seed=%d", env.Seed)
 		pl.CacheFilter = experimentInputFilter(name)
+		pl.CacheHost = opts.CacheHost
 	}
 	pl.AddStage("setup", func(c *pipeline.Context) error {
 		// Orchestration integrity: the playbook must parse and lint

@@ -451,7 +451,12 @@ func (p *Project) RunSweep(name string, env *Env, configs []map[string]string, o
 		})
 	}
 
-	runConfig := func(k int) error {
+	// runConfig executes configuration todo[k]. host is the simulated
+	// host the cluster schedule placed it on (-1 on the flat path or for
+	// a lost task): a federated cache charges peer transfers to that
+	// host's clock. The host never influences artifacts — only virtual
+	// accounting — so the flat and cluster paths stay byte-identical.
+	runConfig := func(k, host int) error {
 		i := todo[k]
 		run := &sr.Runs[i]
 		site := fmt.Sprintf("sweep/%s/config/%03d", name, i)
@@ -473,6 +478,7 @@ func (p *Project) RunSweep(name string, env *Env, configs []map[string]string, o
 				proj := &Project{Files: files}
 				run.Result, err = proj.RunExperimentOpts(name, env, RunOptions{
 					Cache:      opts.Cache,
+					CacheHost:  host,
 					Overrides:  configs[i],
 					Faults:     opts.Faults,
 					FaultScope: fmt.Sprintf("%s/%03d", name, i),
@@ -514,7 +520,7 @@ func (p *Project) RunSweep(name string, env *Env, configs []map[string]string, o
 			}
 		}
 	} else {
-		sched.NewPool(opts.Jobs).Each(len(todo), runConfig)
+		sched.NewPool(opts.Jobs).Each(len(todo), func(k int) error { return runConfig(k, -1) })
 	}
 	if err := durable.err(); err != nil {
 		return sr, fmt.Errorf("core: sweep %s: durable journal: %w", name, err)

@@ -114,7 +114,7 @@ func TestRunSweepSharedCache(t *testing.T) {
 	if err != nil || sr.Err() != nil {
 		t.Fatalf("first sweep: %v / %v", err, sr.Err())
 	}
-	coldHits, _ := cache.Stats()
+	coldHits := cache.Stats().Hits
 	if coldHits == 0 {
 		t.Fatal("setup stage should replay across same-seed configurations")
 	}

@@ -3,9 +3,11 @@ package pipeline
 import (
 	"bytes"
 	"crypto/sha256"
-	"encoding/hex"
 	"sort"
 	"sync"
+
+	"popper/internal/cas"
+	"popper/internal/metrics"
 )
 
 // Cache is a content-addressed store of stage executions — the memoized
@@ -17,79 +19,365 @@ import (
 // stage produced plus its log output, so an unchanged stage is replayed
 // byte-identically without re-executing.
 //
+// Entry *content* lives in a shared cas.Tier: every workspace file and
+// log is chunked by SHA-256, so identical outputs across
+// configurations, sweeps, and tenants are stored once (and evicted
+// under one size bound). The Cache itself holds only metadata — path
+// names and chunk refs — sharded across striped locks so concurrent
+// sweep workers looking up and storing entries never serialize on one
+// mutex. Optionally a cas.Federation is attached (Federate): hits then
+// also consult the per-host index and charge a peer transfer to the
+// simulated host's virtual clock when the entry's bytes live elsewhere.
+//
 // A Cache is safe for concurrent use; a parallel sweep shares one cache
 // across all of its workers. Entries assume stages are deterministic
 // functions of their key material: stages that read state outside the
 // filtered workspace (clocks, RNGs not derived from params/salt,
 // external stores) must not be marked cacheable.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]cacheEntry
-	hits    int
-	misses  int
+	tier *cas.Tier
+	fed  *cas.Federation // optional; set before concurrent use
+
+	// fedRetired accumulates the counters of federations detached by
+	// later Federate calls (each sweep attaches a fresh fleet), so a
+	// cache shared across sweeps reports cumulative peer traffic.
+	fedRetired cas.FedStats
+
+	shards [cacheShards]cacheShard
 }
 
-// cacheEntry is the replayable outcome of one stage execution: the
-// workspace paths it wrote (with content) and removed, plus the log
-// text it emitted.
+// cacheShards is the lock-stripe count of the entry map. 64 stripes
+// keep -jobs 16..64 sweep workers contention-free (see
+// BenchmarkCacheContention).
+const cacheShards = 64
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[[sha256.Size]byte]*stageEntry
+	hits    int64
+	misses  int64
+}
+
+// pathDelta is one workspace path a stage wrote, with its content as
+// tier chunk refs.
+type pathDelta struct {
+	path string
+	size int64
+	refs []cas.Ref
+}
+
+// stageEntry is the replayable outcome of one stage execution: the
+// workspace paths it wrote (as chunk refs into the tier), the paths it
+// removed, and its log output (chunked too, so overlapping logs dedup).
+type stageEntry struct {
+	set     []pathDelta // sorted by path
+	del     []string    // sorted
+	logRefs []cas.Ref
+	logLen  int64
+}
+
+// cacheEntry is the raw in-memory delta a stage produced, before it is
+// chunked into the tier (diffWorkspace's output).
 type cacheEntry struct {
 	set map[string][]byte
 	del []string
 	log string
 }
 
-// NewCache creates an empty stage cache.
-func NewCache() *Cache {
-	return &Cache{entries: make(map[string]cacheEntry)}
+// CacheOptions configures the backing tier.
+type CacheOptions struct {
+	// MaxBytes bounds resident cached bytes (workspace deltas + logs);
+	// 0 means unbounded. Entries whose chunks are evicted simply miss
+	// and recompute.
+	MaxBytes int64
+	// Shards is the tier's lock-stripe count; 0 means the default.
+	Shards int
 }
 
-// Stats returns the lookup hit/miss counters.
-func (c *Cache) Stats() (hits, misses int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+// NewCache creates an empty, unbounded stage cache.
+func NewCache() *Cache { return NewCacheOpts(CacheOptions{}) }
+
+// NewCacheOpts creates a stage cache over a bounded tier.
+func NewCacheOpts(opts CacheOptions) *Cache {
+	c := &Cache{tier: cas.NewTier(cas.Options{MaxBytes: opts.MaxBytes, Shards: opts.Shards})}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[[sha256.Size]byte]*stageEntry)
+	}
+	return c
+}
+
+// Tier exposes the backing content-addressed tier (shared with the
+// artifact store and the federation).
+func (c *Cache) Tier() *cas.Tier { return c.tier }
+
+// Federate attaches a peer-to-peer federation: stage hits will consult
+// the per-host index and account peer transfers on the simulated
+// hosts' virtual clocks, and stores will publish entries to the
+// executing host. Attach before the cache is shared across goroutines.
+// Re-federating (each sweep brings its own fleet) retires the previous
+// federation's counters into the cache so Stats stays cumulative.
+func (c *Cache) Federate(f *cas.Federation) {
+	if c.fed != nil {
+		fs := c.fed.Stats()
+		c.fedRetired.Publishes += fs.Publishes
+		c.fedRetired.LocalHits += fs.LocalHits
+		c.fedRetired.RemoteFetches += fs.RemoteFetches
+		c.fedRetired.Misses += fs.Misses
+		c.fedRetired.RemoteBytes += fs.RemoteBytes
+		c.fedRetired.FetchSeconds += fs.FetchSeconds
+	}
+	c.fed = f
+}
+
+// Federated reports whether a federation is attached.
+func (c *Cache) Federated() bool { return c.fed != nil }
+
+// CacheStats aggregates the cache's counters: entry hit/miss, the
+// backing tier's dedup and eviction accounting, and the federation's
+// peer-fetch counters (zero when not federated).
+type CacheStats struct {
+	Hits    int64 // stage lookups replayed from cache
+	Misses  int64 // stage lookups that had to execute
+	Entries int64 // live stage entries
+
+	Objects       int64 // resident tier objects (chunks)
+	BytesResident int64
+	BytesAdded    int64 // bytes stored (first copy)
+	BytesDeduped  int64 // bytes NOT stored because content was resident
+	Evictions     int64
+	BytesEvicted  int64
+
+	LocalPeerHits int64   // federated hits served by the host's own copy
+	RemoteFetches int64   // federated hits transferred from a peer
+	RemoteBytes   int64   // bytes moved over the peer fetch path
+	FetchSeconds  float64 // virtual seconds spent in peer transfers
+}
+
+// Stats returns a point-in-time aggregate.
+func (c *Cache) Stats() CacheStats {
+	var st CacheStats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Entries += int64(len(s.entries))
+		s.mu.Unlock()
+	}
+	ts := c.tier.Stats()
+	st.Objects = ts.Objects
+	st.BytesResident = ts.BytesResident
+	st.BytesAdded = ts.BytesAdded
+	st.BytesDeduped = ts.BytesDeduped
+	st.Evictions = ts.Evictions
+	st.BytesEvicted = ts.BytesEvicted
+	st.LocalPeerHits = c.fedRetired.LocalHits
+	st.RemoteFetches = c.fedRetired.RemoteFetches
+	st.RemoteBytes = c.fedRetired.RemoteBytes
+	st.FetchSeconds = c.fedRetired.FetchSeconds
+	if c.fed != nil {
+		fs := c.fed.Stats()
+		st.LocalPeerHits += fs.LocalHits
+		st.RemoteFetches += fs.RemoteFetches
+		st.RemoteBytes += fs.RemoteBytes
+		st.FetchSeconds += fs.FetchSeconds
+	}
+	return st
+}
+
+// Record publishes the cache counters into a metrics registry as
+// cache_* gauges, so sweep reports and the CI service can chart the
+// tier alongside the other runtime metrics.
+func (c *Cache) Record(reg *metrics.Registry) {
+	st := c.Stats()
+	reg.Set("cache_hits", float64(st.Hits))
+	reg.Set("cache_misses", float64(st.Misses))
+	reg.Set("cache_entries", float64(st.Entries))
+	reg.Set("cache_bytes_resident", float64(st.BytesResident))
+	reg.Set("cache_bytes_added", float64(st.BytesAdded))
+	reg.Set("cache_bytes_deduped", float64(st.BytesDeduped))
+	reg.Set("cache_evictions", float64(st.Evictions))
+	reg.Set("cache_remote_fetches", float64(st.RemoteFetches))
+	reg.Set("cache_remote_bytes", float64(st.RemoteBytes))
+	reg.Set("cache_fetch_vseconds", st.FetchSeconds)
 }
 
 // Len returns the number of stored stage outcomes.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// lookup fetches an entry and bumps the hit/miss counters.
-func (c *Cache) lookup(key string) (cacheEntry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ent, ok := c.entries[key]
+// shardFor stripes the entry map by the leading key bytes (the key is
+// a SHA-256 digest, so any byte indexes uniformly).
+func (c *Cache) shardFor(key [sha256.Size]byte) *cacheShard {
+	return &c.shards[key[0]&(cacheShards-1)]
+}
+
+// lookup fetches an entry and bumps the hit/miss counters. On a hit
+// every chunk the entry references is pinned against eviction until
+// replay releases it — a view handed to replay can therefore never be
+// invalidated by a concurrent store pushing the tier over budget. An
+// entry whose chunks were already evicted is dropped and counts as a
+// miss (the stage recomputes and re-stores it).
+//
+// host is the simulated host performing the lookup (federated
+// accounting); pass a negative host to skip federation entirely.
+func (c *Cache) lookup(key [sha256.Size]byte, host int) (*stageEntry, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	ent, ok := s.entries[key]
+	if ok && !c.pinEntry(ent) {
+		// Chunks evicted: the entry is no longer replayable.
+		delete(s.entries, key)
+		ok = false
+	}
 	if ok {
-		c.hits++
+		s.hits++
 	} else {
-		c.misses++
+		s.misses++
 	}
-	return ent, ok
+	s.mu.Unlock()
+	if !ok {
+		if ent != nil && c.fed != nil {
+			c.fed.Forget(key)
+		}
+		return nil, false
+	}
+	if c.fed != nil && host >= 0 {
+		// Locate the bytes in the federation: free if this host holds
+		// them, a virtual-clock-accounted gasnet transfer from the
+		// cheapest peer otherwise. Content is unaffected either way
+		// (the determinism argument in docs/CACHE.md), so transfer
+		// errors — injected partitions included — degrade to a plain
+		// local replay rather than failing the stage.
+		_, _ = c.fed.Fetch(host, key)
+	}
+	return ent, true
 }
 
-// store records a stage outcome. Content is copied on the way in so
-// later in-place mutation by the caller cannot corrupt the cache.
-func (c *Cache) store(key string, ent cacheEntry) {
-	copied := cacheEntry{set: make(map[string][]byte, len(ent.set)), del: ent.del, log: ent.log}
-	for p, b := range ent.set {
-		copied.set[p] = append([]byte(nil), b...)
+// pinEntry pins every chunk the entry references, rolling back on a
+// missing chunk. Caller holds the entry's shard lock.
+func (c *Cache) pinEntry(ent *stageEntry) bool {
+	pin := func(refs []cas.Ref) int {
+		for i, ref := range refs {
+			if !c.tier.Pin(ref) {
+				return i
+			}
+		}
+		return len(refs)
 	}
-	c.mu.Lock()
-	c.entries[key] = copied
-	c.mu.Unlock()
+	unpin := func(refs []cas.Ref, n int) {
+		for i := 0; i < n; i++ {
+			c.tier.Unpin(refs[i])
+		}
+	}
+	for di, d := range ent.set {
+		if n := pin(d.refs); n != len(d.refs) {
+			unpin(d.refs, n)
+			for j := 0; j < di; j++ {
+				unpin(ent.set[j].refs, len(ent.set[j].refs))
+			}
+			return false
+		}
+	}
+	if n := pin(ent.logRefs); n != len(ent.logRefs) {
+		unpin(ent.logRefs, n)
+		for _, d := range ent.set {
+			unpin(d.refs, len(d.refs))
+		}
+		return false
+	}
+	return true
 }
 
-// apply replays the entry's workspace delta. Content is copied on the
-// way out so the live workspace never aliases cache-owned bytes.
-func (ent cacheEntry) apply(ws map[string][]byte) {
-	for p, b := range ent.set {
-		ws[p] = append([]byte(nil), b...)
+// replay applies the entry's workspace delta, returns its log text,
+// and releases the pins lookup took. Single-chunk paths are applied
+// zero-copy: the workspace aliases tier-owned bytes, which is safe
+// because stages replace workspace entries rather than mutating them
+// in place (the Context contract) and pinned chunks cannot be evicted
+// mid-apply.
+func (c *Cache) replay(ent *stageEntry, ws map[string][]byte) string {
+	for _, d := range ent.set {
+		if len(d.refs) == 1 {
+			data, ok := c.tier.View(d.refs[0])
+			if !ok {
+				panic("pipeline: pinned cache chunk evicted") // pins forbid this
+			}
+			ws[d.path] = data
+			c.tier.Unpin(d.refs[0])
+			continue
+		}
+		buf := make([]byte, 0, d.size)
+		for _, ref := range d.refs {
+			data, ok := c.tier.View(ref)
+			if !ok {
+				panic("pipeline: pinned cache chunk evicted")
+			}
+			buf = append(buf, data...)
+			c.tier.Unpin(ref)
+		}
+		ws[d.path] = buf
 	}
 	for _, p := range ent.del {
 		delete(ws, p)
+	}
+	var log string
+	if ent.logLen == 0 {
+		for _, ref := range ent.logRefs {
+			c.tier.Unpin(ref)
+		}
+	} else if len(ent.logRefs) == 1 {
+		data, _ := c.tier.View(ent.logRefs[0])
+		log = string(data)
+		c.tier.Unpin(ent.logRefs[0])
+	} else {
+		buf := make([]byte, 0, ent.logLen)
+		for _, ref := range ent.logRefs {
+			data, _ := c.tier.View(ref)
+			buf = append(buf, data...)
+			c.tier.Unpin(ref)
+		}
+		log = string(buf)
+	}
+	return log
+}
+
+// store chunks a stage outcome into the tier and records the entry.
+// When federated, the entry is published to the executing host so
+// peers can fetch it instead of recomputing.
+func (c *Cache) store(key [sha256.Size]byte, ent cacheEntry, host int) {
+	paths := make([]string, 0, len(ent.set))
+	for p := range ent.set {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	se := &stageEntry{del: ent.del, logLen: int64(len(ent.log))}
+	var flat []cas.Ref
+	for _, p := range paths {
+		content := ent.set[p]
+		refs := c.tier.PutChunked(content)
+		se.set = append(se.set, pathDelta{path: p, size: int64(len(content)), refs: refs})
+		flat = append(flat, refs...)
+	}
+	se.logRefs = c.tier.PutChunked([]byte(ent.log))
+	flat = append(flat, se.logRefs...)
+
+	s := c.shardFor(key)
+	s.mu.Lock()
+	s.entries[key] = se
+	s.mu.Unlock()
+
+	if c.fed != nil && host >= 0 {
+		// Best-effort: a failed publish (segment full, chunk evicted)
+		// just means peers recompute instead of fetching.
+		_ = c.fed.Publish(host, key, flat)
 	}
 }
 
@@ -124,7 +412,7 @@ func diffWorkspace(before, after map[string][]byte) cacheEntry {
 }
 
 // cacheKey digests everything that may influence a cacheable stage.
-func (p *Pipeline) cacheKey(stage, id string, ctx *Context) string {
+func (p *Pipeline) cacheKey(stage, id string, ctx *Context) [sha256.Size]byte {
 	h := sha256.New()
 	sep := []byte{0}
 	write := func(s string) {
@@ -174,5 +462,7 @@ func (p *Pipeline) cacheKey(stage, id string, ctx *Context) string {
 		h.Write(ctx.Workspace[path])
 		h.Write(sep)
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
 }

@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// perfCache builds a cache pre-loaded with n single-chunk entries and
+// returns their keys.
+func perfCache(n int) (*Cache, [][sha256.Size]byte) {
+	cache := NewCache()
+	keys := make([][sha256.Size]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = sha256.Sum256([]byte(fmt.Sprintf("stage-key-%d", i)))
+		cache.store(keys[i], cacheEntry{
+			set: map[string][]byte{"out.bin": bytes.Repeat([]byte{byte(i)}, 2048)},
+		}, -1)
+	}
+	return cache, keys
+}
+
+// TestCacheHitPathZeroAlloc pins the stage-cache hit path — lookup
+// (with pin) plus delta replay into a warm workspace — at zero heap
+// allocations, the same bar as the store's clean-sync fast path and
+// the tier's View. It runs under -race via the race matrix.
+func TestCacheHitPathZeroAlloc(t *testing.T) {
+	cache, keys := perfCache(1)
+	ws := map[string][]byte{}
+	if ent, ok := cache.lookup(keys[0], -1); !ok {
+		t.Fatal("warm lookup missed")
+	} else {
+		cache.replay(ent, ws) // pre-size the workspace map
+	}
+	var log string
+	allocs := testing.AllocsPerRun(200, func() {
+		ent, ok := cache.lookup(keys[0], -1)
+		if !ok {
+			return
+		}
+		log = cache.replay(ent, ws)
+	})
+	if log != "" {
+		t.Fatalf("unexpected log: %q", log)
+	}
+	if allocs != 0 {
+		t.Fatalf("cache hit path allocates %.1f/op, want 0", allocs)
+	}
+	if !bytes.Equal(ws["out.bin"], bytes.Repeat([]byte{0}, 2048)) {
+		t.Fatal("replay content wrong")
+	}
+}
+
+// benchmarkCacheHits drives parallel hit traffic at 16× GOMAXPROCS
+// goroutines — the `-jobs ≥ 16` sweep shape. When globalLock is
+// non-nil every operation is additionally serialized through it,
+// simulating the old single-mutex Cache for comparison.
+func benchmarkCacheHits(b *testing.B, globalLock *sync.Mutex) {
+	cache, keys := perfCache(256)
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ws := map[string][]byte{}
+		i := 0
+		for pb.Next() {
+			key := keys[i&255]
+			i++
+			if globalLock != nil {
+				globalLock.Lock()
+			}
+			if ent, ok := cache.lookup(key, -1); ok {
+				cache.replay(ent, ws)
+			}
+			if globalLock != nil {
+				globalLock.Unlock()
+			}
+		}
+	})
+}
+
+// BenchmarkCacheContention quantifies the satellite fix: the sharded
+// entry map + striped tier vs the former one-global-mutex design
+// (simulated by wrapping every op in a single lock), under 16-way
+// parallel hit traffic.
+func BenchmarkCacheContention(b *testing.B) {
+	b.Run("sharded", func(b *testing.B) { benchmarkCacheHits(b, nil) })
+	b.Run("global-lock", func(b *testing.B) { benchmarkCacheHits(b, &sync.Mutex{}) })
+}

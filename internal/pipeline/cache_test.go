@@ -77,9 +77,12 @@ func TestCacheHitOnIdenticalRerun(t *testing.T) {
 	if !strings.Contains(rec2.Log, "(cached)") || !strings.Contains(rec2.Log, "ran with x=1") {
 		t.Fatalf("cached log must splice the original stage output:\n%s", rec2.Log)
 	}
-	hits, misses := cache.Stats()
-	if hits != 2 || misses != 2 {
-		t.Fatalf("stats = %d hits / %d misses, want 2/2", hits, misses)
+	st := cache.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %d hits / %d misses, want 2/2", st.Hits, st.Misses)
+	}
+	if st.Entries != 2 || st.BytesAdded == 0 {
+		t.Fatalf("stats must account stored entries and bytes: %+v", st)
 	}
 }
 

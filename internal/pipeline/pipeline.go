@@ -117,6 +117,12 @@ type Pipeline struct {
 	// keys; nil admits every path. Callers use it to exclude generated
 	// outputs so a re-run keyed on inputs still hits.
 	CacheFilter func(path string) bool
+	// CacheHost is the simulated host this pipeline executes on, used
+	// by a federated Cache to account peer-to-peer entry transfers on
+	// the right virtual clock. Meaningful only when the Cache has a
+	// federation attached; negative disables federated accounting for
+	// this pipeline.
+	CacheHost int
 
 	// Faults, when set, is consulted before every stage attempt at site
 	// "pipeline/<scope>/<stage>" (see FaultScope). Injected errors fail
@@ -314,10 +320,9 @@ func (p *Pipeline) Run(ctx *Context) Record {
 		id, cacheable := p.cacheIDs[name]
 		if p.Cache != nil && cacheable && !failed {
 			key := p.cacheKey(name, id, ctx)
-			if ent, hit := p.Cache.lookup(key); hit {
+			if ent, hit := p.Cache.lookup(key, p.CacheHost); hit {
 				ctx.Logf("--- stage %s (cached)", name)
-				ent.apply(ctx.Workspace)
-				ctx.appendLog(ent.log)
+				ctx.appendLog(p.Cache.replay(ent, ctx.Workspace))
 				rec.Stages = append(rec.Stages, StageResult{Stage: name, Cached: true})
 				rec.CacheHits++
 				continue
@@ -335,7 +340,7 @@ func (p *Pipeline) Run(ctx *Context) Record {
 			}
 			delta := diffWorkspace(before, ctx.Workspace)
 			delta.log = ctx.logSince(mark)
-			p.Cache.store(key, delta)
+			p.Cache.store(key, delta, p.CacheHost)
 			continue
 		}
 		ctx.Logf("--- stage %s", name)
@@ -351,6 +356,9 @@ func (p *Pipeline) Run(ctx *Context) Record {
 	}
 	rec.Log = ctx.logString()
 	rec.ResultHash = hashWorkspace(ctx.Workspace)
+	if p.Cache != nil {
+		p.Cache.Record(ctx.Metrics)
+	}
 	return rec
 }
 

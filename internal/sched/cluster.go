@@ -298,6 +298,20 @@ type clusterRun struct {
 // slice has one slot per task, in index order: fn's result, or
 // ErrSkipped for tasks the schedule never dispatched.
 func (s *ClusterScheduler) Run(n int, fn func(i int) error) ([]error, *ClusterReport) {
+	if fn == nil {
+		return s.RunHosted(n, nil)
+	}
+	return s.RunHosted(n, func(i, _ int) error { return fn(i) })
+}
+
+// RunHosted is Run with host attribution: fn additionally receives the
+// index of the host whose copy of the task won the virtual schedule
+// (-1 for a task the schedule dispatched but later lost to a fleet
+// crash). Task functions that account per-host state — the federated
+// cache charges transfers to the winning host's clock — use this; the
+// host index must not influence fn's artifacts, only its accounting,
+// or the byte-identical-to-serial guarantee is forfeit.
+func (s *ClusterScheduler) RunHosted(n int, fn func(i, host int) error) ([]error, *ClusterReport) {
 	errs := make([]error, n)
 	r := &clusterRun{
 		opts:  s.opts,
@@ -369,7 +383,7 @@ func (s *ClusterScheduler) Run(n int, fn func(i int) error) ([]error, *ClusterRe
 	if fn != nil && len(r.dispatch) > 0 {
 		NewPool(s.opts.Jobs).Each(len(r.dispatch), func(k int) error {
 			i := r.dispatch[k]
-			errs[i] = fn(i)
+			errs[i] = fn(i, r.report.Winner[i])
 			return nil
 		})
 	}

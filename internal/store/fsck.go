@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"popper/internal/cas"
 )
 
 // State classifies one fsck finding.
@@ -110,7 +112,9 @@ func (r *Report) Format() string {
 		fmt.Fprintf(&b, "  %-9s %s", f.State, f.Path)
 		switch f.State {
 		case StateTorn:
-			fmt.Fprintf(&b, " (%d of %d bytes)", f.Size, f.WantSize)
+			if f.WantSize > 0 { // a torn extent has no single manifested size
+				fmt.Fprintf(&b, " (%d of %d bytes)", f.Size, f.WantSize)
+			}
 		case StateCorrupted:
 			fmt.Fprintf(&b, " (%d bytes, want %d)", f.Size, f.WantSize)
 		case StateMissing:
@@ -144,6 +148,7 @@ func (s *Store) Fsck() (*Report, error) {
 	if s.dead != nil {
 		return nil, s.dead
 	}
+	s.invalidateExtents() // trust nothing cached: the tree may have mutated underneath
 	rep := &Report{}
 
 	man := s.readManifestLoose(manifestPath, rep)
@@ -200,6 +205,7 @@ func (s *Store) Fsck() (*Report, error) {
 
 	// Pass 2: everything on disk the manifest does not explain.
 	refs := referencedObjects(man, next)
+	hashRefs := referencedHashes(man, next)
 	for _, path := range paths {
 		switch {
 		case strings.HasSuffix(path, tmpSuffix):
@@ -211,6 +217,10 @@ func (s *Store) Fsck() (*Report, error) {
 		case strings.HasPrefix(path, objectsDir+"/"):
 			if note := s.objectProblem(path, refs); note != "" {
 				rep.Findings = append(rep.Findings, Finding{Path: path, State: StateDebris, Note: note})
+			}
+		case strings.HasPrefix(path, extentsDir+"/"):
+			if f, bad := s.extentFinding(path, hashRefs); bad {
+				rep.Findings = append(rep.Findings, f)
 			}
 		case strings.HasPrefix(path, popperDir+"/"):
 			rep.Findings = append(rep.Findings, Finding{Path: path, State: StateDebris, Note: "unrecognized store metadata"})
@@ -258,23 +268,68 @@ func (s *Store) readManifestLoose(path string, rep *Report) *Manifest {
 }
 
 // isTorn reports whether content is a strict prefix of the manifested
-// bytes (verified against the cache object when available, else by
-// size alone).
+// bytes (verified against the cache object — loose or packed — when
+// available, else by size alone).
 func (s *Store) isTorn(e Entry, content []byte) bool {
 	if int64(len(content)) >= e.Size {
 		return false
 	}
-	obj, err := s.fs.ReadFile(objectPath(e.Hash))
-	if err != nil || sha256.Sum256(obj) != e.Hash {
+	obj, ok := s.readObjectAny(e.Hash)
+	if !ok {
 		return true // object unavailable: short content is presumed torn
 	}
 	return bytes.HasPrefix(obj, content)
 }
 
-// objectOK reports whether the cache holds the entry's exact bytes.
+// objectOK reports whether the cache — loose objects or packed extents
+// — holds the entry's exact bytes.
 func (s *Store) objectOK(e Entry) bool {
-	obj, err := s.fs.ReadFile(objectPath(e.Hash))
-	return err == nil && sha256.Sum256(obj) == e.Hash
+	_, ok := s.readObjectAny(e.Hash)
+	return ok
+}
+
+// extentFinding classifies one packed extent; bad=false means healthy
+// (intact, with at least one record a live generation references).
+func (s *Store) extentFinding(path string, hashRefs map[[sha256.Size]byte]bool) (Finding, bool) {
+	raw, err := s.fs.ReadFile(path)
+	if err != nil {
+		return Finding{Path: path, State: StateDebris, Note: "unreadable extent"}, true
+	}
+	recs, perr := cas.ParseExtent(raw)
+	if perr != nil {
+		if !cas.IsExtent(raw) {
+			return Finding{Path: path, State: StateDebris, Note: "not an extent (damaged beyond the magic)"}, true
+		}
+		salvageable := 0
+		for _, r := range cas.SalvageExtent(raw) {
+			if hashRefs[r.Hash] {
+				salvageable++
+			}
+		}
+		return Finding{
+			Path: path, State: StateTorn, Size: int64(len(raw)),
+			Repairable: true,
+			Note:       fmt.Sprintf("torn extent: %d referenced record(s) salvageable", salvageable),
+		}, true
+	}
+	if anyRecordReferenced(recs, hashRefs) {
+		return Finding{}, false // live records pin the whole extent
+	}
+	return Finding{Path: path, State: StateDebris, Note: "unreferenced extent"}, true
+}
+
+// referencedHashes collects every content hash either manifest pins.
+func referencedHashes(mans ...*Manifest) map[[sha256.Size]byte]bool {
+	refs := make(map[[sha256.Size]byte]bool)
+	for _, m := range mans {
+		if m == nil {
+			continue
+		}
+		for _, e := range m.Entries {
+			refs[e.Hash] = true
+		}
+	}
+	return refs
 }
 
 // objectProblem classifies a cache object path; empty means healthy.
@@ -314,7 +369,7 @@ func referencedObjects(mans ...*Manifest) map[string]bool {
 
 // Action is one step Repair took.
 type Action struct {
-	Verb string // restored | adopted | quarantined | removed | rolled-back | rebuilt
+	Verb string // restored | adopted | quarantined | removed | salvaged | rolled-back | rebuilt
 	Path string
 	Note string
 }
@@ -335,7 +390,13 @@ func (a Action) String() string {
 //     .popper/quarantine/gen-<N>/ (never silently deleted);
 //   - extra files are adopted into the manifest — they may be
 //     legitimate user edits the store has simply not recorded yet;
-//   - debris (temp files, stale or damaged objects) is removed;
+//   - a torn extent is salvaged record by record: every payload whose
+//     embedded digest still verifies and whose hash a live generation
+//     references becomes a loose object, then the damaged extent is
+//     removed (extents sort before workspace paths, so restorations
+//     can draw on the salvage);
+//   - debris (temp files, stale or damaged objects, unreferenced
+//     extents) is removed;
 //   - a surviving intent record is rolled back: the committed manifest
 //     remains the truth, and the next `popper -resume run` re-derives
 //     the interrupted work.
@@ -349,24 +410,38 @@ func (s *Store) Repair(rep *Report) ([]Action, error) {
 		return nil, s.dead
 	}
 	var acts []Action
+	s.invalidateExtents() // trust nothing cached: the tree may have mutated underneath
 	man := s.readManifestLoose(manifestPath, &Report{})
 	gen := 1
 	entries := make(map[string]Entry)
+	refHash := make(map[[sha256.Size]byte]bool)
 	if man != nil {
 		gen = man.Generation + 1
 		for _, e := range man.Entries {
 			entries[e.Path] = e
+			refHash[e.Hash] = true
 		}
 	}
 
 	for _, f := range rep.Findings {
 		switch f.State {
 		case StateTorn, StateCorrupted, StateMissing:
+			// A torn extent has no manifest entry of its own: salvage every
+			// record its embedded digests still prove, so the restorations
+			// below (findings sort after .popper/) can draw on them.
+			if strings.HasPrefix(f.Path, extentsDir+"/") {
+				n, err := s.salvageExtent(f.Path, refHash)
+				if err != nil {
+					return acts, err
+				}
+				acts = append(acts, Action{Verb: "salvaged", Path: f.Path, Note: fmt.Sprintf("%d referenced record(s) recovered to loose objects", n)})
+				continue
+			}
 			e, ok := entries[f.Path]
 			if !ok {
 				continue
 			}
-			if obj, err := s.fs.ReadFile(objectPath(e.Hash)); err == nil && sha256.Sum256(obj) == e.Hash {
+			if obj, ok := s.readObjectAny(e.Hash); ok {
 				if err := s.writeFileAtomic(f.Path, obj); err != nil {
 					return acts, err
 				}
@@ -400,6 +475,9 @@ func (s *Store) Repair(rep *Report) ([]Action, error) {
 			entries[f.Path] = e
 			acts = append(acts, Action{Verb: "adopted", Path: f.Path, Note: "tracked into the new manifest generation"})
 		case StateDebris:
+			if strings.HasPrefix(f.Path, extentsDir+"/") {
+				s.invalidateExtents()
+			}
 			if err := s.remove(f.Path); err != nil {
 				return acts, err
 			}

@@ -17,6 +17,7 @@ const (
 	manifestPath     = ".popper/manifest"
 	manifestNextPath = ".popper/manifest.next"
 	objectsDir       = ".popper/objects"
+	extentsDir       = ".popper/extents"
 	quarantineDir    = ".popper/quarantine"
 	// tmpSuffix marks the store's in-flight atomic-write temp files; a
 	// surviving one is debris from an interrupted sync.

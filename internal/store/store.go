@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"popper/internal/cas"
 	"popper/internal/fault"
 )
 
@@ -24,6 +25,9 @@ type Store struct {
 	dead error
 	man  *Manifest // cached committed manifest
 	got  bool      // manifest cache populated
+	// extents is the lazily-built index over packed extents
+	// (hash → payload); nil means rebuild on next object lookup.
+	extents map[[sha256.Size]byte][]byte
 }
 
 // Open returns a store over a real directory tree.
@@ -141,7 +145,30 @@ func (s *Store) Sync(files map[string][]byte) (SyncStats, error) {
 	if err := s.writeFileAtomic(manifestNextPath, next.Encode()); err != nil {
 		return stats, err
 	}
-	// Phase 2: objects and workspace files, in path order.
+	// Phase 2a: pack the generation's new small objects into one
+	// append-only extent — a single durable write instead of one
+	// atomic-write cycle per tiny artifact.
+	var packed [][]byte
+	packSeen := make(map[[sha256.Size]byte]bool)
+	for _, e := range next.Entries {
+		content := files[e.Path]
+		if man != nil && man.Matches(e.Path, content) {
+			continue
+		}
+		if int64(len(content)) > smallObjectMax || packSeen[e.Hash] || s.hasObject(e.Hash) {
+			continue
+		}
+		packSeen[e.Hash] = true
+		packed = append(packed, content)
+	}
+	if len(packed) > 0 {
+		s.invalidateExtents()
+		if err := s.writeFileAtomic(extentPath(gen), cas.EncodeExtent(packed)); err != nil {
+			return stats, err
+		}
+		stats.Objects += len(packed)
+	}
+	// Phase 2b: remaining objects and workspace files, in path order.
 	for _, e := range next.Entries {
 		content := files[e.Path]
 		if man != nil && man.Matches(e.Path, content) {
@@ -317,32 +344,64 @@ func (s *Store) writeFileAtomic(path string, data []byte) error {
 }
 
 // ensureObject stores content in the object cache unless it is already
-// there; reports whether a new object was written.
+// there — loose or packed in an extent; reports whether a new loose
+// object was written.
 func (s *Store) ensureObject(hash [sha256.Size]byte, content []byte) (bool, error) {
-	p := objectPath(hash)
-	if _, err := s.fs.Stat(p); err == nil {
+	if s.hasObject(hash) {
 		return false, nil
 	}
-	return true, s.writeFileAtomic(p, content)
+	return true, s.writeFileAtomic(objectPath(hash), content)
 }
 
-// gc removes cache objects not referenced by the committed manifest;
-// callers hold the lock. Runs strictly post-commit.
+// gc removes cache objects no live manifest generation references;
+// callers hold the lock. Runs strictly post-commit. "Live" means the
+// committed manifest plus any surviving parseable intent record — an
+// object either one references must never be evicted. Loose objects
+// are removed individually; an extent is removed only when every
+// record in it is unreferenced (a partially-live extent stays whole —
+// bounded slack traded for never rewriting committed bytes).
 func (s *Store) gc(man *Manifest) error {
+	live := []*Manifest{man}
+	if raw, err := s.fs.ReadFile(manifestNextPath); err == nil {
+		if next, perr := ParseManifest(raw); perr == nil {
+			live = append(live, next)
+		}
+	}
 	refs := make(map[string]bool, man.Len())
-	for _, e := range man.Entries {
-		refs[objectPath(e.Hash)] = true
+	hashRefs := make(map[[sha256.Size]byte]bool, man.Len())
+	for _, m := range live {
+		for _, e := range m.Entries {
+			refs[objectPath(e.Hash)] = true
+			hashRefs[e.Hash] = true
+		}
 	}
 	paths, err := s.fs.List()
 	if err != nil {
 		return err
 	}
 	for _, path := range paths {
-		if !strings.HasPrefix(path, objectsDir+"/") || refs[path] {
-			continue
-		}
-		if err := s.remove(path); err != nil {
-			return err
+		switch {
+		case strings.HasPrefix(path, objectsDir+"/"):
+			if refs[path] {
+				continue
+			}
+			if err := s.remove(path); err != nil {
+				return err
+			}
+		case strings.HasPrefix(path, extentsDir+"/"):
+			raw, err := s.fs.ReadFile(path)
+			if err != nil {
+				continue
+			}
+			// Damaged extents are fsck's to salvage, never gc's to drop.
+			recs, perr := cas.ParseExtent(raw)
+			if perr != nil || anyRecordReferenced(recs, hashRefs) {
+				continue
+			}
+			s.invalidateExtents()
+			if err := s.remove(path); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

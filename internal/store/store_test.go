@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"popper/internal/cas"
 	"popper/internal/fault"
 )
 
@@ -193,15 +195,14 @@ func TestFsckTaxonomyAndRepair(t *testing.T) {
 	if err := fs.WriteFile("exp/junk.bin", []byte("stray bytes")); err != nil { // extra
 		t.Fatal(err)
 	}
-	// Corrupt vars.yml with same-length garbage AND destroy its object,
-	// so repair has nothing to prove the bytes with → quarantine.
+	// Corrupt vars.yml with same-length garbage AND destroy its object —
+	// loose or packed — so repair has nothing to prove the bytes with →
+	// quarantine.
 	varsEntry, _ := mustManifest(t, st).Lookup("exp/vars.yml")
 	if err := fs.WriteFile("exp/vars.yml", []byte("alpha: 9\n")); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Remove(objectPath(varsEntry.Hash)); err != nil {
-		t.Fatal(err)
-	}
+	destroyObject(t, fs, varsEntry.Hash)
 	if err := fs.WriteFile("exp/leftover.csv.ptmp", []byte("half a write")); err != nil { // debris
 		t.Fatal(err)
 	}
@@ -269,6 +270,52 @@ func TestFsckTaxonomyAndRepair(t *testing.T) {
 		t.Errorf("quarantine should preserve the damaged bytes verbatim: %q err %v", q, err)
 	}
 	mustCleanFsck(t, st, "after repair")
+}
+
+// destroyObject erases one hash's bytes from the object cache
+// everywhere they live: the loose object file, and any packed extent
+// (rewritten without the record so the rest stays intact).
+func destroyObject(t *testing.T, v VFS, hash [sha256.Size]byte) {
+	t.Helper()
+	_ = v.Remove(objectPath(hash))
+	paths, err := v.List()
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	for _, p := range paths {
+		if !strings.HasPrefix(p, extentsDir+"/") {
+			continue
+		}
+		raw, err := v.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		recs, err := cas.ParseExtent(raw)
+		if err != nil {
+			continue
+		}
+		var keep [][]byte
+		hit := false
+		for _, r := range recs {
+			if r.Hash == hash {
+				hit = true
+				continue
+			}
+			keep = append(keep, raw[r.Offset:r.Offset+r.Size])
+		}
+		if !hit {
+			continue
+		}
+		if len(keep) == 0 {
+			if err := v.Remove(p); err != nil {
+				t.Fatalf("remove %s: %v", p, err)
+			}
+			continue
+		}
+		if err := v.WriteFile(p, cas.EncodeExtent(keep)); err != nil {
+			t.Fatalf("rewrite %s: %v", p, err)
+		}
+	}
 }
 
 func mustManifest(t *testing.T, st *Store) *Manifest {
