@@ -6,7 +6,7 @@ CHAOS_SEEDS ?= 42 7 1337
 # Seed matrix for the disk-crash suite; override with CRASH_SEEDS="...".
 CRASH_SEEDS ?= 42 7 1337
 
-.PHONY: build test vet race verify bench bench-gassyfs bench-cache bench-json bench-json-smoke chaos crash
+.PHONY: build test vet race verify bench bench-gassyfs bench-cache bench-aver bench-json bench-json-smoke chaos crash
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,12 @@ bench-cache:
 	$(GO) test -run '^$$' -bench 'Cache|Tier|Extent|Federation' -benchmem -cpu 8 \
 		./internal/pipeline/ ./internal/cas/
 
+# The streaming-validation benchmarks: incremental vs full-table cost
+# of validating one appended batch across window sizes (see
+# docs/AVER.md, "Streaming validation").
+bench-aver:
+	$(GO) test -run '^$$' -bench 'BenchmarkAverStreaming' -benchmem ./internal/aver/
+
 # The repo's recorded perf trajectory: the cluster-scheduler benchmarks
 # (scaling curve at 1/16/256/1024 simulated hosts plus the
 # straggler-recovery triple) into BENCH_sched.json, and the federated-
@@ -83,6 +89,8 @@ bench-json:
 	@echo "-- wrote BENCH_sched.json"
 	BENCH_JSON=$(CURDIR)/BENCH_cache.json $(GO) test -run TestWriteCacheBenchJSON -count=1 ./internal/core/
 	@echo "-- wrote BENCH_cache.json"
+	BENCH_JSON=$(CURDIR)/BENCH_aver.json $(GO) test -run TestWriteAverBenchJSON -count=1 ./internal/core/
+	@echo "-- wrote BENCH_aver.json"
 
 # One-iteration smoke of the benchmark recorders for `make verify`:
 # same code paths, tiny matrices, throwaway output files.
@@ -90,4 +98,5 @@ bench-json-smoke:
 	@out=$$(mktemp); \
 	BENCH_JSON=$$out BENCH_SMOKE=1 $(GO) test -run TestWriteBenchJSON -count=1 ./internal/sched/ || { rm -f $$out; exit 1; }; \
 	BENCH_JSON=$$out BENCH_SMOKE=1 $(GO) test -run TestWriteCacheBenchJSON -count=1 ./internal/core/ || { rm -f $$out; exit 1; }; \
+	BENCH_JSON=$$out BENCH_SMOKE=1 $(GO) test -run TestWriteAverBenchJSON -count=1 ./internal/core/ || { rm -f $$out; exit 1; }; \
 	rm -f $$out

@@ -73,8 +73,10 @@ func run(args []string) error {
 	resume := fs.Bool("resume", false, "resume an interrupted sweep from its journal in `popper run`")
 	hosts := fs.Int("hosts", 0, "fan a sweep across N simulated cluster hosts in `popper run` (0 = flat worker pool)")
 	placement := fs.String("placement", "roundrobin", "sweep placement policy with -hosts: roundrobin or locality")
+	stream := fs.Bool("stream", false, "stream validations incrementally while experiments run in `popper run`")
+	failFast := fs.Bool("fail-fast", false, "with -stream: cancel configurations whose assertions become unsatisfiable and stop dispatching the rest")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: popper [-C dir] [-seed n] [-jobs n] [-hosts n] [-placement p] [-no-cache] [-faults f] [-max-retries n] [-resume] <command> [args]")
+		fmt.Fprintln(os.Stderr, "usage: popper [-C dir] [-seed n] [-jobs n] [-hosts n] [-placement p] [-no-cache] [-faults f] [-max-retries n] [-resume] [-stream] [-fail-fast] <command> [args]")
 		fmt.Fprintln(os.Stderr, "commands: init, experiment list, add, paper, check, lint, run, ci, machines, report, build-paper, fsck")
 		fs.PrintDefaults()
 	}
@@ -153,7 +155,17 @@ func run(args []string) error {
 			env := &core.Env{Seed: *seed}
 			var cache *pipeline.Cache
 			if !*noCache {
-				cache = pipeline.NewCache()
+				// Warm-start from the sidecar the previous invocation saved
+				// (absent or damaged state just means a cold cache), and
+				// save the updated index back on the way out so the next
+				// process starts warm too. Best-effort: a failed save (for
+				// example a chaos run that crashed the disk) costs only a
+				// cold start next time.
+				cache = pipeline.NewCacheOpts(pipeline.CacheOptions{State: st.LoadCacheState()})
+				if n := cache.WarmEntries(); n > 0 {
+					fmt.Printf("-- stage cache warmed: %d entries from %s\n", n, store.CacheStatePath)
+				}
+				defer func() { _ = st.SaveCacheState(cache.SaveState()) }()
 			}
 			// A -faults schedule makes the run a chaos run: the seeded
 			// injector drives deterministic failures through every layer.
@@ -191,6 +203,9 @@ func run(args []string) error {
 					Jobs: *jobs, Cache: cache,
 					Faults: injector, Retry: retry, Resume: *resume,
 					Hosts: *hosts, Placement: policy,
+					// -fail-fast implies -stream: cancellation needs the
+					// incremental evaluator watching each run.
+					Stream: *stream || *failFast, FailFast: *failFast,
 					// Journal durability: every completed configuration's
 					// outcome is committed to the artifact store immediately,
 					// so a crash mid-sweep is resumable from the last config.
@@ -205,6 +220,10 @@ func run(args []string) error {
 				for _, run := range sr.Runs {
 					status := "passed"
 					switch {
+					case run.Cancelled:
+						status = "CANCELLED by streaming validation after " +
+							fmt.Sprintf("%d rows", run.Result.Cancelled.Row) +
+							" (pending; re-run with -resume for the full verdict)"
 					case run.Skipped:
 						status = "pending (re-run with -resume)"
 					case run.Err != nil:
@@ -236,8 +255,13 @@ func run(args []string) error {
 			res, err := p.RunExperimentOpts(name, env, core.RunOptions{
 				Cache: cache, Jobs: *jobs,
 				Faults: injector, Retry: retry,
+				Stream: *stream || *failFast, FailFast: *failFast,
 			})
 			fmt.Print(res.Record.Log)
+			if res.Cancelled != nil {
+				fmt.Printf("-- run cancelled by streaming validation after %d rows: %s\n",
+					res.Cancelled.Row, res.Cancelled.Detail)
+			}
 			if err != nil {
 				return err
 			}

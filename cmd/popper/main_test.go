@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"popper/internal/pipeline"
+	"popper/internal/store"
 )
 
 func inTemp(t *testing.T) string {
@@ -318,5 +321,43 @@ func TestCLIClusterSweepRun(t *testing.T) {
 	// An unknown placement policy is a flag error, not a silent default.
 	if err := popper(t, dir, "-hosts", "2", "-placement", "nope", "run", "stm"); err == nil {
 		t.Fatal("bad -placement must fail")
+	}
+}
+
+func TestCLICacheWarmStartAcrossProcesses(t *testing.T) {
+	dir := inTemp(t)
+	if err := popper(t, dir, "init"); err != nil {
+		t.Fatal(err)
+	}
+	if err := popper(t, dir, "add", "proteustm", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	// First invocation: cold cache, saves the sidecar on exit.
+	if err := popper(t, dir, "run", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	sidecar := filepath.Join(dir, ".popper", "cache.extent")
+	if _, err := os.Stat(sidecar); err != nil {
+		t.Fatalf("first run must leave the cache sidecar: %v", err)
+	}
+	// Second invocation is a fresh store/cache (simulating a new
+	// process): the sidecar must warm it.
+	if err := popper(t, dir, "run", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	warmed := pipeline.NewCacheOpts(pipeline.CacheOptions{State: store.Open(dir).LoadCacheState()})
+	if warmed.WarmEntries() == 0 {
+		t.Fatal("sidecar restored no entries")
+	}
+	// -no-cache leaves the sidecar untouched.
+	if err := popper(t, dir, "-no-cache", "run", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(sidecar); err != nil {
+		t.Fatalf("-no-cache must not disturb the sidecar: %v", err)
+	}
+	// fsck stays clean with the sidecar in place.
+	if err := popper(t, dir, "fsck"); err != nil {
+		t.Fatal(err)
 	}
 }

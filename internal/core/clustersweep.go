@@ -78,6 +78,7 @@ func runSweepCluster(env *Env, opts SweepOptions, todo []int, runConfig func(k, 
 		Seed:      seed,
 		Faults:    opts.Faults,
 		Jobs:      opts.Jobs,
+		FailFast:  opts.FailFast,
 	})
 	if err != nil {
 		return nil, err

@@ -54,6 +54,9 @@ func runGassyfs(x *ExecState) error {
 	spec.Pool = pool
 
 	results := table.New("workload", "machine", "nodes", "time", "compile_time", "link_time")
+	// Results is exposed before the loop so streaming validation sees
+	// each node count's row as soon as it lands (Checkpoint below).
+	x.Results = results
 	var xs, ys []float64
 	for _, n := range nodes {
 		if n <= 0 {
@@ -94,8 +97,10 @@ func runGassyfs(x *ExecState) error {
 		)
 		xs = append(xs, float64(n))
 		ys = append(ys, res.Elapsed)
+		if err := x.Checkpoint(); err != nil {
+			return err
+		}
 	}
-	x.Results = results
 
 	var chart plot.LineChart
 	chart.Title = "GassyFS scalability: compile Git"
@@ -129,6 +134,7 @@ func runTorpor(x *ExecState) error {
 		return err
 	}
 	results := table.New("stressor", "class", "base", "machine", "speedup")
+	x.Results = results
 	var firstProfile *torpor.VariabilityProfile
 	for i, m := range machines {
 		c := cluster.New(x.Seed() + int64(i))
@@ -155,8 +161,10 @@ func runTorpor(x *ExecState) error {
 		}
 		lo, hi := vp.Range()
 		x.Ctx.Logf("machine=%s speedup range [%.2f, %.2f] mean %.2f", m, lo, hi, vp.Mean())
+		if err := x.Checkpoint(); err != nil {
+			return err
+		}
 	}
-	x.Results = results
 
 	h, err := firstProfile.Histogram(bucket)
 	if err != nil {
@@ -195,6 +203,7 @@ func runMPIVariability(x *ExecState) error {
 	spec.ProblemSize = psize
 
 	results := table.New("run", "noisy", "ranks", "time", "mpi_fraction")
+	x.Results = results
 	for _, noisy := range []bool{false, true} {
 		for r := 0; r < runs; r++ {
 			c := cluster.New(x.Seed() + int64(r)*37 + boolSeed(noisy))
@@ -228,9 +237,11 @@ func runMPIVariability(x *ExecState) error {
 				table.Number(float64(ranks)), table.Number(res.Elapsed),
 				table.Number(res.MPIFraction),
 			)
+			if err := x.Checkpoint(); err != nil {
+				return err
+			}
 		}
 	}
-	x.Results = results
 
 	// Figure: per-run times of both conditions.
 	var quietY, noisyY, runsX []float64
@@ -358,6 +369,7 @@ func runCloverleaf(x *ExecState) error {
 		return err
 	}
 	results := table.New("workload", "machine", "nodes", "time")
+	x.Results = results
 	var xs, ys []float64
 	for _, n := range nodes {
 		c := cluster.New(x.Seed() + int64(n))
@@ -385,8 +397,10 @@ func runCloverleaf(x *ExecState) error {
 			table.Number(float64(n)), table.Number(res.Elapsed))
 		xs = append(xs, float64(n))
 		ys = append(ys, res.Elapsed)
+		if err := x.Checkpoint(); err != nil {
+			return err
+		}
 	}
-	x.Results = results
 	return lineFigure(x, "CloverLeaf proxy strong scaling", machine, xs, ys)
 }
 
@@ -407,6 +421,7 @@ func runSpark(x *ExecState) error {
 	const opsPerWord = 150
 
 	results := table.New("workload", "machine", "nodes", "time")
+	x.Results = results
 	var xs, ys []float64
 	for _, n := range nodes {
 		c := cluster.New(x.Seed() + int64(n))
@@ -439,8 +454,10 @@ func runSpark(x *ExecState) error {
 			table.Number(float64(n)), table.Number(elapsed))
 		xs = append(xs, float64(n))
 		ys = append(ys, elapsed)
+		if err := x.Checkpoint(); err != nil {
+			return err
+		}
 	}
-	x.Results = results
 	return lineFigure(x, "Word count on a standalone cluster", machine, xs, ys)
 }
 
@@ -466,6 +483,7 @@ func runCephRados(x *ExecState) error {
 	objBytes := int64(objMB) << 20
 
 	results := table.New("machine", "nodes", "write_mbps", "read_mbps")
+	x.Results = results
 	for _, n := range nodes {
 		if n < 2 {
 			return fmt.Errorf("core: ceph-rados needs at least 2 nodes")
@@ -521,8 +539,10 @@ func runCephRados(x *ExecState) error {
 		results.MustAppend(table.String(machine), table.Number(float64(n)),
 			table.Number(writeMBps), table.Number(readMBps))
 		x.Ctx.Logf("nodes=%d write=%.1f MB/s read=%.1f MB/s", n, writeMBps, readMBps)
+		if err := x.Checkpoint(); err != nil {
+			return err
+		}
 	}
-	x.Results = results
 	ws, _ := results.Floats("write_mbps")
 	ns := make([]float64, len(nodes))
 	for i, n := range nodes {
@@ -553,6 +573,7 @@ func runZlog(x *ExecState) error {
 	entryBytes := int64(entryKB) << 10
 
 	results := table.New("machine", "batch", "appends_per_sec")
+	x.Results = results
 	var xs, ys []float64
 	for _, b := range batches {
 		if b <= 0 {
@@ -586,8 +607,10 @@ func runZlog(x *ExecState) error {
 		results.MustAppend(table.String(machine), table.Number(float64(b)), table.Number(rate))
 		xs = append(xs, float64(b))
 		ys = append(ys, rate)
+		if err := x.Checkpoint(); err != nil {
+			return err
+		}
 	}
-	x.Results = results
 	return lineFigure(x, "Shared-log appends vs batch size", machine, xs, ys)
 }
 
@@ -610,6 +633,7 @@ func runProteusTM(x *ExecState) error {
 		return fmt.Errorf("core: proteustm conflict must be in [0,1)")
 	}
 	results := table.New("machine", "threads", "throughput", "abort_rate")
+	x.Results = results
 	var xs, ys []float64
 	for _, t := range threads {
 		if t <= 0 {
@@ -637,8 +661,10 @@ func runProteusTM(x *ExecState) error {
 			table.Number(throughput), table.Number(abortRate))
 		xs = append(xs, float64(t))
 		ys = append(ys, throughput)
+		if err := x.Checkpoint(); err != nil {
+			return err
+		}
 	}
-	x.Results = results
 	return lineFigure(x, "STM throughput under contention", machine, xs, ys)
 }
 
@@ -654,6 +680,7 @@ func runMalacology(x *ExecState) error {
 		return err
 	}
 	results := table.New("machine", "clients", "ops_per_sec")
+	x.Results = results
 	var xs, ys []float64
 	for _, nc := range clients {
 		if nc <= 0 {
@@ -679,8 +706,10 @@ func runMalacology(x *ExecState) error {
 		results.MustAppend(table.String(machine), table.Number(float64(nc)), table.Number(rate))
 		xs = append(xs, float64(nc))
 		ys = append(ys, rate)
+		if err := x.Checkpoint(); err != nil {
+			return err
+		}
 	}
-	x.Results = results
 	return lineFigure(x, "Metadata service saturation", machine, xs, ys)
 }
 

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"popper/internal/fault"
+)
+
+// failFastProject builds a cloverleaf sweep project whose validations
+// make early rows decide the verdict: `expect nodes < 5` is violated
+// the moment an executor appends a row with nodes >= 5, so streaming
+// fail-fast can prove the assertion unsatisfiable mid-run.
+func failFastProject(t *testing.T) *Project {
+	t.Helper()
+	p := Init()
+	if err := p.AddExperiment("cloverleaf", "sweep"); err != nil {
+		t.Fatal(err)
+	}
+	p.SetParam("sweep", "iterations", "2")
+	p.SetParam("sweep", "problem_size", "8")
+	p.Files[expPath("sweep", "validations.aver")] = []byte("expect nodes < 5\n")
+	return p
+}
+
+// filesEqual asserts two workspaces are byte-identical.
+func filesEqual(t *testing.T, label string, a, b map[string][]byte) {
+	t.Helper()
+	paths := map[string]bool{}
+	for k := range a {
+		paths[k] = true
+	}
+	for k := range b {
+		paths[k] = true
+	}
+	sorted := make([]string, 0, len(paths))
+	for k := range paths {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		av, aok := a[k]
+		bv, bok := b[k]
+		if !aok {
+			t.Errorf("%s: %s only in second workspace", label, k)
+			continue
+		}
+		if !bok {
+			t.Errorf("%s: %s only in first workspace", label, k)
+			continue
+		}
+		if string(av) != string(bv) {
+			t.Errorf("%s: %s diverged:\n--- first\n%s\n--- second\n%s", label, k, av, bv)
+		}
+	}
+}
+
+// TestFailFastCancelsRunMidFlight: a violating run is cancelled at the
+// first row that proves the assertion unsatisfiable — before the
+// remaining (more expensive) iterations execute.
+func TestFailFastCancelsRunMidFlight(t *testing.T) {
+	p := failFastProject(t)
+	p.SetParam("sweep", "nodes", "1,2,8,16")
+	_, err := p.RunExperimentOpts("sweep", &Env{Seed: 1}, RunOptions{Stream: true, FailFast: true})
+	if !errors.Is(err, ErrValidationCancelled) {
+		t.Fatalf("err = %v, want ErrValidationCancelled", err)
+	}
+	p2 := failFastProject(t)
+	p2.SetParam("sweep", "nodes", "1,2,8,16")
+	res, _ := p2.RunExperimentOpts("sweep", &Env{Seed: 1}, RunOptions{Stream: true, FailFast: true})
+	if res.Cancelled == nil {
+		t.Fatal("RunResult.Cancelled not set")
+	}
+	// nodes=8 lands as the third row; the 16-node iteration never ran.
+	if res.Cancelled.Row != 3 {
+		t.Fatalf("cancelled after %d rows, want 3 (before the 4th iteration)", res.Cancelled.Row)
+	}
+	if !res.Cancelled.Final || res.Cancelled.Err() == nil {
+		t.Fatalf("violation = %+v", res.Cancelled)
+	}
+
+	// Streaming without fail-fast observes the same violation but lets
+	// the run finish; the batch validate stage owns the verdict.
+	p3 := failFastProject(t)
+	p3.SetParam("sweep", "nodes", "1,2,8,16")
+	res3, err3 := p3.RunExperimentOpts("sweep", &Env{Seed: 1}, RunOptions{Stream: true})
+	if err3 == nil {
+		t.Fatal("violating run must still fail batch validation")
+	}
+	if res3.Cancelled != nil {
+		t.Fatalf("stream without fail-fast must not cancel: %+v", res3.Cancelled)
+	}
+	if got := string(p3.Files[expPath("sweep", "results.csv")]); got == "" {
+		t.Fatal("non-cancelled run must write full results.csv")
+	}
+}
+
+// TestFailFastStreamingPreservesArtifacts: a streamed run (no
+// fail-fast) produces byte-identical workspaces and verdicts to a
+// batch run, passing or failing.
+func TestFailFastStreamingPreservesArtifacts(t *testing.T) {
+	for _, nodes := range []string{"1,2,4", "1,2,8"} {
+		batch := failFastProject(t)
+		batch.SetParam("sweep", "nodes", nodes)
+		resB, errB := batch.RunExperimentOpts("sweep", &Env{Seed: 1}, RunOptions{})
+
+		streamed := failFastProject(t)
+		streamed.SetParam("sweep", "nodes", nodes)
+		resS, errS := streamed.RunExperimentOpts("sweep", &Env{Seed: 1}, RunOptions{Stream: true})
+
+		if (errB == nil) != (errS == nil) {
+			t.Fatalf("nodes=%s: batch err %v, streamed err %v", nodes, errB, errS)
+		}
+		if resB.Record.ResultHash != resS.Record.ResultHash {
+			t.Fatalf("nodes=%s: result hash diverged", nodes)
+		}
+		filesEqual(t, "nodes="+nodes, batch.Files, streamed.Files)
+	}
+}
+
+// TestFailFastSweepResumeByteIdentical is the journal proof: a
+// streamed fail-fast sweep cancels doomed configurations and skips the
+// rest, and a subsequent -resume run lands results.csv, failures.csv
+// and the journal byte-identical to a batch-mode sweep that ran
+// everything to completion.
+func TestFailFastSweepResumeByteIdentical(t *testing.T) {
+	configs := []map[string]string{
+		{"nodes": "1,2"},     // passes
+		{"nodes": "1,2,8"},   // violated at the third row
+		{"nodes": "4,2"},     // passes
+		{"nodes": "1,16,32"}, // violated at the second row
+	}
+
+	batch := failFastProject(t)
+	srBatch, err := batch.RunSweep("sweep", &Env{Seed: 1}, configs, SweepOptions{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srBatch.Err() == nil {
+		t.Fatal("batch sweep must quarantine the violating configs")
+	}
+
+	ff := failFastProject(t)
+	srFF, err := ff.RunSweep("sweep", &Env{Seed: 1}, configs, SweepOptions{
+		Jobs: 1, Stream: true, FailFast: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cancelled, skipped int
+	for _, run := range srFF.Runs {
+		if run.Cancelled {
+			cancelled++
+			if !run.Skipped || run.Err != nil {
+				t.Fatalf("cancelled config %d must be pending with no recorded error: %+v", run.Index, run)
+			}
+		} else if run.Skipped {
+			skipped++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("fail-fast sweep cancelled nothing")
+	}
+	if skipped == 0 {
+		t.Fatal("fail-fast sweep should stop dispatching after the first cancellation")
+	}
+	// Cancelled and skipped configurations are unjournaled (pending).
+	journal := string(ff.Files[expPath("sweep", SweepJournalFile)])
+	for _, run := range srFF.Runs {
+		if run.Skipped {
+			if strings.Contains(journal, fmt.Sprintf("\n%d,", run.Index)) {
+				t.Fatalf("pending config %d must not be journaled:\n%s", run.Index, journal)
+			}
+		}
+	}
+
+	// Resume without fail-fast: pending configurations run to their
+	// authoritative batch verdicts.
+	srResumed, err := ff.RunSweep("sweep", &Env{Seed: 1}, configs, SweepOptions{Jobs: 1, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srResumed.Err() == nil {
+		t.Fatal("resumed sweep must quarantine the violating configs")
+	}
+	filesEqual(t, "fail-fast+resume vs batch", batch.Files, ff.Files)
+}
+
+// TestFailFastClusterSweepResume: the same pending-then-resume
+// convergence through the cluster scheduler's real-execution pool.
+func TestFailFastClusterSweepResume(t *testing.T) {
+	configs := []map[string]string{
+		{"nodes": "1,2"},
+		{"nodes": "1,2,8"},
+		{"nodes": "4,2"},
+		{"nodes": "1,16,32"},
+	}
+	batch := failFastProject(t)
+	if _, err := batch.RunSweep("sweep", &Env{Seed: 1}, configs, SweepOptions{Jobs: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	ff := failFastProject(t)
+	srFF, err := ff.RunSweep("sweep", &Env{Seed: 1}, configs, SweepOptions{
+		Jobs: 1, Hosts: 3, Stream: true, FailFast: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cancelled int
+	for _, run := range srFF.Runs {
+		if run.Cancelled {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("cluster fail-fast sweep cancelled nothing")
+	}
+	if _, err := ff.RunSweep("sweep", &Env{Seed: 1}, configs, SweepOptions{Jobs: 1, Resume: true}); err != nil {
+		t.Fatal(err)
+	}
+	filesEqual(t, "cluster fail-fast+resume vs batch", batch.Files, ff.Files)
+}
+
+// TestFailFastStreamUnderFaults: streaming changes nothing about the
+// chaos envelope — a streamed sweep under an injected fault schedule
+// (config-level errors, per-stage retries) lands byte-identical
+// artifacts to a batch sweep under the same schedule.
+func TestFailFastStreamUnderFaults(t *testing.T) {
+	spec, err := fault.ParseSpec(`
+seed: 42
+faults:
+  - site: sweep/sweep/config/*
+    kind: error
+    prob: 0.4
+    times: 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []map[string]string{
+		{"nodes": "1,2"}, {"nodes": "2,4"}, {"nodes": "1,4"},
+	}
+	run := func(stream bool) *Project {
+		p := failFastProject(t)
+		sr, err := p.RunSweep("sweep", &Env{Seed: 1}, configs, SweepOptions{
+			Jobs: 1, Stream: stream,
+			Faults: spec.Injector(),
+			Retry:  fault.Retry{Max: 3, Backoff: 0.5},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sr.Err(); err != nil {
+			t.Fatalf("retries should absorb the injected errors: %v", err)
+		}
+		return p
+	}
+	filesEqual(t, "faulted streamed vs batch", run(false).Files, run(true).Files)
+}

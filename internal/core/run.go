@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -35,6 +36,41 @@ type ExecState struct {
 	// figure.svg by the post-run stage.
 	FigureASCII string
 	FigureSVG   string
+
+	// Streaming validation (RunOptions.Stream): the run stage attaches an
+	// incremental Aver evaluator before invoking the executor, and the
+	// executor reports progress through Checkpoint.
+	stream    *aver.StreamEvaluator
+	failFast  bool
+	cancelled *aver.StreamViolation
+}
+
+// ErrValidationCancelled marks a run cancelled mid-flight because
+// streaming validation proved an assertion unsatisfiable (fail-fast).
+var ErrValidationCancelled = errors.New("core: run cancelled by streaming validation")
+
+// Checkpoint lets an executor hand its partial Results to the streaming
+// validator mid-run. Without streaming it is a no-op. New rows are
+// evaluated incrementally in O(delta); if fail-fast is armed and an
+// assertion group can no longer be satisfied, Checkpoint returns an
+// error wrapping ErrValidationCancelled and the executor should stop
+// and propagate it. Executors call it at natural batch boundaries
+// (after appending each configuration's rows); calling with Results
+// unset is harmless.
+func (x *ExecState) Checkpoint() error {
+	if x.stream == nil || x.Results == nil {
+		return nil
+	}
+	if err := x.stream.Observe(x.Results); err != nil {
+		// A recheck divergence means the incremental engine disagrees
+		// with the batch evaluator — fail loudly, never silently.
+		return err
+	}
+	if v := x.stream.Unsatisfiable(); v != nil && x.failFast {
+		x.cancelled = v
+		return fmt.Errorf("%w after %d rows: %v", ErrValidationCancelled, v.Row, v.Err())
+	}
+	return nil
 }
 
 // Executor is the executable binding of a template.
@@ -124,6 +160,9 @@ func (x *ExecState) Seed() int64 {
 type RunResult struct {
 	Record     pipeline.Record
 	Validation []aver.Result
+	// Cancelled is set when streaming validation cancelled the run
+	// mid-flight (fail-fast): the violation that doomed it.
+	Cancelled *aver.StreamViolation
 }
 
 // Passed reports whether the pipeline and all validations succeeded.
@@ -167,6 +206,16 @@ type RunOptions struct {
 	// unbounded). Only injected latency moves the virtual clock, so
 	// deadlines are deterministic functions of the fault schedule.
 	StageDeadline float64
+	// Stream evaluates validations.aver incrementally while the
+	// experiment runs: executors that Checkpoint their partial results
+	// get each appended batch checked in O(delta). The final batch
+	// validation still runs unchanged — streaming only adds early
+	// visibility, never replaces the authoritative verdict.
+	Stream bool
+	// FailFast (with Stream) cancels the run as soon as an assertion
+	// group is proven unsatisfiable: the run stage fails with
+	// ErrValidationCancelled instead of burning the remaining budget.
+	FailFast bool
 }
 
 // RunExperiment executes one experiment end to end through the staged
@@ -252,8 +301,32 @@ func (p *Project) RunExperimentOpts(name string, env *Env, opts RunOptions) (Run
 		return nil
 	})
 	pl.AddStage("run", func(c *pipeline.Context) error {
+		// Fresh stream per attempt: a retried run stage re-executes the
+		// executor from scratch, so incremental state must restart too.
+		state.stream, state.cancelled, state.failFast = nil, nil, opts.FailFast
+		if opts.Stream {
+			if raw, ok := p.ExperimentFile(name, "validations.aver"); ok {
+				st, err := aver.NewEvaluator().Stream(string(raw), aver.StreamOptions{})
+				if err == nil {
+					state.stream = st
+				}
+				// A parse error is not reported here: the validate stage
+				// fails with the identical message whether or not the run
+				// streamed, keeping verdicts independent of -stream.
+			}
+		}
 		if err := tmpl.run(state); err != nil {
 			return err
+		}
+		// Final observation of any tail rows the executor appended after
+		// its last checkpoint — observe only, never cancel: the work is
+		// already done, so the batch validate stage owns the verdict.
+		if state.stream != nil && state.Results != nil {
+			if err := state.stream.Observe(state.Results); err != nil {
+				return err
+			}
+			c.Logf("streamed validation: %d rows, %d incremental assertions, %d rechecks",
+				state.stream.Rows(), state.stream.Incremental(), state.stream.Rechecks())
 		}
 		// Everything downstream (post-run, validate, cached replay)
 		// reads from the workspace, so the run stage is the single
@@ -338,7 +411,7 @@ func (p *Project) RunExperimentOpts(name string, env *Env, opts RunOptions) (Run
 	}
 
 	rec := pl.Run(ctx)
-	return RunResult{Record: rec, Validation: validation}, rec.Err
+	return RunResult{Record: rec, Validation: validation, Cancelled: state.cancelled}, rec.Err
 }
 
 // experimentInputFilter admits the experiment's input files — its

@@ -92,6 +92,18 @@ type SweepOptions struct {
 	// to the rank holding its blocks. Consulted by PlaceLocality; -1 or
 	// missing entries mean "no hint".
 	Locality []int
+	// Stream turns on streaming validation inside every configuration:
+	// executors checkpoint partial results and assertions are evaluated
+	// incrementally as rows land (RunOptions.Stream).
+	Stream bool
+	// FailFast (with Stream) arms early cancellation: a configuration
+	// whose assertions are proven unsatisfiable mid-run is stopped on
+	// the spot, and the sweep stops dispatching the remaining pending
+	// configurations. Cancelled and undispatched configurations are NOT
+	// journaled — like Limit cut-offs they stay pending, so a later
+	// -resume run (without fail-fast) finishes the sweep with results,
+	// journal and failures byte-identical to a batch-mode sweep.
+	FailFast bool
 }
 
 // ResumeError reports that -resume cannot trust the sweep journal: it
@@ -132,9 +144,16 @@ type ConfigRun struct {
 	// Resumed marks an outcome adopted from a prior sweep's journal
 	// without re-running the configuration.
 	Resumed bool
-	// Skipped marks a configuration this invocation never ran
-	// (SweepOptions.Limit cut it off); it has no recorded outcome.
+	// Skipped marks a configuration this invocation never ran to a
+	// recorded outcome: SweepOptions.Limit cut it off, a fail-fast stop
+	// skipped its dispatch, or streaming validation cancelled it
+	// mid-run (Cancelled below).
 	Skipped bool
+	// Cancelled marks a configuration stopped mid-run by streaming
+	// fail-fast: an assertion group was proven unsatisfiable, execution
+	// was abandoned, and no outcome was journaled — it stays pending
+	// and -resume re-runs it to the authoritative batch verdict.
+	Cancelled bool
 	// BackoffSeconds is the total virtual backoff delay charged between
 	// attempts.
 	BackoffSeconds float64
@@ -482,9 +501,21 @@ func (p *Project) RunSweep(name string, env *Env, configs []map[string]string, o
 					Overrides:  configs[i],
 					Faults:     opts.Faults,
 					FaultScope: fmt.Sprintf("%s/%03d", name, i),
+					Stream:     opts.Stream,
+					FailFast:   opts.FailFast,
 				})
 			}
 			run.Err = err
+			if errors.Is(err, ErrValidationCancelled) {
+				// Streaming fail-fast abandoned the configuration mid-run.
+				// Nothing is journaled: like a Limit cut-off it stays
+				// pending, which keeps the journal a record of
+				// authoritative batch verdicts only — a -resume run
+				// re-executes it in full and lands the same journal and
+				// quarantine rows a batch-mode sweep would have.
+				run.Skipped, run.Cancelled, run.Err = true, true, nil
+				return err // non-nil: tells a fail-fast pool to stop dispatching
+			}
 			if err == nil {
 				durable.record(journalRow{
 					index: i, params: FormatOverrides(run.Overrides),
@@ -514,13 +545,17 @@ func (p *Project) RunSweep(name string, env *Env, configs []map[string]string, o
 			return sr, fmt.Errorf("core: sweep %s: %w", name, err)
 		}
 		sr.Sched = rep
-		for k, i := range todo {
-			if rep != nil && len(rep.Winner) > k && rep.Winner[k] < 0 && sr.Runs[i].Attempts == 0 {
-				sr.Runs[i].Skipped = true
-			}
-		}
 	} else {
-		sched.NewPool(opts.Jobs).Each(len(todo), func(k int) error { return runConfig(k, -1) })
+		sched.NewPool(opts.Jobs).EachOpts(len(todo), func(k int) error { return runConfig(k, -1) },
+			sched.Options{FailFast: opts.FailFast})
+	}
+	// Any scheduled configuration that never attempted execution — the
+	// cluster schedule lost it, or a fail-fast stop skipped its dispatch
+	// — stays pending, exactly like a Limit cut-off.
+	for _, i := range todo {
+		if sr.Runs[i].Attempts == 0 {
+			sr.Runs[i].Skipped = true
+		}
 	}
 	if err := durable.err(); err != nil {
 		return sr, fmt.Errorf("core: sweep %s: durable journal: %w", name, err)

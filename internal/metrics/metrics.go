@@ -222,6 +222,51 @@ func (r *Registry) Table() *table.Table {
 	return t
 }
 
+// StreamInto appends the observations recorded since index `since`
+// (a previous return value; 0 for all) to a windowed buffer as one
+// batch, and returns the new high-water mark. The window's schema is
+// fixed by its creator: columns named "tick", "metric" and "value" map
+// to the observation fields, every other column reads the label of
+// that name (missing labels become empty strings) — so label keys that
+// first appear mid-stream never reshape the schema the way Table's
+// union-of-keys columns would. No rows since the mark is a no-op (no
+// empty batch is appended). This is the metrics half of streaming
+// validation: a producer drains the registry into a Window batch by
+// batch and hands each increment to the Aver stream evaluator.
+func (r *Registry) StreamInto(w *table.Window, since int) (int, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := len(r.obs)
+	if since < 0 || since > n {
+		return n, fmt.Errorf("metrics: stream mark %d out of range [0,%d]", since, n)
+	}
+	if since == n {
+		return n, nil
+	}
+	cols := w.Table().Columns()
+	batch := table.New(cols...)
+	row := make([]table.Value, len(cols))
+	for _, o := range r.obs[since:] {
+		for i, c := range cols {
+			switch c {
+			case "tick":
+				row[i] = table.Number(float64(o.Tick))
+			case "metric":
+				row[i] = table.String(o.Name)
+			case "value":
+				row[i] = table.Number(o.Value)
+			default:
+				row[i] = table.String(o.Labels[c])
+			}
+		}
+		batch.MustAppend(row...)
+	}
+	if err := w.Append(batch); err != nil {
+		return since, err
+	}
+	return n, nil
+}
+
 // ResultTable pivots observations into one row per (label-set) group with
 // one column per metric name (last value wins within a group). This is the
 // "results.csv" shape the Popper convention stores and Aver validates.

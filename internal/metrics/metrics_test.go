@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"popper/internal/table"
 )
 
 func TestObserveAndSeries(t *testing.T) {
@@ -372,5 +374,42 @@ func TestConcurrentStages(t *testing.T) {
 	}
 	if r.Table().Len() != r.Len() {
 		t.Fatal("table export must carry every observation")
+	}
+}
+
+func TestStreamInto(t *testing.T) {
+	r := NewRegistry(Labels{"machine": "m0"}, nil)
+	w := table.NewWindow("metric", "value", "tick", "machine", "phase")
+	r.WithLabels(Labels{"phase": "warm"}).Observe("time", 10)
+	r.Observe("time", 20)
+	mark, err := r.StreamInto(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mark != 2 || w.Len() != 2 || w.Batches() != 1 {
+		t.Fatalf("mark=%d len=%d batches=%d", mark, w.Len(), w.Batches())
+	}
+	tb := w.Table()
+	if tb.MustCell(0, "metric").Text() != "time" || tb.MustCell(0, "value").Num != 10 {
+		t.Fatalf("row 0 = %v %v", tb.MustCell(0, "metric").Text(), tb.MustCell(0, "value").Num)
+	}
+	if tb.MustCell(0, "phase").Text() != "warm" || tb.MustCell(1, "phase").Text() != "" {
+		t.Fatalf("phase labels: %q %q", tb.MustCell(0, "phase").Text(), tb.MustCell(1, "phase").Text())
+	}
+	if tb.MustCell(1, "machine").Text() != "m0" {
+		t.Fatalf("base label lost: %q", tb.MustCell(1, "machine").Text())
+	}
+	// Incremental drain: nothing new is a no-op, new rows land in a
+	// fresh batch.
+	if mark2, err := r.StreamInto(w, mark); err != nil || mark2 != mark || w.Batches() != 1 {
+		t.Fatalf("no-op drain: mark=%d err=%v batches=%d", mark2, err, w.Batches())
+	}
+	r.Observe("time", 30)
+	mark3, err := r.StreamInto(w, mark)
+	if err != nil || mark3 != 3 || w.Len() != 3 || w.Batches() != 2 {
+		t.Fatalf("mark=%d err=%v len=%d batches=%d", mark3, err, w.Len(), w.Batches())
+	}
+	if _, err := r.StreamInto(w, 99); err == nil {
+		t.Fatal("out-of-range mark must error")
 	}
 }

@@ -43,6 +43,10 @@ type Cache struct {
 	// cache shared across sweeps reports cumulative peer traffic.
 	fedRetired cas.FedStats
 
+	// warm counts entries restored from CacheOptions.State at
+	// construction (diagnostics only; set before concurrent use).
+	warm int
+
 	shards [cacheShards]cacheShard
 }
 
@@ -92,6 +96,12 @@ type CacheOptions struct {
 	MaxBytes int64
 	// Shards is the tier's lock-stripe count; 0 means the default.
 	Shards int
+	// State is a previously SaveState-serialized entry index. A
+	// non-empty value warm-starts the cache: entries and their chunks
+	// are restored before the first lookup, so a second process replays
+	// stages the first one executed. Damaged state is ignored (cold
+	// start) — the sidecar is advisory, never authoritative.
+	State []byte
 }
 
 // NewCache creates an empty, unbounded stage cache.
@@ -103,8 +113,15 @@ func NewCacheOpts(opts CacheOptions) *Cache {
 	for i := range c.shards {
 		c.shards[i].entries = make(map[[sha256.Size]byte]*stageEntry)
 	}
+	if len(opts.State) > 0 {
+		c.warm, _ = c.RestoreState(opts.State)
+	}
 	return c
 }
+
+// WarmEntries reports how many entries NewCacheOpts restored from
+// CacheOptions.State (0 after a cold start).
+func (c *Cache) WarmEntries() int { return c.warm }
 
 // Tier exposes the backing content-addressed tier (shared with the
 // artifact store and the federation).

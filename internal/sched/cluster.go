@@ -28,6 +28,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 
 	"popper/internal/cluster"
@@ -88,6 +89,12 @@ type ClusterOptions struct {
 	// (<= 0 means one per CPU). Purely a wall-clock knob: the virtual
 	// schedule and every artifact are identical at any value.
 	Jobs int
+	// FailFast stops the real-execution pool from dispatching further
+	// task functions after the first one returns a non-nil error;
+	// undispatched tasks get ErrSkipped slots. The virtual schedule is
+	// unaffected — only real execution is cut short, so which tasks
+	// were skipped depends on the dispatch order (see Options.FailFast).
+	FailFast bool
 }
 
 // HostReport is one host's slice of the fleet report.
@@ -185,6 +192,7 @@ const (
 // owned by the event loop — no locks, by design.
 type schedHost struct {
 	spec   HostSpec
+	site   string // fault site, "sched/host/<name>", built once at init
 	dq     deque
 	clock  float64 // virtual now (== busyUntil while running)
 	alive  bool
@@ -323,8 +331,9 @@ func (s *ClusterScheduler) RunHosted(n int, fn func(i, host int) error) ([]error
 		r.tasks[i].winner, r.tasks[i].runnerA, r.tasks[i].runnerB = -1, -1, -1
 	}
 	for i, spec := range s.opts.Hosts {
-		r.hosts[i] = &schedHost{spec: spec, cur: -1, alive: true}
+		r.hosts[i] = &schedHost{spec: spec, site: "sched/host/" + spec.Name, cur: -1, alive: true}
 	}
+	r.dispatch = make([]int, 0, n)
 	r.report.Hosts = make([]HostReport, len(r.hosts))
 	r.report.Winner = make([]int, n)
 	for i := range r.report.Winner {
@@ -381,11 +390,18 @@ func (s *ClusterScheduler) RunHosted(n int, fn func(i, host int) error) ([]error
 	// fn(i) is independent of which host virtually ran it, the artifacts
 	// are byte-identical to a serial sweep.
 	if fn != nil && len(r.dispatch) > 0 {
-		NewPool(s.opts.Jobs).Each(len(r.dispatch), func(k int) error {
+		slots := NewPool(s.opts.Jobs).EachOpts(len(r.dispatch), func(k int) error {
 			i := r.dispatch[k]
 			errs[i] = fn(i, r.report.Winner[i])
-			return nil
-		})
+			return errs[i]
+		}, Options{FailFast: s.opts.FailFast})
+		// A fail-fast stop leaves dispatch slots unexecuted: surface
+		// them as ErrSkipped in task-index space too.
+		for k, e := range slots {
+			if errors.Is(e, ErrSkipped) {
+				errs[r.dispatch[k]] = ErrSkipped
+			}
+		}
 	}
 	rep := r.report
 	return errs, &rep
@@ -535,7 +551,7 @@ func (r *clusterRun) start(h, task int, speculative bool) bool {
 	dur := r.cost(task, h)
 	failed := false
 	if r.opts.Faults != nil {
-		if f := r.opts.Faults.Check("sched/host/" + sh.spec.Name); f != nil {
+		if f := r.opts.Faults.Check(sh.site); f != nil {
 			switch f.Kind {
 			case fault.Latency:
 				dur += f.Delay

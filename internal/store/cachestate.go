@@ -1,0 +1,52 @@
+package store
+
+// The stage-cache sidecar: a single advisory file under .popper holding
+// the pipeline cache's serialized entry index (a cas extent image, see
+// pipeline.SaveState). It lives outside the manifest on purpose — its
+// content is execution-history-dependent (hit counters aside, which
+// entries exist depends on what ran), so tracking it would make
+// otherwise byte-identical repositories diverge. Sync and gc never
+// touch it; fsck verifies it is an intact extent and lets --repair
+// remove a damaged one (the cache then starts cold, which is always
+// correct).
+
+import (
+	"popper/internal/cas"
+)
+
+// CacheStatePath is where the stage-cache sidecar lives.
+const CacheStatePath = popperDir + "/cache.extent"
+
+// SaveCacheState durably writes the sidecar with the store's atomic
+// write protocol (temp → fsync → rename → dir fsync). Empty data
+// removes the sidecar instead — an empty cache warms nothing.
+func (s *Store) SaveCacheState(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead != nil {
+		return s.dead
+	}
+	if len(data) == 0 {
+		if err := s.remove(CacheStatePath); err != nil {
+			return err
+		}
+		return s.syncDir(popperDir)
+	}
+	return s.writeFileAtomic(CacheStatePath, data)
+}
+
+// LoadCacheState returns the sidecar bytes, or nil when it is absent or
+// not an intact extent image (the pipeline would reject it anyway; nil
+// keeps the cold-start decision in one place).
+func (s *Store) LoadCacheState() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, err := s.fs.ReadFile(CacheStatePath)
+	if err != nil {
+		return nil
+	}
+	if _, perr := cas.ParseExtent(raw); perr != nil {
+		return nil
+	}
+	return raw
+}

@@ -1,0 +1,82 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"popper/internal/cas"
+)
+
+// TestCacheStateSidecarRoundTrip: the sidecar survives syncs and gc,
+// loads back verbatim, and fsck treats an intact one as healthy.
+func TestCacheStateSidecarRoundTrip(t *testing.T) {
+	fs := NewMemFS(1)
+	st := New(fs)
+	mustSync(t, st, w1())
+
+	image := cas.EncodeExtent([][]byte{[]byte("meta"), []byte("chunk")})
+	if err := st.SaveCacheState(image); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if got := st.LoadCacheState(); string(got) != string(image) {
+		t.Fatalf("load returned %d bytes, want %d", len(got), len(image))
+	}
+	// Another sync (and its gc) must not disturb the sidecar.
+	mustSync(t, st, w2())
+	if got := st.LoadCacheState(); string(got) != string(image) {
+		t.Fatal("sync disturbed the sidecar")
+	}
+	mustCleanFsck(t, st, "with healthy sidecar")
+
+	// Saving empty state removes the sidecar.
+	if err := st.SaveCacheState(nil); err != nil {
+		t.Fatalf("save empty: %v", err)
+	}
+	if st.LoadCacheState() != nil {
+		t.Fatal("empty save must remove the sidecar")
+	}
+	if _, err := fs.ReadFile(CacheStatePath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("sidecar file should be gone, err=%v", err)
+	}
+	mustCleanFsck(t, st, "after sidecar removal")
+}
+
+// TestCacheStateSidecarDamage: a damaged sidecar is debris — fsck
+// flags it, repair removes it, loads report cold.
+func TestCacheStateSidecarDamage(t *testing.T) {
+	fs := NewMemFS(1)
+	st := New(fs)
+	mustSync(t, st, w1())
+	image := cas.EncodeExtent([][]byte{[]byte("meta")})
+	if err := st.SaveCacheState(image); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the file the way a crash mid-write would.
+	if err := fs.WriteFile(CacheStatePath, image[:len(image)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if st.LoadCacheState() != nil {
+		t.Fatal("damaged sidecar must load as cold (nil)")
+	}
+	rep, err := st.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Path == CacheStatePath && f.State == StateDebris {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("damaged sidecar not flagged as debris:\n%s", rep.Format())
+	}
+	if _, err := st.Repair(rep); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if _, err := fs.ReadFile(CacheStatePath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("repair should remove the damaged sidecar, err=%v", err)
+	}
+	mustCleanFsck(t, st, "after repairing damaged sidecar")
+}

@@ -222,6 +222,18 @@ func (s *Store) Fsck() (*Report, error) {
 			if f, bad := s.extentFinding(path, hashRefs); bad {
 				rep.Findings = append(rep.Findings, f)
 			}
+		case path == CacheStatePath:
+			// The stage-cache sidecar is advisory and self-verifying; an
+			// intact extent image is healthy, anything else is debris whose
+			// removal costs only a cold cache.
+			raw, err := s.fs.ReadFile(path)
+			if err != nil {
+				rep.Findings = append(rep.Findings, Finding{Path: path, State: StateDebris, Note: "unreadable stage-cache sidecar"})
+				break
+			}
+			if _, perr := cas.ParseExtent(raw); perr != nil {
+				rep.Findings = append(rep.Findings, Finding{Path: path, State: StateDebris, Note: "damaged stage-cache sidecar (cold start after removal)"})
+			}
 		case strings.HasPrefix(path, popperDir+"/"):
 			rep.Findings = append(rep.Findings, Finding{Path: path, State: StateDebris, Note: "unrecognized store metadata"})
 		case Tracked(path):

@@ -1,0 +1,92 @@
+package table
+
+import "fmt"
+
+// Window is an append-only columnar stream buffer: result rows arrive
+// in batches and accumulate in one shared store (interned dictionary,
+// typed columns), while readers hold zero-copy views of individual
+// batches or of any prefix. It is the ingestion side of streaming
+// validation — metrics pivots and incremental experiment results land
+// here batch by batch, and the Aver stream evaluator consumes each
+// appended window in O(delta).
+//
+// A Window is not safe for concurrent use; one producer owns it.
+type Window struct {
+	t     *Table
+	spans []int // batch boundaries: spans[i] = first row of batch i, plus a final total
+}
+
+// NewWindow creates an empty windowed buffer with the given schema.
+func NewWindow(cols ...string) *Window {
+	return &Window{t: New(cols...), spans: []int{0}}
+}
+
+// Append ingests one batch. The batch's columns must match the window's
+// schema exactly (order included): streaming evaluation compiles kernels
+// against the schema once and indexes columns positionally.
+func (w *Window) Append(batch *Table) error {
+	bc := batch.Columns()
+	wc := w.t.Columns()
+	if len(bc) != len(wc) {
+		return fmt.Errorf("table: window batch has %d columns, window has %d", len(bc), len(wc))
+	}
+	for i := range bc {
+		if bc[i] != wc[i] {
+			return fmt.Errorf("table: window batch column %d is %q, want %q", i, bc[i], wc[i])
+		}
+	}
+	if err := w.t.AppendFrom(batch, nil); err != nil {
+		return err
+	}
+	w.spans = append(w.spans, w.t.Len())
+	return nil
+}
+
+// Table returns the full accumulated table. The handle stays valid
+// across appends (direct tables grow in place); row count at read time
+// is Len().
+func (w *Window) Table() *Table { return w.t }
+
+// Len returns the total number of buffered rows.
+func (w *Window) Len() int { return w.t.Len() }
+
+// Batches returns how many batches have been appended.
+func (w *Window) Batches() int { return len(w.spans) - 1 }
+
+// Batch returns a zero-copy view of batch i (row-index view over the
+// shared store — no cells are copied).
+func (w *Window) Batch(i int) (*Table, error) {
+	if i < 0 || i >= w.Batches() {
+		return nil, fmt.Errorf("table: window has %d batches, no batch %d", w.Batches(), i)
+	}
+	lo, hi := w.spans[i], w.spans[i+1]
+	rows := make([]int, hi-lo)
+	for r := range rows {
+		rows[r] = lo + r
+	}
+	return w.t.View(rows)
+}
+
+// Last returns a zero-copy view of the most recent batch, or nil when
+// nothing has been appended.
+func (w *Window) Last() *Table {
+	if w.Batches() == 0 {
+		return nil
+	}
+	v, _ := w.Batch(w.Batches() - 1)
+	return v
+}
+
+// Prefix returns a zero-copy view of rows [0, n). Prefix views are
+// stable snapshots: later appends grow the store but never change the
+// view's row set.
+func (w *Window) Prefix(n int) (*Table, error) {
+	if n < 0 || n > w.t.Len() {
+		return nil, fmt.Errorf("table: window prefix %d out of range [0,%d]", n, w.t.Len())
+	}
+	rows := make([]int, n)
+	for r := range rows {
+		rows[r] = r
+	}
+	return w.t.View(rows)
+}
