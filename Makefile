@@ -6,7 +6,10 @@ CHAOS_SEEDS ?= 42 7 1337
 # Seed matrix for the disk-crash suite; override with CRASH_SEEDS="...".
 CRASH_SEEDS ?= 42 7 1337
 
-.PHONY: build test vet race verify bench bench-gassyfs bench-cache bench-aver bench-json bench-json-smoke chaos crash
+# Seed matrix for the network-split suite; override with SPLIT_SEEDS="...".
+SPLIT_SEEDS ?= 42 7 1337
+
+.PHONY: build test vet race verify bench bench-gassyfs bench-cache bench-aver bench-json bench-json-smoke chaos crash split
 
 build:
 	$(GO) build ./...
@@ -25,7 +28,7 @@ race:
 # paths, the seeded chaos suite, the disk-crash matrix, and a one-
 # iteration smoke of the scheduler benchmark recorder so regressions in
 # the scaling path fail the loop.
-verify: build vet test race chaos crash bench-json-smoke
+verify: build vet test race chaos crash split bench-json-smoke
 
 # Chaos determinism suite: the fault-injection golden tests under the
 # race detector, once per seed in the matrix. Each seed is a different
@@ -57,6 +60,22 @@ crash:
 			|| exit 1; \
 	done
 
+# Network-split convergence suite: the replicated artifact store under
+# every single-node crash point, every minority-partition cut/heal
+# point, and the N=5 two-node minority — quorum reads stay
+# read-your-writes throughout, and every healed group must converge to
+# a repository byte-identical to an unfailed serial run. Runs under the
+# race detector, once per seed (see docs/RESILIENCE.md, "Replication
+# and failover").
+split:
+	@for seed in $(SPLIT_SEEDS); do \
+		echo "-- network-split suite, seed $$seed"; \
+		CHAOS_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'Split|Repl|Quorum|Epoch|Failover|Partition|Fence|Rejoin|Snapshot|Audit|Link' \
+			./internal/repl/ ./internal/gasnet/ ./cmd/popper/ \
+			|| exit 1; \
+	done
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem
 
@@ -83,7 +102,9 @@ bench-aver:
 # straggler-recovery triple) into BENCH_sched.json, and the federated-
 # cache benchmarks (cold vs warm 64-config overlapping sweep, warm
 # hit-rate at 1/16/256 simulated hosts, peer-fetch vs recompute virtual
-# cost) into BENCH_cache.json (see docs/SCHEDULING.md, docs/CACHE.md).
+# cost) into BENCH_cache.json (see docs/SCHEDULING.md, docs/CACHE.md),
+# and the gassyfs family (compile-git scaling curve, host-parallel
+# drive) into BENCH_gassyfs.json.
 bench-json:
 	BENCH_JSON=$(CURDIR)/BENCH_sched.json $(GO) test -run TestWriteBenchJSON -count=1 ./internal/sched/
 	@echo "-- wrote BENCH_sched.json"
@@ -91,6 +112,8 @@ bench-json:
 	@echo "-- wrote BENCH_cache.json"
 	BENCH_JSON=$(CURDIR)/BENCH_aver.json $(GO) test -run TestWriteAverBenchJSON -count=1 ./internal/core/
 	@echo "-- wrote BENCH_aver.json"
+	BENCH_JSON=$(CURDIR)/BENCH_gassyfs.json $(GO) test -run TestWriteGassyfsBenchJSON -count=1 .
+	@echo "-- wrote BENCH_gassyfs.json"
 
 # One-iteration smoke of the benchmark recorders for `make verify`:
 # same code paths, tiny matrices, throwaway output files.
@@ -99,4 +122,5 @@ bench-json-smoke:
 	BENCH_JSON=$$out BENCH_SMOKE=1 $(GO) test -run TestWriteBenchJSON -count=1 ./internal/sched/ || { rm -f $$out; exit 1; }; \
 	BENCH_JSON=$$out BENCH_SMOKE=1 $(GO) test -run TestWriteCacheBenchJSON -count=1 ./internal/core/ || { rm -f $$out; exit 1; }; \
 	BENCH_JSON=$$out BENCH_SMOKE=1 $(GO) test -run TestWriteAverBenchJSON -count=1 ./internal/core/ || { rm -f $$out; exit 1; }; \
+	BENCH_JSON=$$out BENCH_SMOKE=1 $(GO) test -run TestWriteGassyfsBenchJSON -count=1 . || { rm -f $$out; exit 1; }; \
 	rm -f $$out

@@ -18,7 +18,10 @@
 //	                                 sweep from its journal; -hosts N
 //	                                 fans the sweep across N simulated
 //	                                 cluster hosts with -placement
-//	                                 roundrobin|locality scheduling)
+//	                                 roundrobin|locality scheduling;
+//	                                 -replicas N replicates the artifact
+//	                                 store across N simulated nodes with
+//	                                 quorum commits and epoch failover)
 //	popper ci                        replay the repo's CI script locally
 //	popper machines                  list simulated machine profiles
 //	popper report                    render report.html from the repo
@@ -27,7 +30,10 @@
 //	                                 manifest; --repair restores damaged
 //	                                 files from the object cache,
 //	                                 quarantines what it cannot prove,
-//	                                 and rolls back interrupted syncs
+//	                                 and rolls back interrupted syncs;
+//	                                 on a replicated repository it also
+//	                                 audits replica agreement, healing
+//	                                 laggards by anti-entropy
 //
 // Every command reads and writes the repository through the
 // crash-consistent artifact store (internal/store): workspace changes
@@ -39,6 +45,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
@@ -51,9 +58,63 @@ import (
 	"popper/internal/fault"
 	"popper/internal/orchestrate"
 	"popper/internal/pipeline"
+	"popper/internal/repl"
 	"popper/internal/sched"
 	"popper/internal/store"
 )
+
+// repo is the store surface the CLI drives: the plain crash-consistent
+// artifact store, or — with -replicas N — the quorum-replicated group,
+// which replicates every manifest commit across N simulated nodes
+// before acknowledging it. Both speak the same protocol, so every
+// command works unchanged against either.
+type repo interface {
+	Load() (map[string][]byte, error)
+	Sync(files map[string][]byte) (store.SyncStats, error)
+	Put(path string, data []byte) error
+	LoadCacheState() []byte
+	SaveCacheState(data []byte) error
+	SetFaults(inj *fault.Injector)
+	Object(hash [sha256.Size]byte) ([]byte, bool)
+}
+
+// detectReplicas counts the replica trees a previous -replicas run
+// provisioned under dir/.popper-replicas, so later invocations (and
+// fsck) keep operating on the whole group without re-passing the flag.
+func detectReplicas(dir string) int {
+	ents, err := os.ReadDir(filepath.Join(dir, ".popper-replicas"))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "r") {
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return n + 1 // replica 0 lives in dir itself
+}
+
+// openRepo opens the repository: replicated when -replicas N (or a
+// provisioned .popper-replicas tree) says so, plain otherwise.
+func openRepo(dir string, replicas int, seed int64) (repo, error) {
+	if replicas == 0 {
+		replicas = detectReplicas(dir)
+	}
+	if replicas <= 1 {
+		return store.Open(dir), nil
+	}
+	g, err := repl.OpenDir(dir, repl.Options{Replicas: replicas, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("-- replicated store: %d replicas, primary r%d, epoch %d\n",
+		g.Size(), g.Primary(), g.Epoch())
+	return g, nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -75,8 +136,9 @@ func run(args []string) error {
 	placement := fs.String("placement", "roundrobin", "sweep placement policy with -hosts: roundrobin or locality")
 	stream := fs.Bool("stream", false, "stream validations incrementally while experiments run in `popper run`")
 	failFast := fs.Bool("fail-fast", false, "with -stream: cancel configurations whose assertions become unsatisfiable and stop dispatching the rest")
+	replicas := fs.Int("replicas", 0, "replicate the artifact store across N simulated nodes with quorum commits (0 = auto-detect a provisioned group, 1 = plain store)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: popper [-C dir] [-seed n] [-jobs n] [-hosts n] [-placement p] [-no-cache] [-faults f] [-max-retries n] [-resume] [-stream] [-fail-fast] <command> [args]")
+		fmt.Fprintln(os.Stderr, "usage: popper [-C dir] [-seed n] [-jobs n] [-hosts n] [-placement p] [-replicas n] [-no-cache] [-faults f] [-max-retries n] [-resume] [-stream] [-fail-fast] <command> [args]")
 		fmt.Fprintln(os.Stderr, "commands: init, experiment list, add, paper, check, lint, run, ci, machines, report, build-paper, fsck")
 		fs.PrintDefaults()
 	}
@@ -103,7 +165,7 @@ func run(args []string) error {
 			fmt.Print(core.FormatPaperTemplateList())
 			return nil
 		case len(rest) == 3 && rest[1] == "add":
-			return withProject(*dir, func(p *core.Project, _ *store.Store) error {
+			return withProject(*dir, *replicas, *seed, func(p *core.Project, _ repo) error {
 				if err := p.AddPaper(rest[2]); err != nil {
 					return err
 				}
@@ -116,7 +178,7 @@ func run(args []string) error {
 		if len(rest) != 3 {
 			return fmt.Errorf("usage: popper add <template> <name>")
 		}
-		return withProject(*dir, func(p *core.Project, _ *store.Store) error {
+		return withProject(*dir, *replicas, *seed, func(p *core.Project, _ repo) error {
 			if err := p.AddExperiment(rest[1], rest[2]); err != nil {
 				return err
 			}
@@ -124,7 +186,7 @@ func run(args []string) error {
 			return nil
 		})
 	case "check":
-		return withProject(*dir, func(p *core.Project, _ *store.Store) error {
+		return withProject(*dir, *replicas, *seed, func(p *core.Project, _ repo) error {
 			rep := p.Check()
 			fmt.Print(rep.String())
 			if !rep.Compliant() {
@@ -133,7 +195,7 @@ func run(args []string) error {
 			return nil
 		})
 	case "lint":
-		return withProject(*dir, func(p *core.Project, _ *store.Store) error {
+		return withProject(*dir, *replicas, *seed, func(p *core.Project, _ repo) error {
 			for _, name := range p.Experiments() {
 				raw, ok := p.ExperimentFile(name, "setup.yml")
 				if !ok {
@@ -150,7 +212,7 @@ func run(args []string) error {
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: popper run <experiment>")
 		}
-		return withProject(*dir, func(p *core.Project, st *store.Store) error {
+		return withProject(*dir, *replicas, *seed, func(p *core.Project, st repo) error {
 			name := rest[1]
 			env := &core.Env{Seed: *seed}
 			var cache *pipeline.Cache
@@ -165,6 +227,11 @@ func run(args []string) error {
 				if n := cache.WarmEntries(); n > 0 {
 					fmt.Printf("-- stage cache warmed: %d entries from %s\n", n, store.CacheStatePath)
 				}
+				// The repository's own object pool backs the in-memory tier:
+				// stage outputs the tier evicted but the manifest still proves
+				// (loose .popper/objects or packed extents) are re-admitted on
+				// miss instead of recomputed.
+				cache.Tier().SetFallback(st.Object)
 				defer func() { _ = st.SaveCacheState(cache.SaveState()) }()
 			}
 			// A -faults schedule makes the run a chaos run: the seeded
@@ -243,6 +310,9 @@ func run(args []string) error {
 						fmt.Printf("-- federated tier: %d local peer hits, %d remote fetches (%s, %.3f vsec)\n",
 							cs.LocalPeerHits, cs.RemoteFetches, humanBytes(cs.RemoteBytes), cs.FetchSeconds)
 					}
+					if ts := cache.Tier().Stats(); ts.FallbackHits > 0 {
+						fmt.Printf("-- object tier: %d evicted entries restored from repository objects\n", ts.FallbackHits)
+					}
 				}
 				if err := sr.Err(); err != nil {
 					fmt.Printf("-- quarantined configurations recorded in experiments/%s/%s\n", name, core.FailuresFile)
@@ -271,7 +341,7 @@ func run(args []string) error {
 	case "ci":
 		// run the repository's CI script locally, exactly as the service
 		// would on a commit
-		return withProject(*dir, func(p *core.Project, _ *store.Store) error {
+		return withProject(*dir, *replicas, *seed, func(p *core.Project, _ repo) error {
 			var cfgSrc []byte
 			for _, name := range []string{".popper-ci.yml", core.CIFile} {
 				if content, ok := p.Files[name]; ok {
@@ -328,7 +398,7 @@ func run(args []string) error {
 		}
 		return nil
 	case "report":
-		return withProject(*dir, func(p *core.Project, _ *store.Store) error {
+		return withProject(*dir, *replicas, *seed, func(p *core.Project, _ repo) error {
 			html, err := p.Report()
 			if err != nil {
 				return err
@@ -338,7 +408,7 @@ func run(args []string) error {
 			return nil
 		})
 	case "build-paper":
-		return withProject(*dir, func(p *core.Project, _ *store.Store) error {
+		return withProject(*dir, *replicas, *seed, func(p *core.Project, _ repo) error {
 			if err := p.BuildPaper(); err != nil {
 				return err
 			}
@@ -355,7 +425,7 @@ func run(args []string) error {
 				return fmt.Errorf("usage: popper fsck [--repair]")
 			}
 		}
-		return cmdFsck(*dir, repair)
+		return cmdFsck(*dir, repair, *replicas, *seed)
 	default:
 		fs.Usage()
 		return fmt.Errorf("unknown command %q", rest[0])
@@ -388,8 +458,11 @@ func cmdInit(dir string) error {
 
 // cmdFsck verifies the repository against its artifact manifest and,
 // with --repair, heals it: restore from the object cache, adopt
-// strays, quarantine the unprovable, roll back interrupted syncs.
-func cmdFsck(dir string, repair bool) error {
+// strays, quarantine the unprovable, roll back interrupted syncs. On a
+// replicated repository it additionally audits replica agreement —
+// every replica's tree against the primary's committed history — and
+// --repair drives anti-entropy until the group converges.
+func cmdFsck(dir string, repair bool, replicas int, seed int64) error {
 	if _, err := os.Stat(filepath.Join(dir, ".popper", "manifest")); err != nil {
 		if _, cerr := os.Stat(filepath.Join(dir, core.ConfigFile)); cerr != nil {
 			return fmt.Errorf("%s is not a Popper repository (no %s and no artifact manifest)", dir, core.ConfigFile)
@@ -405,11 +478,11 @@ func cmdFsck(dir string, repair bool) error {
 		if !rep.Clean() {
 			return fmt.Errorf("repository needs repair (re-run with --repair)")
 		}
-		return nil
+		return fsckReplicas(dir, repair, replicas, seed)
 	}
 	if rep.Clean() {
 		fmt.Println("-- nothing to repair")
-		return nil
+		return fsckReplicas(dir, repair, replicas, seed)
 	}
 	acts, rerr := st.Repair(rep)
 	for _, a := range acts {
@@ -426,15 +499,58 @@ func cmdFsck(dir string, repair bool) error {
 		return fmt.Errorf("repository still unhealthy after repair:\n%s", after.Format())
 	}
 	fmt.Println("-- repaired: repository is consistent with its manifest")
+	return fsckReplicas(dir, repair, replicas, seed)
+}
+
+// fsckReplicas audits replica agreement for a replicated repository
+// (a no-op on a plain one). Divergence always fails the audit; lagging
+// replicas fail it too unless --repair heals them via anti-entropy.
+func fsckReplicas(dir string, repair bool, replicas int, seed int64) error {
+	if replicas == 0 {
+		replicas = detectReplicas(dir)
+	}
+	if replicas <= 1 {
+		return nil
+	}
+	g, err := repl.OpenDir(dir, repl.Options{Replicas: replicas, Seed: seed})
+	if err != nil {
+		return err
+	}
+	aud, err := g.Audit()
+	if err != nil {
+		return err
+	}
+	fmt.Print(aud.Format())
+	if repair && !aud.Converged() {
+		if err := g.Heal(); err != nil {
+			return fmt.Errorf("replica anti-entropy: %w", err)
+		}
+		if aud, err = g.Audit(); err != nil {
+			return err
+		}
+		fmt.Println("-- replicas healed by anti-entropy:")
+		fmt.Print(aud.Format())
+	}
+	if !aud.Agreement() {
+		return fmt.Errorf("replica trees diverge from the primary history")
+	}
+	if !aud.Converged() {
+		return fmt.Errorf("replicas lag the quorum frontier (re-run with --repair to heal)")
+	}
 	return nil
 }
 
 // withProject loads the workspace through the artifact store, applies
 // fn, and syncs changes back crash-consistently: atomic durable writes
 // under a two-phase manifest commit, with stale files pruned by the
-// manifest diff.
-func withProject(dir string, fn func(*core.Project, *store.Store) error) error {
-	st := store.Open(dir)
+// manifest diff. In replicated mode the sync is a quorum commit — it
+// only acknowledges once a majority of replicas hold the new
+// generation.
+func withProject(dir string, replicas int, seed int64, fn func(*core.Project, repo) error) error {
+	st, err := openRepo(dir, replicas, seed)
+	if err != nil {
+		return err
+	}
 	files, err := st.Load()
 	if err != nil {
 		return err

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"popper/internal/repl"
+	"popper/internal/store"
+)
+
+// End-to-end replication through the CLI: `popper run -replicas N`
+// commits every manifest generation to a quorum of simulated nodes,
+// later invocations auto-detect the provisioned group, and `popper
+// fsck` audits replica agreement (healing laggards with --repair).
+
+// replSweepRepo initializes a repository with the stm experiment and a
+// sweep matrix, ready for `popper run`.
+func replSweepRepo(t *testing.T, matrix string) string {
+	t.Helper()
+	dir := inTemp(t)
+	if err := popper(t, dir, "init"); err != nil {
+		t.Fatal(err)
+	}
+	if err := popper(t, dir, "add", "proteustm", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	sweep := filepath.Join(dir, "experiments/stm/sweep.yml")
+	if err := os.WriteFile(sweep, []byte(matrix), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// treeImage reads a replica root's full repository image (advisory
+// sidecars excluded) for byte-identity comparison.
+func treeImage(t *testing.T, root string) map[string][]byte {
+	t.Helper()
+	img, err := store.Open(root).Image()
+	if err != nil {
+		t.Fatalf("%s: %v", root, err)
+	}
+	return img
+}
+
+func wantSameImage(t *testing.T, label string, got, want map[string][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d files, want %d", label, len(got), len(want))
+	}
+	for path, content := range want {
+		if !bytes.Equal(got[path], content) {
+			t.Fatalf("%s: %s differs:\n got %q\nwant %q", label, path, got[path], content)
+		}
+	}
+}
+
+// TestCLIReplicatedSweepRun runs the same serial sweep through a
+// 3-replica group and through a plain store: every replica tree must
+// come out byte-identical to the unreplicated run, and fsck must
+// report full agreement — auto-detecting the provisioned group without
+// the -replicas flag.
+func TestCLIReplicatedSweepRun(t *testing.T) {
+	const matrix = "seed: [1, 2]\n"
+	dir := replSweepRepo(t, matrix)
+	ref := replSweepRepo(t, matrix)
+	if err := popper(t, dir, "-replicas", "3", "-jobs", "1", "run", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := popper(t, ref, "-jobs", "1", "run", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	// The group was provisioned under the dot-directory, invisible to
+	// the primary's tracked tree.
+	for id := 1; id < 3; id++ {
+		man := filepath.Join(repl.ReplicaRoot(dir, id), ".popper", "manifest")
+		if _, err := os.Stat(man); err != nil {
+			t.Fatalf("replica %d has no manifest: %v", id, err)
+		}
+	}
+	refImg := treeImage(t, ref)
+	for id := 0; id < 3; id++ {
+		got := treeImage(t, repl.ReplicaRoot(dir, id))
+		wantSameImage(t, "replica "+string(rune('0'+id)), got, refImg)
+	}
+	// fsck auto-detects the group and audits agreement.
+	if err := popper(t, dir, "fsck"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCLIReplicatedClusterSweepMatchesFlat fans a replicated sweep
+// across simulated cluster hosts: the merged results must match the
+// flat replicated run byte-for-byte, and the group must still agree —
+// the split matrix property, end to end through the CLI scheduler.
+func TestCLIReplicatedClusterSweepMatchesFlat(t *testing.T) {
+	dir := replSweepRepo(t, "seed: [1, 2, 3, 4]\n")
+	if err := popper(t, dir, "-replicas", "3", "-jobs", "1", "run", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := os.ReadFile(filepath.Join(dir, "experiments/stm/results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No -replicas flag: the provisioned group is auto-detected.
+	if err := popper(t, dir, "-hosts", "4", "-jobs", "2", "run", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := os.ReadFile(filepath.Join(dir, "experiments/stm/results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(flat, clustered) {
+		t.Fatalf("cluster-scheduled replicated results diverge from flat:\n%s\nvs\n%s", clustered, flat)
+	}
+	if err := popper(t, dir, "fsck"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCLIReplicatedFsckHealsTamperedReplica damages one follower's
+// tree out-of-band: fsck must flag the divergence, and --repair must
+// heal it (snapshot install via anti-entropy) back to byte agreement.
+func TestCLIReplicatedFsckHealsTamperedReplica(t *testing.T) {
+	dir := replSweepRepo(t, "seed: [1, 2]\n")
+	if err := popper(t, dir, "-replicas", "3", "-jobs", "1", "run", "stm"); err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(repl.ReplicaRoot(dir, 2), "experiments/stm/results.csv")
+	if err := os.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := popper(t, dir, "fsck"); err == nil {
+		t.Fatal("fsck must fail on a diverged replica")
+	}
+	if err := popper(t, dir, "fsck", "--repair"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(victim); err != nil {
+		t.Fatalf("repair did not restore the replica's tree: %v", err)
+	}
+	if err := popper(t, dir, "fsck"); err != nil {
+		t.Fatal(err)
+	}
+	// The healed replica is byte-identical to the primary.
+	wantSameImage(t, "healed replica 2",
+		treeImage(t, repl.ReplicaRoot(dir, 2)), treeImage(t, dir))
+}

@@ -77,6 +77,7 @@ type shard struct {
 	bytesDeduped int64
 	evicted      int64
 	bytesEvicted int64
+	fallbackHits int64 // misses satisfied by the second-chance source
 }
 
 // Tier is the shared content-addressed cache. Safe for concurrent use.
@@ -84,6 +85,22 @@ type Tier struct {
 	shards   []shard
 	mask     uint32
 	perShard int64 // byte budget per shard; 0 = unbounded
+
+	fallbackMu sync.RWMutex
+	fallback   func(hash [sha256.Size]byte) ([]byte, bool)
+}
+
+// SetFallback installs a second-chance source consulted when View or
+// Pin miss — typically the artifact store's own object pool (loose
+// .popper/objects plus packed extents): content the repository proves
+// it holds is never worth recomputing just because the in-memory tier
+// evicted it. Returned bytes are admitted only after verifying they
+// hash to the requested address, so a corrupt or stale source can
+// never poison the cache. Pass nil to remove the source.
+func (t *Tier) SetFallback(fn func(hash [sha256.Size]byte) ([]byte, bool)) {
+	t.fallbackMu.Lock()
+	t.fallback = fn
+	t.fallbackMu.Unlock()
 }
 
 // NewTier creates a tier. The zero Options value gives an unbounded
@@ -209,11 +226,50 @@ func (t *Tier) View(ref Ref) ([]byte, bool) {
 	if !ok {
 		s.misses++
 		s.mu.Unlock()
-		return nil, false
+		return t.fromFallback(ref, false)
 	}
 	s.hits++
 	s.moveFront(obj)
 	data := obj.data
+	s.mu.Unlock()
+	return data, true
+}
+
+// fromFallback consults the second-chance source for a missed ref and
+// admits the bytes after verifying the digest. With pin set the
+// admitted object is pinned before the shard lock drops, so the
+// caller's replay window is eviction-safe — exactly like a Pin that
+// found the object resident.
+func (t *Tier) fromFallback(ref Ref, pin bool) ([]byte, bool) {
+	t.fallbackMu.RLock()
+	fn := t.fallback
+	t.fallbackMu.RUnlock()
+	if fn == nil {
+		return nil, false
+	}
+	data, ok := fn(ref.Hash)
+	if !ok || int64(len(data)) != ref.Size || sha256.Sum256(data) != ref.Hash {
+		return nil, false
+	}
+	s := t.shardFor(ref.Hash)
+	s.mu.Lock()
+	obj, resident := s.objects[ref.Hash]
+	if !resident {
+		// A concurrent Put may have raced the fallback read; admit only
+		// the first copy.
+		obj = &object{hash: ref.Hash, data: append([]byte(nil), data...)}
+		s.objects[ref.Hash] = obj
+		s.bytes += int64(len(obj.data))
+		s.added++
+		s.bytesAdded += int64(len(obj.data))
+	}
+	s.fallbackHits++
+	if pin {
+		obj.pins++
+	}
+	s.moveFront(obj)
+	s.evictLocked(t.perShard, obj)
+	data = obj.data
 	s.mu.Unlock()
 	return data, true
 }
@@ -236,8 +292,11 @@ func (t *Tier) Pin(ref Ref) bool {
 	obj, ok := s.objects[ref.Hash]
 	if ok {
 		obj.pins++
+		s.mu.Unlock()
+		return true
 	}
 	s.mu.Unlock()
+	_, ok = t.fromFallback(ref, true)
 	return ok
 }
 
@@ -264,6 +323,7 @@ type Stats struct {
 	Evictions     int64 // objects evicted by the byte bound
 	BytesEvicted  int64
 	Pinned        int64 // currently pinned objects
+	FallbackHits  int64 // misses satisfied by the second-chance source
 }
 
 // Stats sums the per-shard counters.
@@ -280,6 +340,7 @@ func (t *Tier) Stats() Stats {
 		st.BytesDeduped += s.bytesDeduped
 		st.Evictions += s.evicted
 		st.BytesEvicted += s.bytesEvicted
+		st.FallbackHits += s.fallbackHits
 		for _, obj := range s.objects {
 			if obj.pins > 0 {
 				st.Pinned++

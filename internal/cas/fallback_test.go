@@ -1,0 +1,191 @@
+package cas_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"testing"
+
+	"popper/internal/cas"
+	"popper/internal/store"
+)
+
+// The second-chance fallback: a tier miss consults an external
+// content-addressed source (the artifact store's object pool in
+// production) and re-admits verified bytes instead of reporting the
+// miss — so eviction never costs a recompute for content the
+// repository still proves it holds.
+
+// flood pushes enough junk through the tier to evict every unpinned
+// object (single-shard tiers only).
+func flood(t *cas.Tier, budget int64) {
+	var n int64
+	for i := 0; n < 2*budget; i++ {
+		junk := bytes.Repeat([]byte{byte(i + 1)}, 128)
+		junk = append(junk, []byte(fmt.Sprintf("junk-%d", i))...)
+		t.Put(junk)
+		n += int64(len(junk))
+	}
+}
+
+func TestFallbackRestoresEvictedObject(t *testing.T) {
+	const budget = 1 << 10
+	tier := cas.NewTier(cas.Options{MaxBytes: budget, Shards: 1})
+	content := []byte("evicted but provable content")
+	ref := tier.Put(content)
+	source := map[[sha256.Size]byte][]byte{ref.Hash: content}
+	tier.SetFallback(func(h [sha256.Size]byte) ([]byte, bool) {
+		data, ok := source[h]
+		return data, ok
+	})
+	flood(tier, budget)
+	if tier.Contains(ref) {
+		t.Fatal("flood did not evict the object")
+	}
+	got, ok := tier.View(ref)
+	if !ok || !bytes.Equal(got, content) {
+		t.Fatalf("View after eviction = %q, %v; want fallback restore", got, ok)
+	}
+	if !tier.Contains(ref) {
+		t.Fatal("fallback hit must re-admit the object")
+	}
+	if st := tier.Stats(); st.FallbackHits != 1 {
+		t.Fatalf("FallbackHits = %d, want 1", st.FallbackHits)
+	}
+}
+
+func TestFallbackRejectsCorruptSource(t *testing.T) {
+	tier := cas.NewTier(cas.Options{Shards: 1})
+	ref := cas.Sum([]byte("the real content"))
+	// A source that serves wrong bytes for the address must not be
+	// believed — hash verification guards admission.
+	tier.SetFallback(func(h [sha256.Size]byte) ([]byte, bool) {
+		return []byte("corrupted content!!"), true
+	})
+	if _, ok := tier.View(ref); ok {
+		t.Fatal("corrupt fallback bytes must not satisfy a View")
+	}
+	if tier.Pin(ref) {
+		t.Fatal("corrupt fallback bytes must not satisfy a Pin")
+	}
+	if tier.Contains(ref) {
+		t.Fatal("corrupt bytes must not be admitted")
+	}
+	if st := tier.Stats(); st.FallbackHits != 0 {
+		t.Fatalf("FallbackHits = %d, want 0", st.FallbackHits)
+	}
+}
+
+func TestPinViaFallbackIsEvictionSafe(t *testing.T) {
+	const budget = 1 << 10
+	tier := cas.NewTier(cas.Options{MaxBytes: budget, Shards: 1})
+	content := []byte("pin me back in")
+	ref := tier.Put(content)
+	source := map[[sha256.Size]byte][]byte{ref.Hash: content}
+	tier.SetFallback(func(h [sha256.Size]byte) ([]byte, bool) {
+		data, ok := source[h]
+		return data, ok
+	})
+	flood(tier, budget)
+	if tier.Contains(ref) {
+		t.Fatal("flood did not evict the object")
+	}
+	// Pin on a miss restores AND pins: a second flood cannot push the
+	// object out while the pin holds.
+	if !tier.Pin(ref) {
+		t.Fatal("Pin must succeed via the fallback")
+	}
+	flood(tier, budget)
+	got, ok := tier.View(ref)
+	if !ok || !bytes.Equal(got, content) {
+		t.Fatal("pinned fallback-admitted object was evicted")
+	}
+	tier.Unpin(ref)
+	flood(tier, budget)
+	if tier.Contains(ref) {
+		t.Fatal("unpinned object must be evictable again")
+	}
+}
+
+// TestStoreObjectPoolBacksTheTier folds the artifact store's objects
+// into the tier lookup: content synced to the repository — packed into
+// an extent (small) or loose under .popper/objects (large) — is
+// restored on a tier miss through store.Object.
+func TestStoreObjectPoolBacksTheTier(t *testing.T) {
+	st := store.New(store.NewMemFS(1))
+	small := []byte("small enough to be packed into a generation extent")
+	large := bytes.Repeat([]byte("loose-object "), 1024) // > smallObjectMax
+	if _, err := st.Sync(map[string][]byte{
+		"exp/small.csv": small,
+		"exp/large.bin": large,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 1 << 10
+	tier := cas.NewTier(cas.Options{MaxBytes: budget, Shards: 1})
+	tier.SetFallback(st.Object)
+	for _, tc := range []struct {
+		name    string
+		content []byte
+	}{{"packed", small}, {"loose", large}} {
+		ref := cas.Sum(tc.content)
+		if tier.Contains(ref) {
+			t.Fatalf("%s: object resident before any admission", tc.name)
+		}
+		got, ok := tier.View(ref)
+		if !ok || !bytes.Equal(got, tc.content) {
+			t.Fatalf("%s: store-backed View failed (ok=%v)", tc.name, ok)
+		}
+	}
+	if st := tier.Stats(); st.FallbackHits != 2 {
+		t.Fatalf("FallbackHits = %d, want 2", st.FallbackHits)
+	}
+	// Content the store does not hold stays a miss.
+	if _, ok := tier.View(cas.Sum([]byte("never synced"))); ok {
+		t.Fatal("unknown content must still miss")
+	}
+}
+
+// TestConcurrentFallbackAdmission races many goroutines through the
+// miss path for the same address: exactly one copy is admitted, every
+// caller sees the right bytes (run under -race).
+func TestConcurrentFallbackAdmission(t *testing.T) {
+	tier := cas.NewTier(cas.Options{Shards: 1})
+	content := []byte("one admission, many readers")
+	ref := cas.Sum(content)
+	source := map[[sha256.Size]byte][]byte{ref.Hash: content}
+	tier.SetFallback(func(h [sha256.Size]byte) ([]byte, bool) {
+		data, ok := source[h]
+		return data, ok
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 32; i++ {
+		pin := i%2 == 0
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if pin {
+				if !tier.Pin(ref) {
+					errs <- fmt.Errorf("concurrent Pin failed")
+					return
+				}
+				tier.Unpin(ref)
+				return
+			}
+			got, ok := tier.View(ref)
+			if !ok || !bytes.Equal(got, content) {
+				errs <- fmt.Errorf("concurrent View failed (ok=%v)", ok)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if tier.Len() != 1 {
+		t.Fatalf("resident objects = %d, want exactly 1", tier.Len())
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"popper/internal/cluster"
 	"popper/internal/gasnet"
@@ -731,4 +733,68 @@ func lineFigure(x *ExecState, title, series string, xs, ys []float64) error {
 	}
 	x.FigureASCII, x.FigureSVG = ascii, svg
 	return nil
+}
+
+// adhocGenerated reports experiment-relative paths that are run
+// outputs rather than archived inputs — the ad-hoc replay must not
+// feed its own previous results back into the provenance table.
+func adhocGenerated(rel string) bool {
+	switch rel {
+	case "results.csv", "figure.txt", "figure.svg", FailuresFile:
+		return true
+	}
+	return strings.HasPrefix(rel, "sweep/")
+}
+
+// runAdhoc is the executable binding behind Popperized ad-hoc
+// experiments: every archived artifact (scripts, spreadsheets, the
+// convention files themselves) is replayed on one simulated node —
+// checksum-and-archive work charged per byte, per trial — and recorded
+// in a provenance table, so a freshly wrapped experiment runs end to
+// end and its skeleton validations hold before the author codifies the
+// real findings.
+func runAdhoc(x *ExecState) error {
+	machine := x.Param("machine", "cloudlab-c220g1")
+	trials, err := x.IntParam("trials", 3)
+	if err != nil {
+		return err
+	}
+	if trials <= 0 {
+		return fmt.Errorf("core: adhoc trials must be positive")
+	}
+	prefix := expPath(x.Name, "")
+	var paths []string
+	for path := range x.Project.Files {
+		if !strings.HasPrefix(path, prefix) {
+			continue
+		}
+		if rel := strings.TrimPrefix(path, prefix); !adhocGenerated(rel) {
+			paths = append(paths, rel)
+		}
+	}
+	sort.Strings(paths)
+	c := cluster.New(x.Seed())
+	ns, err := c.Provision(machine, 1)
+	if err != nil {
+		return err
+	}
+	node := ns[0]
+	results := table.New("file", "bytes", "time")
+	x.Results = results
+	var xs, ys []float64
+	for i, rel := range paths {
+		content := x.Project.Files[prefix+rel]
+		start := node.Now()
+		node.Run(cluster.Work{
+			CPUOps:   float64(trials) * (1e5 + 50*float64(len(content))),
+			Syscalls: float64(trials),
+		})
+		elapsed := node.Now() - start
+		results.MustAppend(table.String(rel), table.Number(float64(len(content))), table.Number(elapsed))
+		xs, ys = append(xs, float64(i+1)), append(ys, elapsed)
+		if err := x.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return lineFigure(x, "Ad-hoc artifact replay", machine, xs, ys)
 }

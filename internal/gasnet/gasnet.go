@@ -179,7 +179,9 @@ func New(nodes []*cluster.Node, net *cluster.Network, reg *metrics.Registry) (*W
 }
 
 // SetFaults installs a deterministic fault injector on the RDMA data
-// path (sites "gasnet/<op>/r<caller>" for op in put, get, putv, getv).
+// path (sites "gasnet/<op>/r<caller>" for op in put, get, putv, getv,
+// plus directed link sites "gasnet/link/r<caller>/r<target>" for every
+// remote access — the hook network-split rules partition pairs with).
 // Injected partitions and errors surface as typed *fault.Fault errors
 // (detect with fault.IsPartition / fault.As) before any byte moves, so
 // a failed transfer never leaves a segment half-written and idempotent
@@ -210,6 +212,27 @@ func (w *World) checkFault(op string, caller int) (float64, error) {
 		return f.Delay, nil
 	}
 	return 0, fmt.Errorf("gasnet: %s from rank %d: %w", op, caller, f)
+}
+
+// checkLink consults the injector for the directed caller→target link
+// of one remote access (site "gasnet/link/r<caller>/r<target>"). Local
+// accesses traverse no link. Link sites are what network-split rules
+// glob over — {site: "gasnet/link/r2/*", kind: partition} plus its
+// mirror isolates rank 2 — and they fire before any byte moves, so a
+// partitioned transfer never leaves a segment half-written. Injected
+// latency is returned to fold into the transfer cost.
+func (w *World) checkLink(op string, caller, target int) (float64, error) {
+	if w.faults == nil || caller == target {
+		return 0, nil
+	}
+	f := w.faults.Check(fmt.Sprintf("gasnet/link/r%d/r%d", caller, target))
+	if f == nil {
+		return 0, nil
+	}
+	if f.Kind == fault.Latency {
+		return f.Delay, nil
+	}
+	return 0, fmt.Errorf("gasnet: %s link r%d->r%d: %w", op, caller, target, f)
 }
 
 // Size returns the number of ranks.
@@ -342,6 +365,11 @@ func (w *World) PutFrom(caller int, target Addr, data []byte) error {
 	if err != nil {
 		return err
 	}
+	linkDelay, err := w.checkLink("put", caller, target.Rank)
+	if err != nil {
+		return err
+	}
+	delay += linkDelay
 	if delay > 0 {
 		w.nodes[caller].Advance(delay)
 	}
@@ -376,6 +404,11 @@ func (w *World) GetInto(caller int, target Addr, buf []byte) error {
 	if err != nil {
 		return err
 	}
+	linkDelay, err := w.checkLink("get", caller, target.Rank)
+	if err != nil {
+		return err
+	}
+	delay += linkDelay
 	if delay > 0 {
 		w.nodes[caller].Advance(delay)
 	}
@@ -440,6 +473,30 @@ func (w *World) vectored(caller int, addrs []Addr, bufs [][]byte, isGet, advance
 	elapsed, ferr := w.checkFault(op, caller)
 	if ferr != nil {
 		return 0, ferr
+	}
+	if w.faults != nil {
+		// Each distinct remote rank in the batch traverses its link once,
+		// in first-appearance order so the occurrence stream is stable.
+		for i, a := range addrs {
+			if a.Rank == caller {
+				continue
+			}
+			seen := false
+			for _, b := range addrs[:i] {
+				if b.Rank == a.Rank {
+					seen = true
+					break
+				}
+			}
+			if seen {
+				continue
+			}
+			delay, lerr := w.checkLink(op, caller, a.Rank)
+			if lerr != nil {
+				return 0, lerr
+			}
+			elapsed += delay
+		}
 	}
 	var localOps, remoteOps int64
 	var localBytes, remoteBytes int64

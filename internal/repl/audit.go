@@ -1,0 +1,160 @@
+package repl
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+)
+
+// Replica agreement auditing — what `popper fsck` prints for a
+// replicated repository. Agreement means: every live replica's tree at
+// its applied index is consistent with the primary's history (equal
+// tree hash once caught up), and no two live replicas disagree about
+// the same log position.
+
+// ReplicaStatus is one replica's audit line.
+type ReplicaStatus struct {
+	ID         int
+	Role       string
+	Down       bool
+	Epoch      int
+	Base       int
+	LastIndex  int
+	Commit     int
+	Applied    int
+	Generation int // committed manifest generation of the store
+	TreeHash   [sha256.Size]byte
+	Err        error // terminal store failure, if any
+}
+
+// AuditReport is the group-wide agreement picture.
+type AuditReport struct {
+	Quorum   int
+	Replicas []ReplicaStatus
+	// Lagging lists live replicas whose applied index trails the most
+	// advanced live replica (anti-entropy will catch them up).
+	Lagging []int
+	// Divergent lists live replicas whose tree disagrees with the most
+	// advanced replica's at the same applied index — real divergence,
+	// which quorum commits should make impossible.
+	Divergent []int
+}
+
+// Agreement reports whether every live, caught-up replica agrees.
+func (a *AuditReport) Agreement() bool { return len(a.Divergent) == 0 }
+
+// Converged reports full agreement with nobody lagging.
+func (a *AuditReport) Converged() bool {
+	return a.Agreement() && len(a.Lagging) == 0
+}
+
+// Format renders the audit the way fsck prints it.
+func (a *AuditReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- replica agreement (quorum %d of %d) --------\n", a.Quorum, len(a.Replicas))
+	for _, s := range a.Replicas {
+		state := s.Role
+		if s.Down {
+			state = "down"
+		}
+		fmt.Fprintf(&b, "replica %d: %-9s epoch %d, log [%d..%d], commit %d, applied %d, generation %d, tree %x\n",
+			s.ID, state, s.Epoch, s.Base, s.LastIndex, s.Commit, s.Applied, s.Generation, s.TreeHash[:6])
+		if s.Err != nil {
+			fmt.Fprintf(&b, "  stopped: %v\n", s.Err)
+		}
+	}
+	for _, id := range a.Lagging {
+		fmt.Fprintf(&b, "replica %d lags the quorum frontier (anti-entropy pending)\n", id)
+	}
+	for _, id := range a.Divergent {
+		fmt.Fprintf(&b, "replica %d DIVERGES from the primary history\n", id)
+	}
+	return b.String()
+}
+
+// Audit inspects every replica and classifies disagreement. It reads
+// state only — no messages move, so a partitioned group can still be
+// audited from the outside.
+func (g *Group) Audit() (*AuditReport, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rep := &AuditReport{Quorum: g.quorum()}
+	// The reference replica: the live one with the highest applied
+	// index (ties toward the primary, then the lowest id).
+	ref := -1
+	for _, r := range g.reps {
+		if r.down {
+			continue
+		}
+		if ref < 0 || r.applied > g.reps[ref].applied ||
+			(r.applied == g.reps[ref].applied && r.role == primary && g.reps[ref].role != primary) {
+			ref = r.id
+		}
+	}
+	for _, r := range g.reps {
+		s := ReplicaStatus{
+			ID: r.id, Role: r.role.String(), Down: r.down,
+			Epoch: r.epoch, Base: r.base, LastIndex: r.lastIndex(),
+			Commit: r.commit, Applied: r.applied, Err: r.applyErr,
+		}
+		if man, err := r.st.Manifest(); err == nil && man != nil {
+			s.Generation = man.Generation
+		}
+		hash, err := r.st.TreeHash()
+		if err != nil {
+			if r.applyErr == nil {
+				return nil, fmt.Errorf("repl: audit replica %d: %w", r.id, err)
+			}
+		} else {
+			s.TreeHash = hash
+		}
+		rep.Replicas = append(rep.Replicas, s)
+		if r.down || ref < 0 || r.id == ref {
+			continue
+		}
+		refRep := g.reps[ref]
+		switch {
+		case r.applied < refRep.applied:
+			// Behind: divergence is only provable at a shared position —
+			// compare the digest chains where both logs overlap.
+			if d, ok := overlapDigest(r, refRep); ok && d {
+				rep.Divergent = append(rep.Divergent, r.id)
+			} else {
+				rep.Lagging = append(rep.Lagging, r.id)
+			}
+		case r.applied == refRep.applied:
+			if rep.Replicas[len(rep.Replicas)-1].TreeHash != mustTree(refRep) {
+				rep.Divergent = append(rep.Divergent, r.id)
+			}
+		default:
+			// Ahead of the reference primary: an orphaned tail.
+			rep.Divergent = append(rep.Divergent, r.id)
+		}
+	}
+	return rep, nil
+}
+
+// overlapDigest compares the two replicas' identity digests at the
+// highest log position both can witness; reports (diverged, provable).
+func overlapDigest(a, b *replica) (bool, bool) {
+	hi := a.lastIndex()
+	if bHi := b.lastIndex(); bHi < hi {
+		hi = bHi
+	}
+	lo := a.base
+	if b.base > lo {
+		lo = b.base
+	}
+	for i := hi; i >= lo; i-- {
+		if i < a.base || i < b.base || i > a.lastIndex() || i > b.lastIndex() {
+			continue
+		}
+		return a.digestAt(i) != b.digestAt(i), true
+	}
+	return false, false
+}
+
+func mustTree(r *replica) [sha256.Size]byte {
+	h, _ := r.st.TreeHash()
+	return h
+}

@@ -1,0 +1,338 @@
+package repl
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// The replicated log. Each record is one store mutation — a workspace
+// Sync or an incremental Put — sealed with a content digest. Log
+// positions are identified by (index, digest) rather than (index,
+// epoch): a primary that fails to reach quorum truncates its own
+// proposal and may later accept a different record at the same index
+// in the same epoch, so digests are what consistency checks compare.
+
+// recKind enumerates the operations the log replicates.
+type recKind uint8
+
+const (
+	// RecNoop is the barrier a freshly elected primary commits to learn
+	// the durable frontier of its log (the standard new-leader no-op).
+	// It does not touch the store, so replica trees stay byte-identical
+	// to a run that never failed over.
+	RecNoop recKind = iota + 1
+	// RecSync replicates a full workspace sync (store.Sync).
+	RecSync
+	// RecPut replicates one durable artifact write (store.Put).
+	RecPut
+)
+
+// Record is one entry in the replicated log.
+type Record struct {
+	Index int
+	Epoch int
+	Kind  recKind
+	Path  string            // RecPut
+	Data  []byte            // RecPut
+	Files map[string][]byte // RecSync
+
+	digest [sha256.Size]byte
+}
+
+// seal computes the record's content digest. Called once when the
+// primary appends the record; the digest then travels with it.
+func (r *Record) seal() {
+	var e encoder
+	r.encodeBody(&e)
+	r.digest = sha256.Sum256(e.buf)
+}
+
+// Digest returns the sealed content digest.
+func (r *Record) Digest() [sha256.Size]byte { return r.digest }
+
+func (r *Record) encodeBody(e *encoder) {
+	e.u64(uint64(r.Index))
+	e.u64(uint64(r.Epoch))
+	e.u8(uint8(r.Kind))
+	e.str(r.Path)
+	e.bytes(r.Data)
+	e.fileMap(r.Files)
+}
+
+// --- wire format -----------------------------------------------------
+//
+// Messages are length-framed binary, trailed by a sha256 checksum of
+// the payload so a decoder never acts on torn or corrupted bytes. All
+// maps are encoded in sorted path order — the stream is a pure
+// function of the message value.
+
+type msgKind uint8
+
+const (
+	msgAppend msgKind = iota + 1
+	msgAppendResp
+	msgVote
+	msgVoteResp
+	msgSnapshot
+)
+
+// message is the single RPC envelope; which fields are meaningful
+// depends on Kind.
+type message struct {
+	Kind  msgKind
+	From  int
+	Epoch int
+
+	// msgAppend: records (PrevIndex, PrevIndex+len(Records)] with the
+	// consistency digest of the record at PrevIndex; Commit is the
+	// primary's commit index. TruncateTo > 0 orders the follower to
+	// drop any suffix beyond it (quorum-failure rollback).
+	PrevIndex  int
+	PrevDigest [sha256.Size]byte
+	Records    []Record
+	Commit     int
+	TruncateTo int
+
+	// msgAppendResp: OK accepts through MatchIndex; !OK rejects with
+	// MatchIndex as the walk-back hint. NeedSnapshot asks for a full
+	// image install instead of log replay.
+	OK           bool
+	MatchIndex   int
+	NeedSnapshot bool
+
+	// msgVote: the candidate's log frontier; msgVoteResp: Granted.
+	LastIndex int
+	LastEpoch int
+	Granted   bool
+
+	// msgSnapshot: the primary's full tree image at Base (its applied
+	// index), with the identity digest the follower adopts for it.
+	Image      map[string][]byte
+	Base       int
+	BaseEpoch  int
+	BaseDigest [sha256.Size]byte
+}
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
+
+func (e *encoder) u64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.u64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *encoder) str(s string) {
+	e.u64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) hash(h [sha256.Size]byte) { e.buf = append(e.buf, h[:]...) }
+
+func (e *encoder) fileMap(m map[string][]byte) {
+	paths := make([]string, 0, len(m))
+	for p := range m {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	e.u64(uint64(len(paths)))
+	for _, p := range paths {
+		e.str(p)
+		e.bytes(m[p])
+	}
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("repl: decode: truncated %s at offset %d", what, d.off)
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail("u8")
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail("u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) bytes() []byte {
+	n := d.u64()
+	if d.err != nil || uint64(len(d.buf)-d.off) < n {
+		d.fail("bytes")
+		return nil
+	}
+	v := append([]byte(nil), d.buf[d.off:d.off+int(n)]...)
+	d.off += int(n)
+	return v
+}
+
+func (d *decoder) str() string { return string(d.bytes()) }
+
+func (d *decoder) hash() (h [sha256.Size]byte) {
+	if d.err != nil || d.off+sha256.Size > len(d.buf) {
+		d.fail("hash")
+		return h
+	}
+	copy(h[:], d.buf[d.off:])
+	d.off += sha256.Size
+	return h
+}
+
+func (d *decoder) fileMap() map[string][]byte {
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	m := make(map[string][]byte, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		p := d.str()
+		m[p] = d.bytes()
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}
+
+func encodeRecord(e *encoder, r Record) {
+	r.encodeBody(e)
+	e.hash(r.digest)
+}
+
+func decodeRecord(d *decoder) Record {
+	r := Record{
+		Index: int(d.u64()),
+		Epoch: int(d.u64()),
+		Kind:  recKind(d.u8()),
+		Path:  d.str(),
+		Data:  d.bytes(),
+		Files: d.fileMap(),
+	}
+	r.digest = d.hash()
+	if d.err == nil {
+		check := r
+		check.seal()
+		if check.digest != r.digest {
+			d.err = fmt.Errorf("repl: decode: record %d digest mismatch", r.Index)
+		}
+	}
+	return r
+}
+
+// encodeMessage renders the full envelope plus a trailing checksum.
+func encodeMessage(m message) []byte {
+	var e encoder
+	e.u8(uint8(m.Kind))
+	e.u64(uint64(m.From))
+	e.u64(uint64(m.Epoch))
+	e.u64(uint64(m.PrevIndex))
+	e.hash(m.PrevDigest)
+	e.u64(uint64(len(m.Records)))
+	for _, r := range m.Records {
+		encodeRecord(&e, r)
+	}
+	e.u64(uint64(m.Commit))
+	e.u64(uint64(m.TruncateTo))
+	e.bool(m.OK)
+	e.u64(uint64(m.MatchIndex))
+	e.bool(m.NeedSnapshot)
+	e.u64(uint64(m.LastIndex))
+	e.u64(uint64(m.LastEpoch))
+	e.bool(m.Granted)
+	e.fileMap(m.Image)
+	e.u64(uint64(m.Base))
+	e.u64(uint64(m.BaseEpoch))
+	e.hash(m.BaseDigest)
+	sum := sha256.Sum256(e.buf)
+	e.hash(sum)
+	return e.buf
+}
+
+// decodeMessage parses and verifies one envelope.
+func decodeMessage(raw []byte) (message, error) {
+	if len(raw) < sha256.Size {
+		return message{}, fmt.Errorf("repl: decode: message shorter than its checksum")
+	}
+	body, tail := raw[:len(raw)-sha256.Size], raw[len(raw)-sha256.Size:]
+	var want [sha256.Size]byte
+	copy(want[:], tail)
+	if sha256.Sum256(body) != want {
+		return message{}, fmt.Errorf("repl: decode: message checksum mismatch")
+	}
+	d := &decoder{buf: body}
+	m := message{
+		Kind:       msgKind(d.u8()),
+		From:       int(d.u64()),
+		Epoch:      int(d.u64()),
+		PrevIndex:  int(d.u64()),
+		PrevDigest: d.hash(),
+	}
+	if n := d.u64(); d.err == nil {
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			m.Records = append(m.Records, decodeRecord(d))
+		}
+	}
+	m.Commit = int(d.u64())
+	m.TruncateTo = int(d.u64())
+	m.OK = d.bool()
+	m.MatchIndex = int(d.u64())
+	m.NeedSnapshot = d.bool()
+	m.LastIndex = int(d.u64())
+	m.LastEpoch = int(d.u64())
+	m.Granted = d.bool()
+	m.Image = d.fileMap()
+	m.Base = int(d.u64())
+	m.BaseEpoch = int(d.u64())
+	m.BaseDigest = d.hash()
+	if d.err != nil {
+		return message{}, d.err
+	}
+	return m, nil
+}
+
+// copyFiles snapshots a workspace map into a record payload, so later
+// caller mutations cannot retroactively change a sealed record.
+func copyFiles(files map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte, len(files))
+	for p, c := range files {
+		out[p] = append([]byte(nil), c...)
+	}
+	return out
+}

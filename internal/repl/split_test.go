@@ -1,0 +1,277 @@
+package repl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"popper/internal/fault"
+	"popper/internal/store"
+)
+
+// The network-split convergence matrix behind `make split`: a fixed
+// operation schedule is driven into a replica group while the matrix
+// enumerates single-node crashes at every operation boundary, minority
+// partitions with every cut/heal point, and (for N=5) a two-node
+// minority. After every failure the quorum must keep serving
+// read-your-writes, and after every heal the converged repository must
+// be byte-identical — every replica, every file — to a plain
+// single-store run that never failed. CHAOS_SEED varies the fault
+// universe per `make split` iteration.
+
+// splitOp is one schedule step: a workspace sync or a durable put,
+// plus the read-your-writes probe that must observe it.
+type splitOp struct {
+	name      string
+	do        func(g *Group) error
+	probePath string
+	probeWant []byte
+	ref       func(st *store.Store) error
+}
+
+func splitSchedule() []splitOp {
+	var ops []splitOp
+	for gen := 1; gen <= 3; gen++ {
+		gen := gen
+		ops = append(ops, splitOp{
+			name:      fmt.Sprintf("sync-%d", gen),
+			do:        func(g *Group) error { _, err := g.Sync(ws(gen)); return err },
+			probePath: "exp/vars.yml",
+			probeWant: ws(gen)["exp/vars.yml"],
+			ref:       func(st *store.Store) error { _, err := st.Sync(ws(gen)); return err },
+		})
+		journal := []byte(fmt.Sprintf("gen,done\n%d,true\n", gen))
+		ops = append(ops, splitOp{
+			name:      fmt.Sprintf("put-%d", gen),
+			do:        func(g *Group) error { return g.Put("exp/journal.csv", journal) },
+			probePath: "exp/journal.csv",
+			probeWant: journal,
+			ref:       func(st *store.Store) error { return st.Put("exp/journal.csv", journal) },
+		})
+	}
+	return ops
+}
+
+// referenceImage runs the schedule on a plain single store — the
+// unfailed serial run every converged group must reproduce exactly.
+func referenceImage(t *testing.T, seed int64) map[string][]byte {
+	t.Helper()
+	st := store.New(store.NewMemFS(seed))
+	for _, op := range splitSchedule() {
+		if err := op.ref(st); err != nil {
+			t.Fatalf("reference %s: %v", op.name, err)
+		}
+	}
+	img, err := st.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// retryOp applies one schedule op, riding out a failover: a quorum
+// refusal or fenced read means the old primary just lost its epoch —
+// tick past an election window and try again. The rollback guarantee
+// makes the retry exactly-once.
+func retryOp(t *testing.T, g *Group, op splitOp) {
+	t.Helper()
+	for attempt := 0; ; attempt++ {
+		err := op.do(g)
+		if err == nil {
+			return
+		}
+		var q *QuorumError
+		if (errors.As(err, &q) || errors.Is(err, ErrNoPrimary)) && attempt < 3 {
+			g.Tick(3.0)
+			continue
+		}
+		t.Fatalf("%s: %v", op.name, err)
+	}
+}
+
+// probe asserts read-your-writes at the quorum for the op just applied.
+func probe(t *testing.T, g *Group, op splitOp) {
+	t.Helper()
+	for attempt := 0; ; attempt++ {
+		got, err := g.Read(op.probePath)
+		if err != nil {
+			if errors.Is(err, ErrNoPrimary) && attempt < 3 {
+				g.Tick(3.0)
+				continue
+			}
+			t.Fatalf("read-your-writes probe after %s: %v", op.name, err)
+		}
+		if !bytes.Equal(got, op.probeWant) {
+			t.Fatalf("read-your-writes violated after %s: got %q want %q", op.name, got, op.probeWant)
+		}
+		return
+	}
+}
+
+// wantConvergedToReference asserts every replica's tree equals the
+// unfailed serial image byte-for-byte.
+func wantConvergedToReference(t *testing.T, g *Group, ref map[string][]byte, scenario string) {
+	t.Helper()
+	for id := 0; id < g.Size(); id++ {
+		if g.Down(id) {
+			t.Fatalf("%s: replica %d still down after heal", scenario, id)
+		}
+		img, err := g.Store(id).Image()
+		if err != nil {
+			t.Fatalf("%s: replica %d image: %v", scenario, id, err)
+		}
+		if len(img) != len(ref) {
+			t.Fatalf("%s: replica %d holds %d files, unfailed reference %d", scenario, id, len(img), len(ref))
+		}
+		for path, content := range ref {
+			if !bytes.Equal(img[path], content) {
+				t.Fatalf("%s: replica %d diverges from the unfailed run at %s:\n got %q\nwant %q",
+					scenario, id, path, img[path], content)
+			}
+		}
+	}
+	aud, err := g.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aud.Converged() {
+		t.Fatalf("%s: audit disagrees:\n%s", scenario, aud.Format())
+	}
+}
+
+// TestSplitMatrixSingleNodeCrash crashes every replica at every
+// operation boundary: the quorum keeps serving, the restarted replica
+// is healed by anti-entropy, and the converged tree is byte-identical
+// to the unfailed run.
+func TestSplitMatrixSingleNodeCrash(t *testing.T) {
+	seed := chaosSeed(t)
+	ops := splitSchedule()
+	ref := referenceImage(t, seed)
+	for victim := 0; victim < 3; victim++ {
+		for point := 0; point <= len(ops); point++ {
+			scenario := fmt.Sprintf("crash r%d before op %d", victim, point)
+			g := memGroup(t, 3, seed)
+			for i, op := range ops {
+				if i == point {
+					g.Crash(victim)
+				}
+				retryOp(t, g, op)
+				probe(t, g, op)
+			}
+			if point == len(ops) {
+				g.Crash(victim)
+			}
+			g.Restart(victim)
+			g.Tick(1.0) // heartbeat anti-entropy catches the rejoiner up
+			if err := g.Heal(); err != nil {
+				t.Fatalf("%s: heal: %v", scenario, err)
+			}
+			wantConvergedToReference(t, g, ref, scenario)
+		}
+	}
+}
+
+// TestSplitMatrixMinorityPartition cuts each replica into a minority
+// at every boundary, heals two operations later (or at the end), and
+// demands convergence to the unfailed run. When the cut replica was
+// the primary this exercises epoch-bumping failover and stale-primary
+// fencing; when it was a follower, plain quorum progress.
+func TestSplitMatrixMinorityPartition(t *testing.T) {
+	seed := chaosSeed(t)
+	ops := splitSchedule()
+	ref := referenceImage(t, seed)
+	for victim := 0; victim < 3; victim++ {
+		for cut := 0; cut < len(ops); cut++ {
+			heal := cut + 2
+			if heal > len(ops) {
+				heal = len(ops)
+			}
+			scenario := fmt.Sprintf("partition r%d at op %d, heal at %d", victim, cut, heal)
+			g := memGroup(t, 3, seed)
+			for i, op := range ops {
+				if i == cut {
+					g.SetFaults(fault.NewInjector(seed, linkPartitionRules(victim)))
+				}
+				if i == heal {
+					g.SetFaults(nil)
+				}
+				retryOp(t, g, op)
+				probe(t, g, op)
+			}
+			g.SetFaults(nil)
+			g.Tick(3.0)
+			if err := g.Heal(); err != nil {
+				t.Fatalf("%s: heal: %v", scenario, err)
+			}
+			wantConvergedToReference(t, g, ref, scenario)
+		}
+	}
+}
+
+// TestSplitMatrixFiveReplicas runs the wider group through a two-node
+// minority partition (primary included — double failover pressure) and
+// a staggered crash pair, proving the same byte-identity at N=5.
+func TestSplitMatrixFiveReplicas(t *testing.T) {
+	seed := chaosSeed(t)
+	ops := splitSchedule()
+	ref := referenceImage(t, seed)
+
+	// Two-node minority {0,1}: rules isolate both from the rest, but
+	// not from each other — the pair agrees with itself and still must
+	// not commit anything.
+	rules := []fault.Rule{
+		{Site: "gasnet/link/r0/r2", Kind: fault.Partition, Prob: 1},
+		{Site: "gasnet/link/r0/r3", Kind: fault.Partition, Prob: 1},
+		{Site: "gasnet/link/r0/r4", Kind: fault.Partition, Prob: 1},
+		{Site: "gasnet/link/r1/r2", Kind: fault.Partition, Prob: 1},
+		{Site: "gasnet/link/r1/r3", Kind: fault.Partition, Prob: 1},
+		{Site: "gasnet/link/r1/r4", Kind: fault.Partition, Prob: 1},
+		{Site: "gasnet/link/r2/r0", Kind: fault.Partition, Prob: 1},
+		{Site: "gasnet/link/r3/r0", Kind: fault.Partition, Prob: 1},
+		{Site: "gasnet/link/r4/r0", Kind: fault.Partition, Prob: 1},
+		{Site: "gasnet/link/r2/r1", Kind: fault.Partition, Prob: 1},
+		{Site: "gasnet/link/r3/r1", Kind: fault.Partition, Prob: 1},
+		{Site: "gasnet/link/r4/r1", Kind: fault.Partition, Prob: 1},
+	}
+	g := memGroup(t, 5, seed)
+	for i, op := range ops {
+		if i == 1 {
+			g.SetFaults(fault.NewInjector(seed, rules))
+		}
+		if i == 4 {
+			g.SetFaults(nil)
+		}
+		retryOp(t, g, op)
+		probe(t, g, op)
+	}
+	g.SetFaults(nil)
+	g.Tick(3.0)
+	if err := g.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	wantConvergedToReference(t, g, ref, "five-replica pair partition")
+
+	// Staggered crashes: two replicas down at once still leaves a
+	// quorum of three; both heal on restart.
+	g2 := memGroup(t, 5, seed+1)
+	for i, op := range ops {
+		switch i {
+		case 1:
+			g2.Crash(1)
+		case 2:
+			g2.Crash(4)
+		case 4:
+			g2.Restart(1)
+			g2.Tick(1.0)
+		}
+		retryOp(t, g2, op)
+		probe(t, g2, op)
+	}
+	g2.Restart(4)
+	g2.Tick(1.0)
+	if err := g2.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	wantConvergedToReference(t, g2, ref, "five-replica staggered crashes")
+}
