@@ -79,18 +79,9 @@ func (g *Group) Audit() (*AuditReport, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	rep := &AuditReport{Quorum: g.quorum()}
-	// The reference replica: the live one with the highest applied
-	// index (ties toward the primary, then the lowest id).
-	ref := -1
-	for _, r := range g.reps {
-		if r.down {
-			continue
-		}
-		if ref < 0 || r.applied > g.reps[ref].applied ||
-			(r.applied == g.reps[ref].applied && r.role == primary && g.reps[ref].role != primary) {
-			ref = r.id
-		}
-	}
+	// Pass one: snapshot every replica's status. A store read failure on
+	// a replica that has not already stopped is an audit error, not a
+	// divergence verdict — a zero hash must never enter a comparison.
 	for _, r := range g.reps {
 		s := ReplicaStatus{
 			ID: r.id, Role: r.role.String(), Down: r.down,
@@ -109,10 +100,29 @@ func (g *Group) Audit() (*AuditReport, error) {
 			s.TreeHash = hash
 		}
 		rep.Replicas = append(rep.Replicas, s)
-		if r.down || ref < 0 || r.id == ref {
+	}
+	// The reference replica: the live one with the highest applied
+	// index (ties toward the primary, then the lowest id).
+	ref := -1
+	for _, r := range g.reps {
+		if r.down {
 			continue
 		}
-		refRep := g.reps[ref]
+		if ref < 0 || r.applied > g.reps[ref].applied ||
+			(r.applied == g.reps[ref].applied && r.role == primary && g.reps[ref].role != primary) {
+			ref = r.id
+		}
+	}
+	if ref < 0 {
+		return rep, nil
+	}
+	// Pass two: classify each live replica against the reference using
+	// the hashes computed above.
+	refRep := g.reps[ref]
+	for _, r := range g.reps {
+		if r.down || r.id == ref {
+			continue
+		}
 		switch {
 		case r.applied < refRep.applied:
 			// Behind: divergence is only provable at a shared position —
@@ -123,7 +133,7 @@ func (g *Group) Audit() (*AuditReport, error) {
 				rep.Lagging = append(rep.Lagging, r.id)
 			}
 		case r.applied == refRep.applied:
-			if rep.Replicas[len(rep.Replicas)-1].TreeHash != mustTree(refRep) {
+			if rep.Replicas[r.id].TreeHash != rep.Replicas[ref].TreeHash {
 				rep.Divergent = append(rep.Divergent, r.id)
 			}
 		default:
@@ -152,9 +162,4 @@ func overlapDigest(a, b *replica) (bool, bool) {
 		return a.digestAt(i) != b.digestAt(i), true
 	}
 	return false, false
-}
-
-func mustTree(r *replica) [sha256.Size]byte {
-	h, _ := r.st.TreeHash()
-	return h
 }

@@ -66,6 +66,7 @@ func (g *Group) electLocked(r *replica) {
 	req := message{
 		Kind: msgVote, From: r.id, Epoch: r.epoch,
 		LastIndex: r.lastIndex(), LastEpoch: r.lastEpoch(),
+		LastDigest: r.digestAt(r.lastIndex()),
 	}
 	for _, peer := range g.reps {
 		if peer.id == r.id {
@@ -121,7 +122,10 @@ func (g *Group) resetCursorsLocked(ldr *replica) {
 // actively rolled back — truncated from the primary's log and from
 // every reachable follower that acknowledged it — so a failed
 // operation leaves the repository exactly as if never attempted (the
-// property the split matrix's unfailed reference run relies on).
+// property the split matrix's unfailed reference run relies on). The
+// rollback burns the index: the primary steps down into a fresh epoch,
+// so no later proposal can reuse the (epoch, index) pair a follower the
+// rollback could not reach may still associate with the dead record.
 func (g *Group) commitLocked(ldr *replica, rec Record, op string) error {
 	rec.Index = ldr.lastIndex() + 1
 	rec.Epoch = ldr.epoch
@@ -129,12 +133,16 @@ func (g *Group) commitLocked(ldr *replica, rec Record, op string) error {
 	ldr.log = append(ldr.log, rec)
 	count := g.replicateLocked(ldr, rec.Index)
 	if ldr.role != primary {
-		// Deposed mid-commit by a higher epoch. The new primary's
-		// anti-entropy decides the record's fate; report not-committed.
-		return &QuorumError{Op: op, Need: g.quorum(), Got: count}
+		// Deposed mid-commit by a higher epoch. The record stays in this
+		// log and the new primary's anti-entropy decides its fate — it may
+		// yet commit, so the outcome is unknown, not rolled back.
+		return &QuorumError{Op: op, Need: g.quorum(), Got: count, OutcomeUnknown: true}
 	}
 	if count < g.quorum() {
 		g.rollbackLocked(ldr, rec.Index)
+		if ldr.role == primary {
+			g.stepDownLocked(ldr, ldr.epoch+1)
+		}
 		return &QuorumError{Op: op, Need: g.quorum(), Got: count}
 	}
 	ldr.commit = rec.Index
@@ -218,10 +226,18 @@ func (g *Group) syncPeerLocked(ldr *replica, peer, target int) bool {
 			continue
 		}
 		prev := next - 1
+		hi := target
+		if prev > hi {
+			// The peer's cursor already passed target (confirm rounds
+			// replicate toward the commit index, which trails any tail of
+			// uncommitted inherited records): probe at prev with an empty
+			// batch rather than slicing backwards.
+			hi = prev
+		}
 		m := message{
 			Kind: msgAppend, From: ldr.id, Epoch: ldr.epoch,
 			PrevIndex: prev, PrevDigest: ldr.digestAt(prev),
-			Records: ldr.log[prev-ldr.base : target-ldr.base],
+			Records: ldr.log[prev-ldr.base : hi-ldr.base],
 			Commit:  ldr.commit,
 		}
 		resp, err := g.rpc(ldr.id, peer, m)
@@ -444,7 +460,12 @@ func (g *Group) onAppendLocked(r *replica, m message) message {
 
 // onVoteLocked grants a vote to a higher-epoch candidate whose log is
 // at least as complete as ours — the rule that guarantees an elected
-// primary holds every committed record.
+// primary holds every committed record. Index burning (commitLocked)
+// keeps (epoch, index) frontiers unambiguous; the digest tiebreak at an
+// exactly equal frontier is defense in depth: if a rolled-back record
+// ever does share a frontier with committed history, the stale
+// candidate fails to assemble a quorum (every vote quorum intersects
+// the commit quorum) instead of overwriting committed data.
 func (g *Group) onVoteLocked(r *replica, m message) message {
 	resp := message{Kind: msgVoteResp, From: r.id, Epoch: r.epoch}
 	if m.Epoch <= r.epoch {
@@ -457,7 +478,9 @@ func (g *Group) onVoteLocked(r *replica, m message) message {
 	}
 	resp.Epoch = r.epoch
 	upToDate := m.LastEpoch > r.lastEpoch() ||
-		(m.LastEpoch == r.lastEpoch() && m.LastIndex >= r.lastIndex())
+		(m.LastEpoch == r.lastEpoch() && m.LastIndex > r.lastIndex()) ||
+		(m.LastEpoch == r.lastEpoch() && m.LastIndex == r.lastIndex() &&
+			m.LastDigest == r.digestAt(r.lastIndex()))
 	if upToDate && r.votedFor == -1 {
 		r.votedFor = m.From
 		r.lastHeard = g.clock

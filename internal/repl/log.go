@@ -8,11 +8,13 @@ import (
 )
 
 // The replicated log. Each record is one store mutation — a workspace
-// Sync or an incremental Put — sealed with a content digest. Log
-// positions are identified by (index, digest) rather than (index,
-// epoch): a primary that fails to reach quorum truncates its own
-// proposal and may later accept a different record at the same index
-// in the same epoch, so digests are what consistency checks compare.
+// Sync or an incremental Put — sealed with a content digest. A primary
+// that fails to reach quorum truncates its own proposal and burns the
+// index by stepping down into a fresh epoch (commitLocked), so an
+// (epoch, index) pair names at most one record even when the rollback
+// could not reach every follower that acknowledged it. Digests are
+// still what consistency checks compare — they catch divergence that
+// epochs alone cannot prove, and back the vote-time frontier tiebreak.
 
 // recKind enumerates the operations the log replicates.
 type recKind uint8
@@ -102,10 +104,13 @@ type message struct {
 	MatchIndex   int
 	NeedSnapshot bool
 
-	// msgVote: the candidate's log frontier; msgVoteResp: Granted.
-	LastIndex int
-	LastEpoch int
-	Granted   bool
+	// msgVote: the candidate's log frontier, with the identity digest of
+	// its frontier position (the equal-frontier vote tiebreak);
+	// msgVoteResp: Granted.
+	LastIndex  int
+	LastEpoch  int
+	LastDigest [sha256.Size]byte
+	Granted    bool
 
 	// msgSnapshot: the primary's full tree image at Base (its applied
 	// index), with the identity digest the follower adopts for it.
@@ -275,6 +280,7 @@ func encodeMessage(m message) []byte {
 	e.bool(m.NeedSnapshot)
 	e.u64(uint64(m.LastIndex))
 	e.u64(uint64(m.LastEpoch))
+	e.hash(m.LastDigest)
 	e.bool(m.Granted)
 	e.fileMap(m.Image)
 	e.u64(uint64(m.Base))
@@ -316,6 +322,7 @@ func decodeMessage(raw []byte) (message, error) {
 	m.NeedSnapshot = d.bool()
 	m.LastIndex = int(d.u64())
 	m.LastEpoch = int(d.u64())
+	m.LastDigest = d.hash()
 	m.Granted = d.bool()
 	m.Image = d.fileMap()
 	m.Base = int(d.u64())

@@ -99,16 +99,25 @@ func (o *Options) defaults() {
 }
 
 // QuorumError reports an operation the primary could not commit: fewer
-// than a majority of replicas acknowledged it. The proposal is rolled
-// back everywhere it reached, so the repository state is as if the
-// operation was never attempted.
+// than a majority of replicas acknowledged it. Unless OutcomeUnknown is
+// set, the proposal was rolled back everywhere it reached, so the
+// repository state is as if the operation was never attempted.
 type QuorumError struct {
 	Op   string
 	Need int
 	Got  int
+	// OutcomeUnknown marks a proposal the primary could not roll back:
+	// a higher epoch deposed it mid-commit, the record stays in its log,
+	// and the new primary's anti-entropy decides whether it commits.
+	// Callers must not assume the operation had no effect — blindly
+	// retrying is safe only for idempotent operations.
+	OutcomeUnknown bool
 }
 
 func (e *QuorumError) Error() string {
+	if e.OutcomeUnknown {
+		return fmt.Sprintf("repl: %s not acknowledged: primary deposed mid-commit after %d/%d replicas; outcome unknown (the new primary's anti-entropy decides the record's fate)", e.Op, e.Got, e.Need)
+	}
 	return fmt.Sprintf("repl: %s not committed: %d/%d replicas reachable, quorum not met; the operation was rolled back", e.Op, e.Got, e.Need)
 }
 
@@ -422,16 +431,24 @@ func (g *Group) Epoch() int {
 
 // Heal drives anti-entropy to completion: the primary pushes its
 // committed log (or snapshots) to every reachable replica. Crashed or
-// partitioned replicas are skipped; call again after they return.
+// partitioned replicas are skipped; call again after they return. A
+// rejoining replica can depose the primary mid-push (a failed write on
+// the other side of a split leaves it with an inflated epoch), so Heal
+// re-elects and retries until a primary survives its own push.
 func (g *Group) Heal() error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	ldr, err := g.ensureLeaderLocked()
-	if err != nil {
-		return err
+	for round := 0; round < maxElectionRounds; round++ {
+		ldr, err := g.ensureLeaderLocked()
+		if err != nil {
+			return err
+		}
+		g.replicateLocked(ldr, ldr.lastIndex())
+		if ldr.role == primary {
+			return nil
+		}
 	}
-	g.replicateLocked(ldr, ldr.lastIndex())
-	return nil
+	return ErrNoPrimary
 }
 
 // LoadCacheState and SaveCacheState delegate the advisory stage-cache

@@ -179,14 +179,30 @@ func TestMinorityPartitionedPrimaryIsFenced(t *testing.T) {
 	// Cut the primary (replica 0) off from both followers.
 	g.SetFaults(fault.NewInjector(seed, linkPartitionRules(0)))
 
-	// Writes through the stale primary fail quorum and roll back.
+	// Reads are fenced: the cut-off primary cannot confirm leadership.
+	if _, err := g.Load(); !errors.Is(err, ErrNoPrimary) {
+		t.Fatalf("minority read error = %v, want ErrNoPrimary", err)
+	}
+	// Writes through the stale primary fail quorum and roll back — and
+	// the rollback burns the index: the primary steps down into a fresh
+	// epoch, so no proposal can ever reuse the (epoch, index) pair a
+	// missed follower might still hold.
 	var qerr *QuorumError
 	if _, err := g.Sync(ws(2)); !errors.As(err, &qerr) {
 		t.Fatalf("minority write error = %v, want *QuorumError", err)
 	}
-	// Reads are fenced too: the stale primary cannot confirm leadership.
-	if _, err := g.Load(); !errors.Is(err, ErrNoPrimary) {
-		t.Fatalf("minority read error = %v, want ErrNoPrimary", err)
+	if qerr.OutcomeUnknown {
+		t.Fatalf("quorum-failure rollback misreported as outcome-unknown: %v", qerr)
+	}
+	aud, err := g.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aud.Replicas[0].Role == "primary" {
+		t.Fatal("primary kept its role after a failed-quorum rollback (index not burned)")
+	}
+	if aud.Replicas[0].Epoch < 2 {
+		t.Fatalf("failed-quorum rollback did not bump the epoch: %d", aud.Replicas[0].Epoch)
 	}
 	// The majority side elects a fresh epoch and serves read-your-writes.
 	g.Tick(3.0)
@@ -212,7 +228,7 @@ func TestMinorityPartitionedPrimaryIsFenced(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantIdenticalTrees(t, g, p)
-	aud, err := g.Audit()
+	aud, err = g.Audit()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,6 +342,163 @@ func TestNoQuorumRefusesWrites(t *testing.T) {
 		t.Fatalf("rolled-back write leaked: %q", got)
 	}
 	wantIdenticalTrees(t, g, 0)
+}
+
+// TestStaleRolledBackRecordCannotWinElection reconstructs the
+// committed-data-loss scenario the vote-time digest tiebreak (and
+// index burning) guard against: a partitioned follower is left holding
+// a rolled-back record at the same (epoch, index) as the record the
+// quorum later committed there. Its candidacy must fail — any vote
+// quorum intersects the commit quorum, and the intersection rejects the
+// mismatched frontier digest — and anti-entropy must replace the ghost
+// with the committed history, never the reverse.
+func TestStaleRolledBackRecordCannotWinElection(t *testing.T) {
+	seed := chaosSeed(t)
+	g := memGroup(t, 5, seed)
+	if _, err := g.Sync(ws(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Replica 1 misses the journal put the quorum commits.
+	g.SetFaults(fault.NewInjector(seed, linkPartitionRules(1)))
+	committed := []byte("gen,done\n1,true\n")
+	if err := g.Put("exp/journal.csv", committed); err != nil {
+		t.Fatal(err)
+	}
+	// Plant the ghost: the state a quorum-failure rollback leaves on a
+	// follower it cannot reach — a different record at the exact
+	// (epoch, index) of the committed journal put.
+	g.mu.Lock()
+	ldr, f := g.reps[0], g.reps[1]
+	ghost := Record{
+		Kind: RecPut, Path: "exp/ghost.csv", Data: []byte("rolled back"),
+		Index: f.lastIndex() + 1, Epoch: ldr.recordAt(ldr.lastIndex()).Epoch,
+	}
+	if ghost.Index != ldr.lastIndex() {
+		g.mu.Unlock()
+		t.Fatalf("ghost index %d does not collide with the committed record at %d", ghost.Index, ldr.lastIndex())
+	}
+	ghost.seal()
+	f.log = append(f.log, ghost)
+	g.mu.Unlock()
+	// The primary crashes and the split heals: the ghost holder's
+	// election timer fires first (lowest id), so its candidacy is the
+	// first the survivors see.
+	g.Crash(0)
+	g.SetFaults(nil)
+	g.Tick(3.0)
+	p := g.Primary()
+	if p == 1 {
+		t.Fatal("the ghost-holding replica won the election")
+	}
+	if p < 0 {
+		t.Fatal("no primary elected after the crash")
+	}
+	if err := g.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Read("exp/journal.csv")
+	if err != nil {
+		t.Fatalf("committed journal lost after failover: %v", err)
+	}
+	if !bytes.Equal(got, committed) {
+		t.Fatalf("committed journal overwritten: %q", got)
+	}
+	files, err := g.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := files["exp/ghost.csv"]; ok {
+		t.Fatal("rolled-back ghost record resurrected into the committed tree")
+	}
+	wantIdenticalTrees(t, g, p)
+	aud, err := g.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aud.Agreement() {
+		t.Fatalf("ghost holder still diverges after heal:\n%s", aud.Format())
+	}
+}
+
+// TestConfirmWithUncommittedTailDoesNotPanic drives the replication
+// slice hazard: a primary whose commit index trails a tail of
+// uncommitted records (what a deposed-mid-commit proposal or a failed
+// no-op barrier leaves behind) must probe peers whose cursor already
+// passed the confirm target, not slice the log backwards.
+func TestConfirmWithUncommittedTailDoesNotPanic(t *testing.T) {
+	g := memGroup(t, 3, chaosSeed(t))
+	if _, err := g.Sync(ws(1)); err != nil {
+		t.Fatal(err)
+	}
+	g.mu.Lock()
+	ldr := g.reps[0]
+	orphan := Record{
+		Kind: RecPut, Path: "exp/orphan.csv", Data: []byte("inherited"),
+		Index: ldr.lastIndex() + 1, Epoch: ldr.epoch,
+	}
+	orphan.seal()
+	ldr.log = append(ldr.log, orphan)
+	g.resetCursorsLocked(ldr) // cursors past the tail, commit behind it
+	ok := g.confirmLocked(ldr)
+	g.mu.Unlock()
+	if !ok {
+		t.Fatal("confirm with an uncommitted tail did not reach quorum at the commit index")
+	}
+	// The tail is committed by the next quorum round, and the group
+	// converges — the tail was protocol-legal inherited state.
+	if _, err := g.Sync(ws(2)); err != nil {
+		t.Fatal(err)
+	}
+	wantIdenticalTrees(t, g, 0)
+}
+
+// TestElectionBarrierFailureBurnsTheIndex fails a fresh primary's no-op
+// barrier deterministically: an After-windowed partition lets the vote
+// round through and cuts the links before the barrier append. The
+// winner must roll the barrier back AND step down into a fresh epoch —
+// never re-proposing at the barrier's (epoch, index) — and the group
+// must re-elect and converge once the links return.
+func TestElectionBarrierFailureBurnsTheIndex(t *testing.T) {
+	seed := chaosSeed(t)
+	g := memGroup(t, 3, seed)
+	if _, err := g.Sync(ws(1)); err != nil {
+		t.Fatal(err)
+	}
+	g.Crash(0)
+	// Each directed link delivers exactly one more message: enough for
+	// the vote round, gone for the barrier append.
+	g.SetFaults(fault.NewInjector(seed, []fault.Rule{
+		{Site: "gasnet/link/*", Kind: fault.Partition, After: 1, Prob: 1},
+	}))
+	g.Tick(3.0)
+	aud, err := g.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aud.Replicas[1].Role == "primary" {
+		t.Fatal("replica 1 kept leadership after its barrier failed quorum")
+	}
+	if aud.Replicas[1].Epoch < 3 {
+		t.Fatalf("failed barrier did not burn its epoch: still %d", aud.Replicas[1].Epoch)
+	}
+	// Links return, the crashed primary rejoins: a fresh epoch is
+	// elected and the repository converges with read-your-writes.
+	g.SetFaults(nil)
+	g.Restart(0)
+	if _, err := g.Sync(ws(2)); err != nil {
+		t.Fatalf("write after barrier-failure recovery: %v", err)
+	}
+	got, err := g.Read("exp/vars.yml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ws(2)["exp/vars.yml"]) {
+		t.Fatalf("read-your-writes violated after recovery: %q", got)
+	}
+	if err := g.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	wantIdenticalTrees(t, g, g.Primary())
 }
 
 func TestMessageEncodingRoundTrip(t *testing.T) {

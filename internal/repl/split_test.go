@@ -70,11 +70,13 @@ func referenceImage(t *testing.T, seed int64) map[string][]byte {
 	return img
 }
 
-// retryOp applies one schedule op, riding out a failover: a quorum
-// refusal or fenced read means the old primary just lost its epoch —
-// tick past an election window and try again. The rollback guarantee
-// makes the retry exactly-once.
-func retryOp(t *testing.T, g *Group, op splitOp) {
+// retryOpN applies one schedule op, riding out up to `attempts`
+// failovers: a quorum refusal or fenced read means the old primary
+// just lost its epoch — tick past an election window and try again.
+// Rolled-back proposals make the retry exactly-once; deposed-mid-commit
+// (outcome unknown) proposals make it at-least-once, which the
+// idempotent schedule ops absorb without changing a byte.
+func retryOpN(t *testing.T, g *Group, op splitOp, attempts int) {
 	t.Helper()
 	for attempt := 0; ; attempt++ {
 		err := op.do(g)
@@ -82,7 +84,7 @@ func retryOp(t *testing.T, g *Group, op splitOp) {
 			return
 		}
 		var q *QuorumError
-		if (errors.As(err, &q) || errors.Is(err, ErrNoPrimary)) && attempt < 3 {
+		if (errors.As(err, &q) || errors.Is(err, ErrNoPrimary)) && attempt < attempts {
 			g.Tick(3.0)
 			continue
 		}
@@ -90,13 +92,16 @@ func retryOp(t *testing.T, g *Group, op splitOp) {
 	}
 }
 
-// probe asserts read-your-writes at the quorum for the op just applied.
-func probe(t *testing.T, g *Group, op splitOp) {
+func retryOp(t *testing.T, g *Group, op splitOp) { retryOpN(t, g, op, 3) }
+
+// probeN asserts read-your-writes at the quorum for the op just
+// applied, riding out up to `attempts` fenced reads.
+func probeN(t *testing.T, g *Group, op splitOp, attempts int) {
 	t.Helper()
 	for attempt := 0; ; attempt++ {
 		got, err := g.Read(op.probePath)
 		if err != nil {
-			if errors.Is(err, ErrNoPrimary) && attempt < 3 {
+			if errors.Is(err, ErrNoPrimary) && attempt < attempts {
 				g.Tick(3.0)
 				continue
 			}
@@ -108,6 +113,8 @@ func probe(t *testing.T, g *Group, op splitOp) {
 		return
 	}
 }
+
+func probe(t *testing.T, g *Group, op splitOp) { probeN(t, g, op, 3) }
 
 // wantConvergedToReference asserts every replica's tree equals the
 // unfailed serial image byte-for-byte.
@@ -207,6 +214,32 @@ func TestSplitMatrixMinorityPartition(t *testing.T) {
 			wantConvergedToReference(t, g, ref, scenario)
 		}
 	}
+}
+
+// TestSplitMatrixFlakyLinks runs the schedule under seeded
+// per-occurrence link drops instead of clean cuts — the regime where a
+// candidate's vote round succeeds but its no-op barrier append fails,
+// where rollback truncations miss followers, and where primaries are
+// deposed mid-commit (outcome unknown) and the op retried. Every such
+// path must still converge byte-identically to the unfailed run.
+func TestSplitMatrixFlakyLinks(t *testing.T) {
+	seed := chaosSeed(t)
+	ops := splitSchedule()
+	ref := referenceImage(t, seed)
+	g := memGroup(t, 3, seed)
+	g.SetFaults(fault.NewInjector(seed, []fault.Rule{
+		{Site: "gasnet/link/*", Kind: fault.Partition, Prob: 0.3},
+	}))
+	for _, op := range ops {
+		retryOpN(t, g, op, 12)
+		probeN(t, g, op, 12)
+	}
+	g.SetFaults(nil)
+	g.Tick(3.0)
+	if err := g.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	wantConvergedToReference(t, g, ref, "flaky links")
 }
 
 // TestSplitMatrixFiveReplicas runs the wider group through a two-node
