@@ -9,7 +9,10 @@ CRASH_SEEDS ?= 42 7 1337
 # Seed matrix for the network-split suite; override with SPLIT_SEEDS="...".
 SPLIT_SEEDS ?= 42 7 1337
 
-.PHONY: build test vet race verify bench bench-gassyfs bench-cache bench-aver bench-json bench-json-smoke chaos crash split
+# Seed matrix for the bit-rot suite; override with ROT_SEEDS="...".
+ROT_SEEDS ?= 42 7 1337
+
+.PHONY: build test vet race verify bench bench-gassyfs bench-cache bench-aver bench-json bench-json-smoke chaos crash split rot
 
 build:
 	$(GO) build ./...
@@ -27,8 +30,9 @@ race:
 # analysis, the race detector over the concurrent sweep/cache/Aver
 # paths, the seeded chaos suite, the disk-crash matrix, and a one-
 # iteration smoke of the scheduler benchmark recorder so regressions in
-# the scaling path fail the loop.
-verify: build vet test race chaos crash split bench-json-smoke
+# the scaling path fail the loop, plus the bit-rot matrix proving
+# silent corruption stays detectable and healable.
+verify: build vet test race chaos crash split rot bench-json-smoke
 
 # Chaos determinism suite: the fault-injection golden tests under the
 # race detector, once per seed in the matrix. Each seed is a different
@@ -76,6 +80,25 @@ split:
 			|| exit 1; \
 	done
 
+# Bit-rot matrix: seeded silent corruption across every artifact class
+# (workspace files, loose objects, packed extents, manifest, merkle
+# seal) x every repair source (replica quorum, cas, loose pool,
+# federation peers, deterministic reseal) — each injection must be
+# detected by the merkle-verified scrub, healed from the highest-
+# priority live source, and leave the tree byte-identical to an
+# uncorrupted run; quorum-holds-the-rot degradation and unrepairable
+# quarantine included. Under the race detector, once per seed (see
+# docs/RESILIENCE.md, "Scrubbing and silent corruption").
+rot:
+	@for seed in $(ROT_SEEDS); do \
+		echo "-- bit-rot suite, seed $$seed"; \
+		CHAOS_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'Rot|Scrub|Merkle|Corrupt|Quorum|Reseed|Salvage|Quarantine' \
+			./internal/scrub/ ./internal/store/ ./internal/cas/ \
+			./internal/fault/ ./internal/repl/ ./cmd/popper/ \
+			|| exit 1; \
+	done
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem
 
@@ -114,6 +137,8 @@ bench-json:
 	@echo "-- wrote BENCH_aver.json"
 	BENCH_JSON=$(CURDIR)/BENCH_gassyfs.json $(GO) test -run TestWriteGassyfsBenchJSON -count=1 .
 	@echo "-- wrote BENCH_gassyfs.json"
+	BENCH_JSON=$(CURDIR)/BENCH_scrub.json $(GO) test -run TestWriteScrubBenchJSON -count=1 ./internal/scrub/
+	@echo "-- wrote BENCH_scrub.json"
 
 # One-iteration smoke of the benchmark recorders for `make verify`:
 # same code paths, tiny matrices, throwaway output files.
@@ -123,4 +148,5 @@ bench-json-smoke:
 	BENCH_JSON=$$out BENCH_SMOKE=1 $(GO) test -run TestWriteCacheBenchJSON -count=1 ./internal/core/ || { rm -f $$out; exit 1; }; \
 	BENCH_JSON=$$out BENCH_SMOKE=1 $(GO) test -run TestWriteAverBenchJSON -count=1 ./internal/core/ || { rm -f $$out; exit 1; }; \
 	BENCH_JSON=$$out BENCH_SMOKE=1 $(GO) test -run TestWriteGassyfsBenchJSON -count=1 . || { rm -f $$out; exit 1; }; \
+	BENCH_JSON=$$out BENCH_SMOKE=1 $(GO) test -run TestWriteScrubBenchJSON -count=1 ./internal/scrub/ || { rm -f $$out; exit 1; }; \
 	rm -f $$out

@@ -21,11 +21,25 @@
 //	                                 roundrobin|locality scheduling;
 //	                                 -replicas N replicates the artifact
 //	                                 store across N simulated nodes with
-//	                                 quorum commits and epoch failover)
+//	                                 quorum commits and epoch failover;
+//	                                 -scrub-interval D runs detect-only
+//	                                 scrub passes every D concurrent
+//	                                 with the sweep, plus a final full
+//	                                 pass that fails the run on silent
+//	                                 corruption)
 //	popper ci                        replay the repo's CI script locally
 //	popper machines                  list simulated machine profiles
 //	popper report                    render report.html from the repo
 //	popper build-paper               render paper/paper.tex
+//	popper scrub [--repair]          walk every artifact — manifest,
+//	                                 loose objects, packed extents,
+//	                                 replica trees — against the sealed
+//	                                 merkle sidecar; --repair heals
+//	                                 silent corruption through the
+//	                                 prioritized chain (replica quorum,
+//	                                 cas, loose pool, federation peers,
+//	                                 deterministic reseal) and
+//	                                 quarantines what no source proves
 //	popper fsck [--repair]           verify the tree against the artifact
 //	                                 manifest; --repair restores damaged
 //	                                 files from the object cache,
@@ -51,15 +65,18 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"popper/internal/ci"
 	"popper/internal/cluster"
 	"popper/internal/core"
 	"popper/internal/fault"
+	"popper/internal/metrics"
 	"popper/internal/orchestrate"
 	"popper/internal/pipeline"
 	"popper/internal/repl"
 	"popper/internal/sched"
+	"popper/internal/scrub"
 	"popper/internal/store"
 )
 
@@ -136,10 +153,11 @@ func run(args []string) error {
 	placement := fs.String("placement", "roundrobin", "sweep placement policy with -hosts: roundrobin or locality")
 	stream := fs.Bool("stream", false, "stream validations incrementally while experiments run in `popper run`")
 	failFast := fs.Bool("fail-fast", false, "with -stream: cancel configurations whose assertions become unsatisfiable and stop dispatching the rest")
+	scrubEvery := fs.Duration("scrub-interval", 0, "run detect-only integrity scrub passes every interval during `popper run`, plus a final full pass (0 = off)")
 	replicas := fs.Int("replicas", 0, "replicate the artifact store across N simulated nodes with quorum commits (0 = auto-detect a provisioned group, 1 = plain store)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: popper [-C dir] [-seed n] [-jobs n] [-hosts n] [-placement p] [-replicas n] [-no-cache] [-faults f] [-max-retries n] [-resume] [-stream] [-fail-fast] <command> [args]")
-		fmt.Fprintln(os.Stderr, "commands: init, experiment list, add, paper, check, lint, run, ci, machines, report, build-paper, fsck")
+		fmt.Fprintln(os.Stderr, "usage: popper [-C dir] [-seed n] [-jobs n] [-hosts n] [-placement p] [-replicas n] [-no-cache] [-faults f] [-max-retries n] [-resume] [-stream] [-fail-fast] [-scrub-interval d] <command> [args]")
+		fmt.Fprintln(os.Stderr, "commands: init, experiment list, add, paper, check, lint, run, ci, machines, report, build-paper, fsck, scrub")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -215,128 +233,154 @@ func run(args []string) error {
 		return withProject(*dir, *replicas, *seed, func(p *core.Project, st repo) error {
 			name := rest[1]
 			env := &core.Env{Seed: *seed}
-			var cache *pipeline.Cache
-			if !*noCache {
-				// Warm-start from the sidecar the previous invocation saved
-				// (absent or damaged state just means a cold cache), and
-				// save the updated index back on the way out so the next
-				// process starts warm too. Best-effort: a failed save (for
-				// example a chaos run that crashed the disk) costs only a
-				// cold start next time.
-				cache = pipeline.NewCacheOpts(pipeline.CacheOptions{State: st.LoadCacheState()})
-				if n := cache.WarmEntries(); n > 0 {
-					fmt.Printf("-- stage cache warmed: %d entries from %s\n", n, store.CacheStatePath)
-				}
-				// The repository's own object pool backs the in-memory tier:
-				// stage outputs the tier evicted but the manifest still proves
-				// (loose .popper/objects or packed extents) are re-admitted on
-				// miss instead of recomputed.
-				cache.Tier().SetFallback(st.Object)
-				defer func() { _ = st.SaveCacheState(cache.SaveState()) }()
+			// -scrub-interval: a background scrubber shares the run. Its
+			// detect-only passes interleave with sweep commits (the store
+			// lock keeps each pass consistent), its counters land in the
+			// run's metrics registry next to the cache_* gauges, and a
+			// final full pass after the run fails it on silent corruption.
+			var recordMetrics func(*metrics.Registry)
+			var finishScrub func() error
+			if *scrubEvery > 0 {
+				sc := newScrubber(st, false)
+				recordMetrics = sc.Record
+				finishScrub = backgroundScrub(sc, *scrubEvery)
 			}
-			// A -faults schedule makes the run a chaos run: the seeded
-			// injector drives deterministic failures through every layer.
-			var injector *fault.Injector
-			retry := fault.Retry{Max: *maxRetries, Backoff: 0.5, Jitter: 0.25}
-			if *faultsFile != "" {
-				raw, ok := p.Files[*faultsFile]
-				if !ok {
-					return fmt.Errorf("faults file %q not found in repository", *faultsFile)
+			runBody := func() error {
+				var cache *pipeline.Cache
+				if !*noCache {
+					// Warm-start from the sidecar the previous invocation saved
+					// (absent or damaged state just means a cold cache), and
+					// save the updated index back on the way out so the next
+					// process starts warm too. Best-effort: a failed save (for
+					// example a chaos run that crashed the disk) costs only a
+					// cold start next time.
+					cache = pipeline.NewCacheOpts(pipeline.CacheOptions{State: st.LoadCacheState()})
+					if n := cache.WarmEntries(); n > 0 {
+						fmt.Printf("-- stage cache warmed: %d entries from %s\n", n, store.CacheStatePath)
+					}
+					// The repository's own object pool backs the in-memory tier:
+					// stage outputs the tier evicted but the manifest still proves
+					// (loose .popper/objects or packed extents) are re-admitted on
+					// miss instead of recomputed.
+					cache.Tier().SetFallback(st.Object)
+					defer func() { _ = st.SaveCacheState(cache.SaveState()) }()
 				}
-				spec, err := fault.ParseSpec(string(raw))
-				if err != nil {
-					return err
+				// A -faults schedule makes the run a chaos run: the seeded
+				// injector drives deterministic failures through every layer.
+				var injector *fault.Injector
+				retry := fault.Retry{Max: *maxRetries, Backoff: 0.5, Jitter: 0.25}
+				if *faultsFile != "" {
+					raw, ok := p.Files[*faultsFile]
+					if !ok {
+						return fmt.Errorf("faults file %q not found in repository", *faultsFile)
+					}
+					spec, err := fault.ParseSpec(string(raw))
+					if err != nil {
+						return err
+					}
+					injector = spec.Injector()
+					// Disk sites ("disk/<op>/<path>") share the same schedule:
+					// crash-disk rules kill the command at an exact write,
+					// rename or fsync boundary.
+					st.SetFaults(injector)
+					fmt.Printf("-- chaos run: %d fault rules, seed %d (fingerprint %s)\n",
+						len(spec.Rules), spec.Seed, injector.Fingerprint())
 				}
-				injector = spec.Injector()
-				// Disk sites ("disk/<op>/<path>") share the same schedule:
-				// crash-disk rules kill the command at an exact write,
-				// rename or fsync boundary.
-				st.SetFaults(injector)
-				fmt.Printf("-- chaos run: %d fault rules, seed %d (fingerprint %s)\n",
-					len(spec.Rules), spec.Seed, injector.Fingerprint())
-			}
-			// A sweep.yml next to vars.yml expands the run into a
-			// configuration matrix driven by the worker pool.
-			if raw, ok := p.ExperimentFile(name, core.SweepFile); ok {
-				configs, err := core.ParseSweep(string(raw))
-				if err != nil {
-					return err
+				// A sweep.yml next to vars.yml expands the run into a
+				// configuration matrix driven by the worker pool.
+				if raw, ok := p.ExperimentFile(name, core.SweepFile); ok {
+					configs, err := core.ParseSweep(string(raw))
+					if err != nil {
+						return err
+					}
+					policy, err := sched.ParsePlacement(*placement)
+					if err != nil {
+						return err
+					}
+					sr, err := p.RunSweep(name, env, configs, core.SweepOptions{
+						Jobs: *jobs, Cache: cache,
+						Faults: injector, Retry: retry, Resume: *resume,
+						Hosts: *hosts, Placement: policy,
+						// -fail-fast implies -stream: cancellation needs the
+						// incremental evaluator watching each run.
+						Stream: *stream || *failFast, FailFast: *failFast,
+						RecordMetrics: recordMetrics,
+						// Journal durability: every completed configuration's
+						// outcome is committed to the artifact store immediately,
+						// so a crash mid-sweep is resumable from the last config.
+						Durable: st.Put,
+					})
+					if err != nil {
+						return err
+					}
+					if sr.Sched != nil {
+						fmt.Printf("-- cluster schedule (%s placement): %s\n", policy, sr.Sched)
+					}
+					for _, run := range sr.Runs {
+						status := "passed"
+						switch {
+						case run.Cancelled:
+							status = "CANCELLED by streaming validation after " +
+								fmt.Sprintf("%d rows", run.Result.Cancelled.Row) +
+								" (pending; re-run with -resume for the full verdict)"
+						case run.Skipped:
+							status = "pending (re-run with -resume)"
+						case run.Err != nil:
+							status = "QUARANTINED: " + run.Err.Error()
+						case run.Resumed:
+							status = "passed (resumed from journal)"
+						case run.Attempts > 1:
+							status = fmt.Sprintf("passed after %d attempts", run.Attempts)
+						}
+						fmt.Printf("-- config %03d (%s): %s\n", run.Index, core.FormatOverrides(run.Overrides), status)
+					}
+					if cache != nil {
+						cs := cache.Stats()
+						fmt.Printf("-- stage cache: %d hits, %d misses, %s stored, %s deduped, %d evictions\n",
+							cs.Hits, cs.Misses, humanBytes(cs.BytesAdded), humanBytes(cs.BytesDeduped), cs.Evictions)
+						if cache.Federated() {
+							fmt.Printf("-- federated tier: %d local peer hits, %d remote fetches (%s, %.3f vsec)\n",
+								cs.LocalPeerHits, cs.RemoteFetches, humanBytes(cs.RemoteBytes), cs.FetchSeconds)
+						}
+						if ts := cache.Tier().Stats(); ts.FallbackHits > 0 {
+							fmt.Printf("-- object tier: %d evicted entries restored from repository objects\n", ts.FallbackHits)
+						}
+					}
+					if err := sr.Err(); err != nil {
+						fmt.Printf("-- quarantined configurations recorded in experiments/%s/%s\n", name, core.FailuresFile)
+						return err
+					}
+					fmt.Printf("-- sweep %q passed: %d configurations (merged results in experiments/%s/results.csv)\n",
+						name, len(sr.Runs), name)
+					return nil
 				}
-				policy, err := sched.ParsePlacement(*placement)
-				if err != nil {
-					return err
-				}
-				sr, err := p.RunSweep(name, env, configs, core.SweepOptions{
-					Jobs: *jobs, Cache: cache,
-					Faults: injector, Retry: retry, Resume: *resume,
-					Hosts: *hosts, Placement: policy,
-					// -fail-fast implies -stream: cancellation needs the
-					// incremental evaluator watching each run.
+				res, err := p.RunExperimentOpts(name, env, core.RunOptions{
+					Cache: cache, Jobs: *jobs,
+					Faults: injector, Retry: retry,
 					Stream: *stream || *failFast, FailFast: *failFast,
-					// Journal durability: every completed configuration's
-					// outcome is committed to the artifact store immediately,
-					// so a crash mid-sweep is resumable from the last config.
-					Durable: st.Put,
+					RecordMetrics: recordMetrics,
 				})
+				fmt.Print(res.Record.Log)
+				if res.Cancelled != nil {
+					fmt.Printf("-- run cancelled by streaming validation after %d rows: %s\n",
+						res.Cancelled.Row, res.Cancelled.Detail)
+				}
 				if err != nil {
 					return err
 				}
-				if sr.Sched != nil {
-					fmt.Printf("-- cluster schedule (%s placement): %s\n", policy, sr.Sched)
-				}
-				for _, run := range sr.Runs {
-					status := "passed"
-					switch {
-					case run.Cancelled:
-						status = "CANCELLED by streaming validation after " +
-							fmt.Sprintf("%d rows", run.Result.Cancelled.Row) +
-							" (pending; re-run with -resume for the full verdict)"
-					case run.Skipped:
-						status = "pending (re-run with -resume)"
-					case run.Err != nil:
-						status = "QUARANTINED: " + run.Err.Error()
-					case run.Resumed:
-						status = "passed (resumed from journal)"
-					case run.Attempts > 1:
-						status = fmt.Sprintf("passed after %d attempts", run.Attempts)
-					}
-					fmt.Printf("-- config %03d (%s): %s\n", run.Index, core.FormatOverrides(run.Overrides), status)
-				}
-				if cache != nil {
-					cs := cache.Stats()
-					fmt.Printf("-- stage cache: %d hits, %d misses, %s stored, %s deduped, %d evictions\n",
-						cs.Hits, cs.Misses, humanBytes(cs.BytesAdded), humanBytes(cs.BytesDeduped), cs.Evictions)
-					if cache.Federated() {
-						fmt.Printf("-- federated tier: %d local peer hits, %d remote fetches (%s, %.3f vsec)\n",
-							cs.LocalPeerHits, cs.RemoteFetches, humanBytes(cs.RemoteBytes), cs.FetchSeconds)
-					}
-					if ts := cache.Tier().Stats(); ts.FallbackHits > 0 {
-						fmt.Printf("-- object tier: %d evicted entries restored from repository objects\n", ts.FallbackHits)
-					}
-				}
-				if err := sr.Err(); err != nil {
-					fmt.Printf("-- quarantined configurations recorded in experiments/%s/%s\n", name, core.FailuresFile)
-					return err
-				}
-				fmt.Printf("-- sweep %q passed: %d configurations (merged results in experiments/%s/results.csv)\n",
-					name, len(sr.Runs), name)
+				fmt.Printf("-- experiment %q passed (results in experiments/%s/results.csv)\n", name, name)
 				return nil
 			}
-			res, err := p.RunExperimentOpts(name, env, core.RunOptions{
-				Cache: cache, Jobs: *jobs,
-				Faults: injector, Retry: retry,
-				Stream: *stream || *failFast, FailFast: *failFast,
-			})
-			fmt.Print(res.Record.Log)
-			if res.Cancelled != nil {
-				fmt.Printf("-- run cancelled by streaming validation after %d rows: %s\n",
-					res.Cancelled.Row, res.Cancelled.Detail)
+			rerr := runBody()
+			if finishScrub != nil {
+				if serr := finishScrub(); serr != nil {
+					if rerr != nil {
+						return fmt.Errorf("%v (additionally: %v)", rerr, serr)
+					}
+					return serr
+				}
 			}
-			if err != nil {
-				return err
-			}
-			fmt.Printf("-- experiment %q passed (results in experiments/%s/results.csv)\n", name, name)
-			return nil
+			return rerr
 		})
 	case "ci":
 		// run the repository's CI script locally, exactly as the service
@@ -415,6 +459,17 @@ func run(args []string) error {
 			fmt.Println("-- paper built: paper/paper.pdf")
 			return nil
 		})
+	case "scrub":
+		repair := false
+		for _, arg := range rest[1:] {
+			switch arg {
+			case "--repair", "-repair":
+				repair = true
+			default:
+				return fmt.Errorf("usage: popper scrub [--repair]")
+			}
+		}
+		return cmdScrub(*dir, repair, *replicas, *seed)
 	case "fsck":
 		repair := false
 		for _, arg := range rest[1:] {
@@ -478,11 +533,11 @@ func cmdFsck(dir string, repair bool, replicas int, seed int64) error {
 		if !rep.Clean() {
 			return fmt.Errorf("repository needs repair (re-run with --repair)")
 		}
-		return fsckReplicas(dir, repair, replicas, seed)
+		return fsckFinish(dir, repair, replicas, seed)
 	}
 	if rep.Clean() {
 		fmt.Println("-- nothing to repair")
-		return fsckReplicas(dir, repair, replicas, seed)
+		return fsckFinish(dir, repair, replicas, seed)
 	}
 	acts, rerr := st.Repair(rep)
 	for _, a := range acts {
@@ -499,7 +554,113 @@ func cmdFsck(dir string, repair bool, replicas int, seed int64) error {
 		return fmt.Errorf("repository still unhealthy after repair:\n%s", after.Format())
 	}
 	fmt.Println("-- repaired: repository is consistent with its manifest")
-	return fsckReplicas(dir, repair, replicas, seed)
+	return fsckFinish(dir, repair, replicas, seed)
+}
+
+// fsckFinish completes an fsck verdict: replica agreement, then a
+// merkle-verified scrub pass so fsck subsumes the scrubber's findings —
+// silent corruption the manifest walk alone cannot localize. With
+// --repair the pass heals through the full chain (quorum, cas, loose,
+// peers, reseal) before judging.
+func fsckFinish(dir string, repair bool, replicas int, seed int64) error {
+	if err := fsckReplicas(dir, repair, replicas, seed); err != nil {
+		return err
+	}
+	st, err := openRepo(dir, replicas, seed)
+	if err != nil {
+		return err
+	}
+	sc := newScrubber(st, repair)
+	rep, err := sc.Scrub()
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Format())
+	if rep.Unrepairable > 0 {
+		return fmt.Errorf("%d finding(s) could not be healed from any source (quarantined; see %s)", rep.Unrepairable, store.QuarantinePrefix)
+	}
+	if !repair && !rep.Clean() {
+		return fmt.Errorf("scrub detected silent corruption (re-run with --repair to heal)")
+	}
+	return nil
+}
+
+// cmdScrub walks every artifact against the sealed merkle sidecar —
+// the standalone face of the background scrubber `popper run
+// -scrub-interval` attaches. Detection is the default; --repair heals
+// findings through the prioritized chain and quarantines what no
+// source can prove.
+func cmdScrub(dir string, repair bool, replicas int, seed int64) error {
+	if _, err := os.Stat(filepath.Join(dir, ".popper", "manifest")); err != nil {
+		return fmt.Errorf("%s is not a Popper repository (no artifact manifest)", dir)
+	}
+	st, err := openRepo(dir, replicas, seed)
+	if err != nil {
+		return err
+	}
+	sc := newScrubber(st, repair)
+	rep, err := sc.Scrub()
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Format())
+	if rep.Unrepairable > 0 {
+		return fmt.Errorf("%d finding(s) could not be healed from any source (quarantined; see %s)", rep.Unrepairable, store.QuarantinePrefix)
+	}
+	if !repair && !rep.Clean() {
+		return fmt.Errorf("silent corruption detected (re-run with --repair to heal)")
+	}
+	return nil
+}
+
+// newScrubber builds a scrubber over whichever store surface the CLI
+// opened: the plain store, or the replicated group — which scrubs every
+// replica and unlocks the quorum repair rung.
+func newScrubber(st repo, repair bool) *scrub.Scrubber {
+	if g, ok := st.(*repl.Group); ok {
+		return scrub.New(nil, scrub.Options{Repair: repair, Group: g})
+	}
+	return scrub.New(st.(*store.Store), scrub.Options{Repair: repair})
+}
+
+// backgroundScrub starts detect-only scrub passes on a wall-clock
+// cadence and returns the finisher: it joins the background loop, runs
+// one final full pass, prints the report line, and fails on silent
+// corruption.
+func backgroundScrub(sc *scrub.Scrubber, every time.Duration) func() error {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				// Mid-run passes are advisory; the final pass below is the
+				// authoritative verdict.
+				_, _ = sc.Scrub()
+			}
+		}
+	}()
+	return func() error {
+		close(stop)
+		<-done
+		rep, err := sc.Scrub()
+		if err != nil {
+			return fmt.Errorf("final scrub pass: %w", err)
+		}
+		t := sc.Totals()
+		fmt.Printf("-- scrub: %d pass(es), %d entries verified (%s), %d finding(s), %d healed, %d unrepairable\n",
+			t.Passes, t.Scanned, humanBytes(t.Bytes), t.Findings, t.Healed, t.Unrepairable)
+		if !rep.Clean() {
+			fmt.Print(rep.Format())
+			return fmt.Errorf("scrub detected silent corruption (heal with `popper fsck --repair` or `popper scrub --repair`)")
+		}
+		return nil
+	}
 }
 
 // fsckReplicas audits replica agreement for a replicated repository

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"popper/internal/metrics"
+	"popper/internal/pipeline"
+)
+
+// TestRunRecordMetricsSharesTheCacheRegistry pins the metrics bridge
+// `popper run -scrub-interval` rides: RecordMetrics receives the same
+// per-run registry the cache records into, so companion gauge families
+// (scrub_*) land alongside cache_* and one report can read both.
+func TestRunRecordMetricsSharesTheCacheRegistry(t *testing.T) {
+	p := sweepProject(t)
+	var seen []*metrics.Registry
+	res, err := p.RunExperimentOpts("sweep", &Env{Seed: 2}, RunOptions{
+		Cache: pipeline.NewCache(),
+		RecordMetrics: func(reg *metrics.Registry) {
+			reg.Set("scrub_passes", 1)
+			seen = append(seen, reg)
+		},
+	})
+	if err != nil || !res.Passed() {
+		t.Fatalf("run: %v / passed=%v", err, res.Passed())
+	}
+	if len(seen) != 1 {
+		t.Fatalf("RecordMetrics invoked %d times, want once per run", len(seen))
+	}
+	// Both families live in the one registry: the cache recorded its
+	// gauges into the same instance the hook received.
+	if seen[0].Gauge("cache_hits")+seen[0].Gauge("cache_misses") == 0 {
+		t.Fatal("cache_* gauges absent from the registry the hook received")
+	}
+	if seen[0].Gauge("scrub_passes") != 1 {
+		t.Fatal("scrub_* gauge did not survive in the run registry")
+	}
+}
+
+// TestSweepRecordMetricsReachesEveryConfiguration pins the sweep
+// pass-through: every configuration's pipeline invokes the hook.
+func TestSweepRecordMetricsReachesEveryConfiguration(t *testing.T) {
+	p := sweepProject(t)
+	configs := []map[string]string{{"seed": "1"}, {"seed": "2"}, {"seed": "3"}}
+	calls := 0
+	sr, err := p.RunSweep("sweep", &Env{Seed: 2}, configs, SweepOptions{
+		Jobs: 1,
+		RecordMetrics: func(reg *metrics.Registry) {
+			calls++
+		},
+	})
+	if err != nil || !sr.Passed() {
+		t.Fatalf("sweep: %v / %v", err, sr.Err())
+	}
+	if calls != len(configs) {
+		t.Fatalf("RecordMetrics invoked %d times across %d configurations", calls, len(configs))
+	}
+}

@@ -216,6 +216,10 @@ type RunOptions struct {
 	// group is proven unsatisfiable: the run stage fails with
 	// ErrValidationCancelled instead of burning the remaining budget.
 	FailFast bool
+	// RecordMetrics, when set, publishes companion gauges into the
+	// run's metrics registry next to the cache_* family — `popper run
+	// -scrub-interval` wires the scrubber's scrub_* counters here.
+	RecordMetrics func(*metrics.Registry)
 }
 
 // RunExperiment executes one experiment end to end through the staged
@@ -252,6 +256,7 @@ func (p *Project) RunExperimentOpts(name string, env *Env, opts RunOptions) (Run
 	var validation []aver.Result
 
 	pl := pipeline.New(name)
+	pl.RecordExtra = opts.RecordMetrics
 	if opts.Cache != nil {
 		pl.Cache = opts.Cache
 		pl.CacheSalt = fmt.Sprintf("env-seed=%d", env.Seed)

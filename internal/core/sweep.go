@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"popper/internal/fault"
+	"popper/internal/metrics"
 	"popper/internal/pipeline"
 	"popper/internal/sched"
 	"popper/internal/table"
@@ -65,6 +66,11 @@ type SweepOptions struct {
 	// stops cleanly after Limit configurations; a later Resume run
 	// finishes the rest).
 	Limit int
+	// RecordMetrics, when set, is passed through to every
+	// configuration's RunOptions: each pipeline publishes the caller's
+	// companion gauges (e.g. scrub_*) into its metrics registry
+	// alongside cache_*.
+	RecordMetrics func(*metrics.Registry)
 	// Durable, when set, is called with the sweep journal (workspace
 	// path + full content) after every configuration completes, so
 	// progress reaches stable storage mid-sweep instead of only at the
@@ -496,13 +502,14 @@ func (p *Project) RunSweep(name string, env *Env, configs []map[string]string, o
 				clones[i] = files
 				proj := &Project{Files: files}
 				run.Result, err = proj.RunExperimentOpts(name, env, RunOptions{
-					Cache:      opts.Cache,
-					CacheHost:  host,
-					Overrides:  configs[i],
-					Faults:     opts.Faults,
-					FaultScope: fmt.Sprintf("%s/%03d", name, i),
-					Stream:     opts.Stream,
-					FailFast:   opts.FailFast,
+					Cache:         opts.Cache,
+					CacheHost:     host,
+					Overrides:     configs[i],
+					Faults:        opts.Faults,
+					FaultScope:    fmt.Sprintf("%s/%03d", name, i),
+					Stream:        opts.Stream,
+					FailFast:      opts.FailFast,
+					RecordMetrics: opts.RecordMetrics,
 				})
 			}
 			run.Err = err

@@ -1,0 +1,128 @@
+package fault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCorruptDiskKindRoundTrips(t *testing.T) {
+	if CorruptDisk.String() != "corrupt-disk" {
+		t.Fatalf("String() = %q", CorruptDisk.String())
+	}
+	k, err := ParseKind("corrupt-disk")
+	if err != nil || k != CorruptDisk {
+		t.Fatalf("ParseKind(corrupt-disk) = %v, %v", k, err)
+	}
+	spec, err := ParseSpec("seed: 7\nfaults:\n  - site: disk/read/*\n    kind: corrupt-disk\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Rules[0].Kind != CorruptDisk {
+		t.Fatalf("spec kind = %v", spec.Rules[0].Kind)
+	}
+	// Silent rot is not a terminal fault: retry layers may pass it
+	// through, and detection is the scrubber's job.
+	f := &Fault{Kind: CorruptDisk, Site: "disk/read/x"}
+	if !f.Retryable() {
+		t.Fatal("corrupt-disk must not be classified terminal")
+	}
+}
+
+func TestCorruptBytesDeterministicAndDamaging(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	seenModes := map[string]bool{}
+	for n := 0; n < 64; n++ {
+		a, descA := CorruptBytes(42, "disk-rot/x", n, data)
+		b, descB := CorruptBytes(42, "disk-rot/x", n, data)
+		if !bytes.Equal(a, b) || descA != descB {
+			t.Fatalf("occurrence %d not deterministic", n)
+		}
+		if bytes.Equal(a, data) {
+			t.Fatalf("occurrence %d left the bytes intact (%s)", n, descA)
+		}
+		if len(a) > len(data) {
+			t.Fatalf("occurrence %d grew the data", n)
+		}
+		switch {
+		case strings.HasPrefix(descA, "single-bit"):
+			seenModes["single"] = true
+		case strings.Contains(descA, "scatter"):
+			seenModes["multi"] = true
+		case strings.HasPrefix(descA, "truncated"):
+			seenModes["trunc"] = true
+			if len(a) >= len(data) {
+				t.Fatalf("truncation must be a strict prefix, got %d of %d", len(a), len(data))
+			}
+		default:
+			t.Fatalf("unrecognized damage description %q", descA)
+		}
+	}
+	for _, mode := range []string{"single", "multi", "trunc"} {
+		if !seenModes[mode] {
+			t.Fatalf("64 occurrences never produced mode %s", mode)
+		}
+	}
+	// Different seeds rot differently (somewhere in a modest window).
+	differs := false
+	for n := 0; n < 8 && !differs; n++ {
+		a, _ := CorruptBytes(1, "k", n, data)
+		b, _ := CorruptBytes(2, "k", n, data)
+		differs = !bytes.Equal(a, b)
+	}
+	if !differs {
+		t.Fatal("seeds 1 and 2 produced identical rot for 8 occurrences")
+	}
+	// Tiny and empty inputs honor the contract too.
+	if out, _ := CorruptBytes(3, "k", 0, nil); len(out) != 0 {
+		t.Fatal("empty input must come back empty")
+	}
+	for n := 0; n < 16; n++ {
+		one, _ := CorruptBytes(3, "k", n, []byte{0xAB})
+		if len(one) == 1 && one[0] == 0xAB {
+			t.Fatalf("occurrence %d left a 1-byte input intact", n)
+		}
+	}
+}
+
+func TestParseSpecErrorsNameRuleAndSite(t *testing.T) {
+	// A bad kind deep in a multi-rule file must be findable: the error
+	// names the rule index and its site glob, not just the kind string.
+	src := "faults:\n" +
+		"  - site: disk/write/*\n    kind: error\n" +
+		"  - site: gasnet/putv/*\n    kind: warp\n"
+	_, err := ParseSpec(src)
+	if err == nil {
+		t.Fatal("bad kind must fail")
+	}
+	for _, want := range []string{"fault 1", `site "gasnet/putv/*"`, `"warp"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("kind error %q does not mention %s", err, want)
+		}
+	}
+	_, err = ParseSpec("faults:\n  - site: a/b\n    kind: latency\n")
+	if err == nil {
+		t.Fatal("latency without delay must fail")
+	}
+	for _, want := range []string{"fault 0", `site "a/b"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("latency error %q does not mention %s", err, want)
+		}
+	}
+}
+
+func TestMatchSiteExported(t *testing.T) {
+	for _, tc := range []struct {
+		pattern, site string
+		want          bool
+	}{
+		{"disk/read/*", "disk/read/.popper/manifest", true},
+		{"disk/*", "disk/read/x", true},
+		{"*.popper/objects/*", "data/.popper/objects/ab/cd", true},
+		{"disk/read/*", "disk/write/x", false},
+	} {
+		if got := MatchSite(tc.pattern, tc.site); got != tc.want {
+			t.Errorf("MatchSite(%q, %q) = %v", tc.pattern, tc.site, got)
+		}
+	}
+}

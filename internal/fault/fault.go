@@ -50,6 +50,12 @@ const (
 	// lost, and the store refuses further operations until "reboot".
 	// Terminal, never retried. See internal/store and docs/RESILIENCE.md.
 	DiskCrash
+	// CorruptDisk ("corrupt-disk" in faults.yml) models silent bit-rot:
+	// the site succeeds but the bytes it observes are mutated by a
+	// seeded flip or truncation (CorruptBytes). No error surfaces — the
+	// scrubber's Merkle verification is what must catch it. See
+	// internal/scrub and docs/RESILIENCE.md.
+	CorruptDisk
 )
 
 // String names the kind as it appears in faults.yml.
@@ -65,6 +71,8 @@ func (k Kind) String() string {
 		return "crash"
 	case DiskCrash:
 		return "crash-disk"
+	case CorruptDisk:
+		return "corrupt-disk"
 	}
 	return fmt.Sprintf("kind(%d)", k)
 }
@@ -82,8 +90,10 @@ func ParseKind(s string) (Kind, error) {
 		return Crash, nil
 	case "crash-disk":
 		return DiskCrash, nil
+	case "corrupt-disk":
+		return CorruptDisk, nil
 	}
-	return 0, fmt.Errorf("fault: unknown kind %q (error, latency, partition, crash, crash-disk)", s)
+	return 0, fmt.Errorf("fault: unknown kind %q (error, latency, partition, crash, crash-disk, corrupt-disk)", s)
 }
 
 // Rule is one declarative fault: where it strikes, what it does, and
@@ -370,6 +380,59 @@ func splitmix64(x uint64) uint64 {
 // outside rule evaluation share it.
 func Hash01(seed int64, key string, n int) float64 {
 	return hash01(seed, key, -1, n)
+}
+
+// MatchSite is the exported site glob matcher: '*' matches any run of
+// characters including '/'. The MemFS at-rest rot hook and scrub tests
+// use it to pick corruption targets with the same glob language rules
+// use to pick injection sites.
+func MatchSite(pattern, site string) bool { return matchSite(pattern, site) }
+
+// CorruptBytes is the deterministic bit-rot mutator behind the
+// corrupt-disk fault kind: it returns a corrupted copy of data (the
+// input is never modified) plus a short description of the damage.
+// The damage is a pure function of (seed, key, n) — the same tuple
+// always flips the same bits — and is drawn from the three silent
+// failure modes scrub must detect: a single-bit flip, a multi-bit
+// scatter (2–4 flips), or a truncation to a strict prefix. Non-empty
+// input always yields output that differs from the input; empty input
+// is returned unchanged ("no bytes to rot").
+func CorruptBytes(seed int64, key string, n int, data []byte) ([]byte, string) {
+	if len(data) == 0 {
+		return data, "no bytes to rot"
+	}
+	// Aspect coins: n*8+0 picks the mode, higher aspects pick positions.
+	coin := func(aspect int) float64 { return Hash01(seed, key, n*8+aspect) }
+	out := append([]byte(nil), data...)
+	switch mode := coin(0); {
+	case mode < 1.0/3:
+		bit := int(coin(1) * float64(len(out)*8))
+		out[bit/8] ^= 1 << uint(bit%8)
+		return out, fmt.Sprintf("single-bit flip at bit %d of %d bytes", bit, len(data))
+	case mode < 2.0/3:
+		k := 2 + int(coin(1)*3) // 2..4 flips
+		for i := 0; i < k; i++ {
+			bit := int(coin(2+i) * float64(len(out)*8))
+			out[bit/8] ^= 1 << uint(bit%8)
+		}
+		// Scattered flips can cancel pairwise on tiny inputs; the
+		// contract is output != input, so force a flip if they did.
+		same := true
+		for i := range out {
+			if out[i] != data[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			out[0] ^= 1
+		}
+		return out, fmt.Sprintf("%d-bit scatter over %d bytes", k, len(data))
+	default:
+		// Hash01 < 1, so the cut is always a strict prefix.
+		cut := int(coin(7) * float64(len(out)))
+		return out[:cut], fmt.Sprintf("truncated %d bytes to %d", len(data), cut)
+	}
 }
 
 // Retry is a declarative retry policy: up to Max additional attempts

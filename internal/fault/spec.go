@@ -63,11 +63,14 @@ func ParseSpec(src string) (*Spec, error) {
 		}
 		kind, err := ParseKind(yamlite.GetString(rm, "kind", "error"))
 		if err != nil {
-			return nil, fmt.Errorf("fault: faults.yml: fault %d: %w", i, err)
+			// Name the rule index AND its site glob: in a 20-rule file,
+			// "fault 7 (site disk/read/*)" is findable; the kind string
+			// alone is not.
+			return nil, fmt.Errorf("fault: faults.yml: fault %d (site %q): %w", i, rule.Site, err)
 		}
 		rule.Kind = kind
 		if rule.Kind == Latency && rule.Delay <= 0 {
-			return nil, fmt.Errorf("fault: faults.yml: latency fault %d needs delay > 0", i)
+			return nil, fmt.Errorf("fault: faults.yml: latency fault %d (site %q) needs delay > 0", i, rule.Site)
 		}
 		spec.Rules = append(spec.Rules, rule)
 	}

@@ -141,6 +141,12 @@ type Pipeline struct {
 	// locked) but forfeits per-run determinism under concurrency.
 	Clock *fault.Clock
 
+	// RecordExtra, when set, is invoked with the run's metrics registry
+	// right where the cache records its gauges, so callers can publish
+	// companion gauge families (e.g. the scrubber's scrub_*) into the
+	// same registry the report reads.
+	RecordExtra func(*metrics.Registry)
+
 	retries   map[string]fault.Retry
 	timeouts  map[string]float64
 	cacheIDs  map[string]string
@@ -358,6 +364,9 @@ func (p *Pipeline) Run(ctx *Context) Record {
 	rec.ResultHash = hashWorkspace(ctx.Workspace)
 	if p.Cache != nil {
 		p.Cache.Record(ctx.Metrics)
+	}
+	if p.RecordExtra != nil {
+		p.RecordExtra(ctx.Metrics)
 	}
 	return rec
 }

@@ -41,7 +41,7 @@ func (s *Store) SaveCacheState(data []byte) error {
 func (s *Store) LoadCacheState() []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	raw, err := s.fs.ReadFile(CacheStatePath)
+	raw, err := s.read(CacheStatePath)
 	if err != nil {
 		return nil
 	}

@@ -44,7 +44,7 @@ func (s *Store) loadExtentsLocked() map[[sha256.Size]byte][]byte {
 			if !strings.HasPrefix(path, extentsDir+"/") {
 				continue
 			}
-			raw, err := s.fs.ReadFile(path)
+			raw, err := s.read(path)
 			if err != nil {
 				continue
 			}
@@ -81,7 +81,7 @@ func (s *Store) hasObject(hash [sha256.Size]byte) bool {
 // readObjectAny returns the hash's verified bytes from the loose
 // object cache or a packed extent. Callers hold the lock.
 func (s *Store) readObjectAny(hash [sha256.Size]byte) ([]byte, bool) {
-	if obj, err := s.fs.ReadFile(objectPath(hash)); err == nil && sha256.Sum256(obj) == hash {
+	if obj, err := s.read(objectPath(hash)); err == nil && sha256.Sum256(obj) == hash {
 		return obj, true
 	}
 	obj, ok := s.loadExtentsLocked()[hash]
@@ -94,8 +94,11 @@ func (s *Store) readObjectAny(hash [sha256.Size]byte) ([]byte, bool) {
 // hold the lock.
 func (s *Store) salvageExtent(path string, refHash map[[sha256.Size]byte]bool) (int, error) {
 	s.invalidateExtents()
-	raw, err := s.fs.ReadFile(path)
+	raw, err := s.read(path)
 	if err != nil {
+		if s.dead != nil {
+			return 0, s.dead
+		}
 		return 0, nil // vanished since the scan; nothing to salvage
 	}
 	n := 0

@@ -157,7 +157,7 @@ func (s *Store) Fsck() (*Report, error) {
 		rep.Tracked = man.Len()
 	}
 	var next *Manifest
-	if raw, err := s.fs.ReadFile(manifestNextPath); err == nil {
+	if raw, err := s.read(manifestNextPath); err == nil {
 		rep.Pending = true
 		next, _ = ParseManifest(raw) // a torn intent record is expected debris
 	}
@@ -174,7 +174,7 @@ func (s *Store) Fsck() (*Report, error) {
 	// Pass 1: every manifested file, against its recorded hash.
 	if man != nil {
 		for _, e := range man.Entries {
-			content, err := s.fs.ReadFile(e.Path)
+			content, err := s.read(e.Path)
 			if errors.Is(err, fs.ErrNotExist) {
 				rep.Findings = append(rep.Findings, Finding{
 					Path: e.Path, State: StateMissing, WantSize: e.Size,
@@ -226,13 +226,23 @@ func (s *Store) Fsck() (*Report, error) {
 			// The stage-cache sidecar is advisory and self-verifying; an
 			// intact extent image is healthy, anything else is debris whose
 			// removal costs only a cold cache.
-			raw, err := s.fs.ReadFile(path)
+			raw, err := s.read(path)
 			if err != nil {
+				if s.dead != nil {
+					return nil, s.dead
+				}
 				rep.Findings = append(rep.Findings, Finding{Path: path, State: StateDebris, Note: "unreadable stage-cache sidecar"})
 				break
 			}
 			if _, perr := cas.ParseExtent(raw); perr != nil {
 				rep.Findings = append(rep.Findings, Finding{Path: path, State: StateDebris, Note: "damaged stage-cache sidecar (cold start after removal)"})
+			}
+		case path == MerklePath:
+			// The per-generation Merkle seal: healthy only when it parses
+			// and matches the committed manifest exactly. Anything else is
+			// debris repair replaces by resealing — never by trusting it.
+			if note := s.merkleProblem(man); note != "" {
+				rep.Findings = append(rep.Findings, Finding{Path: path, State: StateDebris, Note: note, Repairable: true})
 			}
 		case strings.HasPrefix(path, popperDir+"/"):
 			rep.Findings = append(rep.Findings, Finding{Path: path, State: StateDebris, Note: "unrecognized store metadata"})
@@ -246,7 +256,7 @@ func (s *Store) Fsck() (*Report, error) {
 			f := Finding{Path: path, State: StateExtra, Size: size}
 			if next != nil {
 				if ne, ok := next.Lookup(path); ok {
-					content, err := s.fs.ReadFile(path)
+					content, err := s.read(path)
 					if err == nil && sha256.Sum256(content) == ne.Hash {
 						f.Note = "written by the interrupted sync"
 					}
@@ -255,14 +265,45 @@ func (s *Store) Fsck() (*Report, error) {
 			rep.Findings = append(rep.Findings, f)
 		}
 	}
+	// A committed manifest without its Merkle seal: repair reseals. (A
+	// sidecar with no manifest at all is handled above as debris.)
+	if man != nil && !onDisk[MerklePath] {
+		rep.Findings = append(rep.Findings, Finding{
+			Path: MerklePath, State: StateMissing,
+			Note: "merkle seal missing (resealed on repair)", Repairable: true,
+		})
+	}
 	sort.Slice(rep.Findings, func(i, j int) bool { return rep.Findings[i].Path < rep.Findings[j].Path })
 	return rep, nil
+}
+
+// merkleProblem classifies the on-disk Merkle sidecar against the
+// committed manifest; empty means healthy. Callers hold the lock.
+func (s *Store) merkleProblem(man *Manifest) string {
+	raw, err := s.read(MerklePath)
+	if err != nil {
+		return "unreadable merkle seal"
+	}
+	m, perr := cas.ParseMerkle(raw)
+	if perr != nil {
+		return "damaged merkle seal (resealed on repair)"
+	}
+	if man == nil {
+		return "merkle seal without a manifest"
+	}
+	if m.Gen != man.Generation {
+		return fmt.Sprintf("stale merkle seal (generation %d, manifest %d)", m.Gen, man.Generation)
+	}
+	if m.Root() != MerkleForManifest(man).Root() {
+		return "merkle seal does not match the manifest"
+	}
+	return ""
 }
 
 // readManifestLoose parses a manifest file, folding absence/damage into
 // the report instead of failing.
 func (s *Store) readManifestLoose(path string, rep *Report) *Manifest {
-	raw, err := s.fs.ReadFile(path)
+	raw, err := s.read(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		rep.ManifestMissing = true
 		return nil
@@ -303,7 +344,7 @@ func (s *Store) objectOK(e Entry) bool {
 // extentFinding classifies one packed extent; bad=false means healthy
 // (intact, with at least one record a live generation references).
 func (s *Store) extentFinding(path string, hashRefs map[[sha256.Size]byte]bool) (Finding, bool) {
-	raw, err := s.fs.ReadFile(path)
+	raw, err := s.read(path)
 	if err != nil {
 		return Finding{Path: path, State: StateDebris, Note: "unreadable extent"}, true
 	}
@@ -351,7 +392,7 @@ func (s *Store) objectProblem(path string, refs map[string]bool) string {
 	if err != nil || len(want) != sha256.Size {
 		return "malformed object name"
 	}
-	content, rerr := s.fs.ReadFile(path)
+	content, rerr := s.read(path)
 	if rerr != nil {
 		return "unreadable object"
 	}
@@ -421,6 +462,12 @@ func (s *Store) Repair(rep *Report) ([]Action, error) {
 	if s.dead != nil {
 		return nil, s.dead
 	}
+	// Repair of a clean report is a no-op: the second of two
+	// back-to-back repairs must not move the generation or touch the
+	// tree — repair itself has to converge.
+	if rep.Clean() {
+		return nil, nil
+	}
 	var acts []Action
 	s.invalidateExtents() // trust nothing cached: the tree may have mutated underneath
 	man := s.readManifestLoose(manifestPath, &Report{})
@@ -476,8 +523,11 @@ func (s *Store) Repair(rep *Report) ([]Action, error) {
 			}
 			acts = append(acts, Action{Verb: "quarantined", Path: f.Path, Note: "no object to restore from; kept at " + qp})
 		case StateExtra:
-			content, err := s.fs.ReadFile(f.Path)
+			content, err := s.read(f.Path)
 			if err != nil {
+				if s.dead != nil {
+					return acts, s.dead
+				}
 				continue // vanished since the scan
 			}
 			e := Entry{Path: f.Path, Size: int64(len(content)), Hash: sha256.Sum256(content)}
@@ -520,7 +570,7 @@ func (s *Store) Repair(rep *Report) ([]Action, error) {
 			if _, ok := entries[path]; ok {
 				continue
 			}
-			content, err := s.fs.ReadFile(path)
+			content, err := s.read(path)
 			if err != nil {
 				return acts, err
 			}
@@ -533,6 +583,21 @@ func (s *Store) Repair(rep *Report) ([]Action, error) {
 		}
 	}
 
+	// A repair that did not change what the manifest records — file
+	// restores, debris removal, extent salvage, intent rollback — keeps
+	// the committed generation: the healed tree is byte-identical to
+	// the pre-damage one, which is what lets scrub heal one replica of
+	// a group without diverging it from its peers. Only entry surgery
+	// (quarantine, adoption) or a lost manifest commits a new one.
+	if man != nil && sameEntries(man, entries) {
+		if err := s.sealMerkleLocked(man); err != nil {
+			return acts, err
+		}
+		if err := s.gc(man); err != nil {
+			return acts, err
+		}
+		return acts, nil
+	}
 	next := &Manifest{Generation: gen}
 	for _, e := range entries {
 		next.Entries = append(next.Entries, e)
@@ -541,10 +606,27 @@ func (s *Store) Repair(rep *Report) ([]Action, error) {
 	if err := s.writeFileAtomic(manifestPath, next.Encode()); err != nil {
 		return acts, err
 	}
+	if err := s.sealMerkleLocked(next); err != nil {
+		return acts, err
+	}
 	s.man, s.got = next, true
 	acts = append(acts, Action{Verb: "rebuilt", Path: manifestPath, Note: fmt.Sprintf("generation %d, %d file(s)", gen, next.Len())})
 	if err := s.gc(next); err != nil {
 		return acts, err
 	}
 	return acts, nil
+}
+
+// sameEntries reports whether the surviving entry map records exactly
+// the manifest's entries.
+func sameEntries(man *Manifest, entries map[string]Entry) bool {
+	if len(entries) != man.Len() {
+		return false
+	}
+	for _, e := range man.Entries {
+		if got, ok := entries[e.Path]; !ok || got != e {
+			return false
+		}
+	}
+	return true
 }

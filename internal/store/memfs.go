@@ -245,3 +245,35 @@ func (m *MemFS) Epoch() int {
 	defer m.mu.Unlock()
 	return m.epoch
 }
+
+// Rot is the at-rest bit-rot settle hook: it corrupts every present
+// file matching the glob (fault.MatchSite semantics) in place —
+// volatile, fsynced and durable views alike, because media decay
+// happens underneath the page cache, between operations, with no
+// syscall to intercept. The damage is fault.CorruptBytes, seeded per
+// (fs seed, path, round), so a rot schedule replays bit-identically.
+// Returns the corrupted paths in sorted order; empty files are skipped
+// (no bytes to rot).
+func (m *MemFS) Rot(pattern string, round int) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	paths := make([]string, 0, len(m.files))
+	for path, f := range m.files {
+		if f.data != nil && len(f.data) > 0 && fault.MatchSite(pattern, path) {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		f := m.files[path]
+		rotted, _ := fault.CorruptBytes(m.seed, "at-rest-rot/"+path, round, f.data)
+		f.data = rotted
+		if f.synced != nil {
+			f.synced = rotted
+		}
+		if f.hasDur && f.dur != nil {
+			f.dur = rotted
+		}
+	}
+	return paths
+}

@@ -53,7 +53,7 @@ func (s *Store) Image() (map[string][]byte, error) {
 		if Advisory(path) {
 			continue
 		}
-		content, err := s.fs.ReadFile(path)
+		content, err := s.read(path)
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +98,7 @@ func (s *Store) InstallImage(img map[string][]byte) error {
 	}
 	sort.Strings(paths)
 	for _, path := range paths {
-		if cur, err := s.fs.ReadFile(path); err == nil && string(cur) == string(img[path]) {
+		if cur, err := s.read(path); err == nil && string(cur) == string(img[path]) {
 			continue
 		}
 		if err := s.writeFileAtomic(path, img[path]); err != nil {
@@ -132,7 +132,7 @@ func (s *Store) TreeHash() ([sha256.Size]byte, error) {
 		if Advisory(path) {
 			continue
 		}
-		content, err := s.fs.ReadFile(path)
+		content, err := s.read(path)
 		if err != nil {
 			return zero, err
 		}

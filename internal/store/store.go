@@ -68,8 +68,15 @@ func (e *RecoveryError) Error() string {
 }
 
 // Load reads the tracked workspace from disk into a flat path map —
-// the inverse of Sync.
+// the inverse of Sync. Reads go through the instrumented disk/read/*
+// sites, so injected rot reaches consumers exactly the way latent
+// media corruption would.
 func (s *Store) Load() (map[string][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead != nil {
+		return nil, s.dead
+	}
 	paths, err := s.fs.List()
 	if err != nil {
 		return nil, err
@@ -79,7 +86,7 @@ func (s *Store) Load() (map[string][]byte, error) {
 		if !Tracked(path) {
 			continue
 		}
-		content, err := s.fs.ReadFile(path)
+		content, err := s.read(path)
 		if err != nil {
 			return nil, fmt.Errorf("store: load %s: %w", path, err)
 		}
@@ -289,7 +296,7 @@ func (s *Store) loadManifest() (*Manifest, error) {
 	if s.got {
 		return s.man, nil
 	}
-	raw, err := s.fs.ReadFile(manifestPath)
+	raw, err := s.read(manifestPath)
 	if errors.Is(err, fs.ErrNotExist) {
 		s.got = true
 		return nil, nil
@@ -315,8 +322,15 @@ func (s *Store) refuseIfInterrupted(op string) error {
 }
 
 // commitManifest renames the intent record over the committed manifest
-// — the sync's single atomic commit point — and makes it durable.
+// — the sync's single atomic commit point — and makes it durable. The
+// Merkle sidecar for the new generation is sealed first, so a
+// committed manifest always has its seal on disk; a crash between the
+// two leaves a next-generation sidecar beside the old manifest, which
+// fsck flags as stale and repair reseals.
 func (s *Store) commitManifest(next *Manifest) error {
+	if err := s.sealMerkleLocked(next); err != nil {
+		return err
+	}
 	if err := s.rename(manifestNextPath, manifestPath); err != nil {
 		return err
 	}
@@ -362,10 +376,12 @@ func (s *Store) ensureObject(hash [sha256.Size]byte, content []byte) (bool, erro
 // bounded slack traded for never rewriting committed bytes).
 func (s *Store) gc(man *Manifest) error {
 	live := []*Manifest{man}
-	if raw, err := s.fs.ReadFile(manifestNextPath); err == nil {
+	if raw, err := s.read(manifestNextPath); err == nil {
 		if next, perr := ParseManifest(raw); perr == nil {
 			live = append(live, next)
 		}
+	} else if s.dead != nil {
+		return s.dead
 	}
 	refs := make(map[string]bool, man.Len())
 	hashRefs := make(map[[sha256.Size]byte]bool, man.Len())
@@ -389,8 +405,14 @@ func (s *Store) gc(man *Manifest) error {
 				return err
 			}
 		case strings.HasPrefix(path, extentsDir+"/"):
-			raw, err := s.fs.ReadFile(path)
+			raw, err := s.read(path)
 			if err != nil {
+				// An unreadable extent is fsck's problem — but a terminal
+				// fault at the read boundary must not be swallowed, or a
+				// crash scheduled at this point would silently vanish.
+				if s.dead != nil {
+					return s.dead
+				}
 				continue
 			}
 			// Damaged extents are fsck's to salvage, never gc's to drop.
@@ -486,9 +508,52 @@ func (s *Store) checkSite(op, path string, data []byte) error {
 		// store just stops.
 		s.dead = f
 		return f
+	case fault.CorruptDisk:
+		// Silent rot strikes reads (s.read) and at-rest state
+		// (MemFS.Rot); at a write/fsync/rename boundary the supplied
+		// bytes are still good, so the operation proceeds untouched.
+		return nil
 	default:
 		return f
 	}
+}
+
+// read is the instrumented read primitive: site "disk/read/<path>".
+// Error faults fail the read, terminal faults stop the store exactly
+// as at write boundaries — and corrupt-disk faults succeed while
+// handing the caller seeded-rotted bytes. No error surfaces for rot:
+// catching it is the scrubber's job, not the reader's.
+func (s *Store) read(path string) ([]byte, error) {
+	if s.dead != nil {
+		return nil, s.dead
+	}
+	if s.faults != nil {
+		if f := s.faults.Check("disk/read/" + path); f != nil {
+			switch f.Kind {
+			case fault.Latency:
+				// absorbed: disks have no virtual clock to charge
+			case fault.CorruptDisk:
+				data, err := s.fs.ReadFile(path)
+				if err != nil {
+					return nil, err
+				}
+				rot, _ := fault.CorruptBytes(s.faults.Seed(), "disk-rot/"+path, f.Occurrence, data)
+				return rot, nil
+			case fault.DiskCrash:
+				if c, ok := s.fs.(crasher); ok {
+					c.Crash()
+				}
+				s.dead = f
+				return nil, f
+			case fault.Crash:
+				s.dead = f
+				return nil, f
+			default:
+				return nil, f
+			}
+		}
+	}
+	return s.fs.ReadFile(path)
 }
 
 // sortEntries re-sorts and re-indexes a manifest after entry surgery.
